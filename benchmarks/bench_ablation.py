@@ -1,0 +1,123 @@
+"""Ablations: the F-fraction sweep (§V-A.1) and the q-grid (§III-B).
+
+The paper reports that its takeaway is "consistent across all the
+values of F" in {0.1N .. 0.5N} and that UGF disrupts "with any choice
+of q1, q2"; both claims are regenerated here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_series, full
+from repro.experiments.ablation import run_f_sweep, run_q_grid
+
+
+def f_settings():
+    if full():
+        return dict(n=100, seeds=tuple(range(15)))
+    return dict(n=50, seeds=tuple(range(5)))
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("protocol", ["push-pull", "ears"])
+def test_f_fraction_sweep(benchmark, protocol):
+    cfg = f_settings()
+    # The clearest monotone signal per protocol: the strategy the paper
+    # identifies as that protocol's worst case.
+    adversary = "str-1" if protocol == "push-pull" else "str-2.1.0"
+    cells = benchmark.pedantic(
+        lambda: run_f_sweep(protocol, adversary=adversary, **cfg),
+        rounds=1,
+        iterations=1,
+    )
+    fracs = [c.label for c in cells]
+    times = [c.time.median for c in cells]
+    msgs = [c.messages.median for c in cells]
+    attach_series(benchmark, "time", range(len(fracs)), times)
+    attach_series(benchmark, "messages", range(len(fracs)), msgs)
+    benchmark.extra_info["fractions"] = fracs
+    # "The higher F, the stronger the adversary": damage at F=0.5N
+    # strictly exceeds damage at F=0.1N.
+    assert times[-1] > times[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_kl_mode_fixed_vs_sampled(benchmark):
+    """§V-A.3 ablation: the paper pins k = l = 1 "for simplicity".
+
+    How much does the Algorithm-1-faithful Basel sampling of (k, l)
+    change UGF's damage? Measured with a small tau so that even the
+    truncation's largest exponents stay simulable.
+    """
+    from repro.analysis.paired import paired_damage
+    from repro.experiments.config import TrialSpec
+    from repro.experiments.runner import run_trial
+
+    n, f, seeds = (40, 12, tuple(range(8)))
+    if full():
+        n, f, seeds = (100, 30, tuple(range(15)))
+
+    def outcomes(adversary_kwargs):
+        return [
+            run_trial(
+                TrialSpec(
+                    protocol="ears",
+                    adversary="ugf",
+                    n=n,
+                    f=f,
+                    seed=s,
+                    adversary_kwargs=adversary_kwargs,
+                )
+            )
+            for s in seeds
+        ]
+
+    def run():
+        base = [
+            run_trial(TrialSpec(protocol="ears", adversary="none", n=n, f=f, seed=s))
+            for s in seeds
+        ]
+        fixed = paired_damage(base, outcomes((("tau", 3),)))
+        sampled = paired_damage(
+            base, outcomes((("tau", 3), ("kl_mode", "sampled"), ("max_k", 3)))
+        )
+        return fixed, sampled
+
+    fixed, sampled = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["fixed"] = str(fixed)
+    benchmark.extra_info["sampled"] = str(sampled)
+    # Both modes disrupt (damage > 1 on at least one axis); sampling
+    # deeper exponents never *reduces* the message damage below the
+    # fixed mode by a large factor.
+    for summary in (fixed, sampled):
+        assert (
+            summary.message_ratio.median > 1.0 or summary.time_ratio.median > 1.0
+        )
+    assert sampled.message_ratio.median > 0.5 * fixed.message_ratio.median
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_q_grid_always_disrupts(benchmark):
+    cfg = dict(n=40, f=12, seeds=tuple(range(5)))
+    if full():
+        cfg = dict(n=100, f=30, seeds=tuple(range(10)))
+    cells = benchmark.pedantic(
+        lambda: run_q_grid("ears", **cfg), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cells"] = [
+        {"label": c.label, "messages": c.messages.median, "time": c.time.median}
+        for c in cells
+    ]
+    # Every (q1, q2) cell shows disruption relative to the no-adversary
+    # baseline on at least one axis (Theorem 1 holds for any q1, q2).
+    from repro.experiments.ablation import run_adversary_comparison
+
+    base = run_adversary_comparison(
+        "ears", n=cfg["n"], f=cfg["f"], seeds=cfg["seeds"], adversaries=("none",)
+    )[0]
+    for cell in cells:
+        assert (
+            cell.time.median > base.time.median
+            or cell.messages.median > base.messages.median
+        ), cell.label

@@ -1,0 +1,53 @@
+"""Kernel microbenchmarks: runtime of representative single trials.
+
+Unlike the figure benches (one-shot sweep regenerations), these are
+classic pytest-benchmark measurements — they time one simulation each
+and exist to catch performance regressions in the kernel's hot paths
+(scheduling scan, network buckets, knowledge merges, fast-forward).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def run_once(protocol: str, adversary: str, n: int, f: int, seed: int = 0):
+    outcome = simulate(
+        make_protocol(protocol), make_adversary(adversary), n=n, f=f, seed=seed
+    ).outcome
+    assert outcome.completed
+    return outcome
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("protocol", ["push-pull", "ears", "round-robin", "flood"])
+def test_baseline_trial(benchmark, protocol):
+    benchmark(run_once, protocol, "none", 100, 30)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_sears_baseline_trial(benchmark):
+    # SEARS moves ~fanout*N messages per step; keep N moderate.
+    benchmark(run_once, "sears", "none", 60, 18)
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("adversary", ["str-1", "str-2.1.0", "str-2.1.1", "ugf"])
+def test_attacked_push_pull_trial(benchmark, adversary):
+    benchmark(run_once, "push-pull", adversary, 100, 30)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_fast_forward_through_deep_delay(benchmark):
+    # Strategy 2.1.1 with tau = F = 30 parks messages 900 steps out;
+    # the engine must skip the dead air, not walk it.
+    def run():
+        outcome = run_once("round-robin", "str-2.1.1", 60, 18)
+        assert outcome.steps_simulated < outcome.t_end
+        return outcome
+
+    benchmark(run)

@@ -1,0 +1,38 @@
+"""Example 1's quantitative claims, regenerated.
+
+"Consider the gossip protocol P where every process sorts the other
+processes and sends its gossip to one process per step during N-1
+steps ... M(O) = Theta(N^2) and T(O) = Theta(N)" (§III-A). With our
+round-robin schedule the constants are exact: M = N(N-1) and
+T ~ N/2, which doubles as an end-to-end validation of the complexity
+meters (Definitions II.3/II.4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_series, bench_grid
+from repro.core.adversary import NullAdversary
+from repro.protocols.round_robin import RoundRobin
+from repro.sim.engine import simulate
+
+
+def measure():
+    ns, _ = bench_grid()
+    messages, times = [], []
+    for n in ns:
+        outcome = simulate(RoundRobin(), NullAdversary(), n=n, f=0, seed=0).outcome
+        messages.append(outcome.message_complexity())
+        times.append(outcome.time_complexity())
+    return ns, messages, times
+
+
+@pytest.mark.benchmark(group="example1")
+def test_example1_quadratic_messages_linear_time(benchmark):
+    ns, messages, times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    attach_series(benchmark, "messages", ns, messages)
+    attach_series(benchmark, "time", ns, times)
+    for n, m, t in zip(ns, messages, times):
+        assert m == n * (n - 1)  # Theta(N^2), exactly
+        assert abs(t - n / 2) <= 2  # Theta(N)

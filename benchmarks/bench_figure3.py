@@ -1,0 +1,69 @@
+"""Regenerate Figure 3 (all five panels) and assert its shape claims.
+
+Each bench reruns one panel's three curves — no adversary, UGF, and
+the per-protocol most-damaging strategy ("max UGF") — on the bench
+grid, attaches the regenerated series to the benchmark record, and
+asserts the panel's scientific content through the shared verdict
+module (:mod:`repro.experiments.verdicts`):
+
+- 3a/3b: baseline time grows ~log N, max-UGF time grows ~linearly and
+  dominates the baseline with a non-collapsing gap;
+- 3c/3d: max-UGF messages grow ~quadratically and dominate baseline;
+- 3e: SEARS messages are ~quadratic with *and without* the adversary.
+
+Absolute values are simulator-specific; the asserted facts are the
+orderings and growth families, which is what the paper's figure
+conveys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_series, bench_grid
+from repro.experiments.figure3 import run_figure3_panel
+from repro.experiments.verdicts import check_panel
+
+
+def run_panel(panel: str):
+    ns, seeds = bench_grid()
+    return run_figure3_panel(panel, n_values=ns, seeds=seeds, workers=None)
+
+
+def assert_panel(panel: str, benchmark) -> None:
+    result = benchmark.pedantic(lambda: run_panel(panel), rounds=1, iterations=1)
+    for curve in result.curves:
+        ns, ys = result.series(curve)
+        attach_series(benchmark, curve, ns, ys)
+    verdict = check_panel(result)
+    benchmark.extra_info["verdict"] = {
+        "passed": verdict.passed,
+        "checks": dict(verdict.checks),
+        "notes": list(verdict.notes),
+    }
+    assert verdict.passed, verdict.summary()
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3a_push_pull_time(benchmark):
+    assert_panel("3a", benchmark)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3b_ears_time(benchmark):
+    assert_panel("3b", benchmark)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3c_push_pull_messages(benchmark):
+    assert_panel("3c", benchmark)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3d_ears_messages(benchmark):
+    assert_panel("3d", benchmark)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3e_sears_messages(benchmark):
+    assert_panel("3e", benchmark)

@@ -1,0 +1,64 @@
+"""Robustness under partial-synchrony heterogeneity.
+
+The paper evaluates the homogeneous setting (all timings 1), but its
+model (§II-A) is defined for arbitrary per-process local-step and
+delivery times. This bench reruns the headline comparison with
+uniformly jittered baseline timings and checks that UGF's disruption
+survives: the attacked complexities still dominate the (jittered)
+baseline on the expected axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full
+from repro.analysis.aggregate import aggregate_runs
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def settings():
+    if full():
+        return dict(n=100, f=30, seeds=tuple(range(15)))
+    return dict(n=50, f=15, seeds=tuple(range(7)))
+
+
+def medians(protocol, adversary, env, n, f, seeds):
+    ts, ms = [], []
+    for seed in seeds:
+        outcome = simulate(
+            make_protocol(protocol),
+            make_adversary(adversary),
+            n=n,
+            f=f,
+            seed=seed,
+            environment=env,
+        ).outcome
+        ts.append(outcome.time_complexity(allow_truncated=True))
+        ms.append(outcome.message_complexity(allow_truncated=True))
+    return aggregate_runs(ts).median, aggregate_runs(ms).median
+
+
+@pytest.mark.benchmark(group="heterogeneity")
+@pytest.mark.parametrize(
+    "protocol,adversary,axis",
+    [("ears", "str-2.1.0", "time"), ("ears", "str-2.1.1", "messages")],
+)
+def test_ugf_disrupts_jittered_substrate(benchmark, protocol, adversary, axis):
+    cfg = settings()
+    env = "jitter:3,3"
+
+    def run():
+        base = medians(protocol, "none", env, cfg["n"], cfg["f"], cfg["seeds"])
+        attacked = medians(protocol, adversary, env, cfg["n"], cfg["f"], cfg["seeds"])
+        return base, attacked
+
+    (base_t, base_m), (atk_t, atk_m) = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["baseline"] = {"time": base_t, "messages": base_m}
+    benchmark.extra_info["attacked"] = {"time": atk_t, "messages": atk_m}
+    if axis == "time":
+        assert atk_t > 1.5 * base_t
+    else:
+        assert atk_m > 1.5 * base_m

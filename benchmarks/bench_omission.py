@@ -1,0 +1,71 @@
+"""§VII answered: omission vs. delay, measured.
+
+The paper asks whether an adversary that can *omit* messages (instead
+of merely delaying them) "would harm the dissemination even more".
+This bench pits Strategy 2.1.1 (delay the group) against the omission
+adversary (silence the same-size group) on the crash-tolerant
+protocols and records the qualitative answer:
+
+- **delay** taxes efficiency: rumor gathering still succeeds in every
+  run, at inflated message cost;
+- **omission** defeats correctness: rumor gathering fails in every
+  run (the silenced processes are correct, yet their gossips can
+  never arrive) — while costing the attacker nothing in crash budget
+  and the network no more traffic than the delay attack.
+
+So omission is strictly stronger, and in a qualitative way: it moves
+the attack from the complexity axis onto the Definition II.1 axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def settings():
+    if full():
+        return dict(n=100, f=30, seeds=tuple(range(15)))
+    return dict(n=50, f=15, seeds=tuple(range(6)))
+
+
+def measure(protocol, adversary_name, n, f, seeds):
+    gather, msgs = [], []
+    for seed in seeds:
+        outcome = simulate(
+            make_protocol(protocol), make_adversary(adversary_name), n=n, f=f, seed=seed
+        ).outcome
+        assert outcome.completed, (protocol, adversary_name, seed)
+        gather.append(outcome.rumor_gathering_ok)
+        msgs.append(outcome.message_complexity(allow_truncated=True))
+    msgs.sort()
+    return sum(gather) / len(gather), msgs[len(msgs) // 2]
+
+
+@pytest.mark.benchmark(group="omission")
+@pytest.mark.parametrize("protocol", ["push-pull", "ears"])
+def test_omission_stronger_than_delay(benchmark, protocol):
+    cfg = settings()
+
+    def run():
+        delay = measure(protocol, "str-2.1.1", cfg["n"], cfg["f"], cfg["seeds"])
+        omission = measure(protocol, "omission", cfg["n"], cfg["f"], cfg["seeds"])
+        return delay, omission
+
+    (delay_gather, delay_msgs), (om_gather, om_msgs) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["delay"] = {"gather_rate": delay_gather, "messages": delay_msgs}
+    benchmark.extra_info["omission"] = {"gather_rate": om_gather, "messages": om_msgs}
+    # Delay preserves correctness; omission destroys it.
+    assert delay_gather == 1.0
+    assert om_gather == 0.0
+    # The omission attack costs the network no more than the delay
+    # attack's bill (markedly less for EARS, whose delay-induced wake
+    # cascades dominate; about the same for Push-Pull, whose pull
+    # budget caps both) — omission's extra damage is free.
+    assert om_msgs <= 1.2 * delay_msgs

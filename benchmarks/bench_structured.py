@@ -1,0 +1,69 @@
+"""Efficiency vs. robustness: why the paper's protocol class matters.
+
+§V-A.2 notes the evaluated trio are "the only currently existing
+all-to-all gossip protocols functioning in partial synchrony even with
+process crashes". This bench makes the claim concrete by measuring the
+structured foils (recursive doubling, coordinator) against the
+crash-tolerant protocols: in the benign case the foils are strictly
+cheaper; under any UGF strategy they stop gathering at all, while the
+tolerant protocols pay with complexity but always deliver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+N, F = 40, 12
+SEEDS = range(5)
+
+TOLERANT = ("push-pull", "ears", "pull")
+FRAGILE = ("recursive-doubling", "coordinator")
+
+
+def gather_rate(protocol: str, adversary: str) -> tuple[float, float]:
+    """(fraction of runs gathering, median messages)."""
+    oks, msgs = [], []
+    for seed in SEEDS:
+        outcome = simulate(
+            make_protocol(protocol), make_adversary(adversary), n=N, f=F, seed=seed
+        ).outcome
+        oks.append(outcome.completed and outcome.rumor_gathering_ok)
+        msgs.append(outcome.message_complexity(allow_truncated=True))
+    msgs.sort()
+    return sum(oks) / len(oks), msgs[len(msgs) // 2]
+
+
+@pytest.mark.benchmark(group="structured")
+def test_fragile_protocols_cheaper_but_break(benchmark):
+    def run():
+        table = {}
+        for protocol in TOLERANT + FRAGILE:
+            for adversary in ("none", "str-1", "str-2.1.1"):
+                table[(protocol, adversary)] = gather_rate(protocol, adversary)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = {
+        f"{p}|{a}": {"gather_rate": g, "messages": m}
+        for (p, a), (g, m) in table.items()
+    }
+    # Benign case: every protocol gathers; the foils are cheaper than
+    # every tolerant protocol.
+    for protocol in TOLERANT + FRAGILE:
+        assert table[(protocol, "none")][0] == 1.0
+    cheapest_tolerant = min(table[(p, "none")][1] for p in TOLERANT)
+    for protocol in FRAGILE:
+        assert table[(protocol, "none")][1] < cheapest_tolerant
+    # Attacked: tolerant protocols still always gather; the foils
+    # mostly do not.
+    for protocol in TOLERANT:
+        for adversary in ("str-1", "str-2.1.1"):
+            assert table[(protocol, adversary)][0] == 1.0, (protocol, adversary)
+    broken = sum(
+        table[(p, a)][0] < 1.0 for p in FRAGILE for a in ("str-1", "str-2.1.1")
+    )
+    assert broken >= 3  # at least 3 of the 4 fragile cells break

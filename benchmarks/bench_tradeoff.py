@@ -1,0 +1,64 @@
+"""Theorem 1's trade-off, measured (the paper-extension experiment).
+
+For growing strategy exponents k at fixed (N, F, tau):
+
+- the survivor's wall under Strategy 2.k.0 grows geometrically in k
+  when measured in raw global steps (the wall-clock cost of pushing
+  message complexity below quadratic), and
+- the message tax under Strategy 2.k.1 grows with k,
+
+while the measured quantities always respect the Theorem 1 lower
+bounds with the proof's explicit constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_series, full
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def settings():
+    if full():
+        return dict(n=60, f=18, tau=3, k_values=(1, 2, 3, 4), seeds=tuple(range(10)))
+    return dict(n=30, f=9, tau=3, k_values=(1, 2, 3), seeds=tuple(range(5)))
+
+
+@pytest.mark.benchmark(group="tradeoff")
+@pytest.mark.parametrize("protocol", ["ears", "push-pull"])
+def test_tradeoff_frontier(benchmark, protocol):
+    cfg = settings()
+    points = benchmark.pedantic(
+        lambda: run_tradeoff(protocol, **cfg), rounds=1, iterations=1
+    )
+    ks = [p.k for p in points]
+    walls = [p.steps_under_isolation.median for p in points]
+    taxes = [p.messages_under_delay.median for p in points]
+    attach_series(benchmark, "wall_steps", ks, walls)
+    attach_series(benchmark, "message_tax", ks, taxes)
+    # The raw wall grows with k — geometrically for EARS, whose
+    # one-message-per-local-step rhythm is gated by the wall directly.
+    assert walls[-1] > walls[0]
+    if protocol == "ears":
+        assert walls[-1] > 2 * walls[0]
+    # The message tax does not shrink as the delay deepens.
+    assert taxes[-1] >= taxes[0] * 0.9
+    # Theorem 1 consistency. The theorem is a disjunction over UGF's
+    # mixture: either the time bound or the message bound holds on
+    # average. Our per-strategy measurements must satisfy at least one
+    # side at every k.
+    for p in points:
+        disjunction = (
+            p.time_under_isolation.median >= p.bounds.time_bound
+            or p.messages_under_delay.median >= p.bounds.message_bound
+        )
+        assert disjunction, (p.k, p.bounds)
+        benchmark.extra_info.setdefault("bounds", []).append(
+            {
+                "k": p.k,
+                "alpha": p.alpha,
+                "time_bound": p.bounds.time_bound,
+                "message_bound": p.bounds.message_bound,
+            }
+        )

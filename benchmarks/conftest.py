@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Grid sizing: by default the benches run a laptop-scale grid (minutes,
+not hours); set ``REPRO_FULL=1`` to regenerate the paper's full grid
+(N up to 500, 50 seeds — §V-A.1). Each figure bench runs its sweep
+exactly once (``pedantic`` with one round) because the measurement of
+interest is the regenerated series, not the harness's own runtime;
+the series lands in ``benchmark.extra_info`` so
+``pytest-benchmark``'s JSON output doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Laptop-scale grid used unless REPRO_FULL is set.
+BENCH_N_GRID = (10, 20, 30, 50, 70, 100)
+BENCH_SEEDS = tuple(range(10))
+
+
+def full() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false", "no")
+
+
+def bench_grid() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(N values, seeds) for the current mode."""
+    if full():
+        from repro.experiments.figure3 import PAPER_N_GRID, PAPER_SEEDS
+
+        return PAPER_N_GRID, PAPER_SEEDS
+    return BENCH_N_GRID, BENCH_SEEDS
+
+
+@pytest.fixture
+def grid():
+    return bench_grid()
+
+
+def attach_series(benchmark, name: str, ns, values) -> None:
+    """Record a regenerated series in the benchmark's JSON output."""
+    benchmark.extra_info[name] = {
+        "n": list(map(int, ns)),
+        "median": [float(v) for v in values],
+    }

@@ -1,0 +1,69 @@
+"""Fake-news containment: the paper's motivating scenario, measured.
+
+The introduction motivates UGF with "limiting the dissemination of
+fake news or viruses": when information travels fast and without
+control, a network is vulnerable to poisoned messages. Here a platform
+operator plays the gossip fighter. One process originates a poisoned
+gossip; the operator wants every node's *exposure time* to it pushed
+back as far as possible, at the price of crashing (suspending) at most
+F accounts or throttling message delivery.
+
+The script measures, per operator posture:
+
+- how many global steps pass until half / ninety percent of the
+  network has seen the poisoned gossip
+  (:func:`repro.analysis.spread.exposure_times`);
+- the bandwidth bill the protocol runs up while fighting through the
+  interference (message complexity).
+
+The *targeted throttle* pins the suspected source into the controlled
+group C of Strategy 2.1.1 — the operator's version of rate-limiting a
+suspicious account — and delays exposure by orders of magnitude.
+
+Usage::
+
+    python examples/fake_news_containment.py [N] [F]
+"""
+
+import sys
+
+from repro import DelayGroupStrategy, NullAdversary, PushPull, UniversalGossipFighter
+from repro.analysis.spread import exposure_times
+from repro.sim.engine import simulate
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    f = int(sys.argv[2]) if len(sys.argv) > 2 else int(0.3 * n)
+    seed = 11
+    poisoned = 0
+
+    print(f"Poisoned gossip originating at process {poisoned}; N={n}, F={f}")
+    print(
+        f"{'operator':>17s}  {'50% exposed':>12s}  {'90% exposed':>12s}  "
+        f"{'bandwidth (msgs)':>16s}"
+    )
+    suspected = tuple(range(max(1, f // 2)))
+    for label, make_adversary in (
+        ("hands-off", NullAdversary),
+        ("universal UGF", UniversalGossipFighter),
+        ("targeted throttle", lambda: DelayGroupStrategy(1, 1, group=suspected)),
+    ):
+        report = simulate(
+            PushPull(), make_adversary(), n=n, f=f, seed=seed, record_events=True
+        )
+        profile = exposure_times(report, poisoned)
+        print(
+            f"{label:>17s}  {profile.quantile_step(0.5):>12.0f}  "
+            f"{profile.quantile_step(0.9):>12.0f}  "
+            f"{report.outcome.message_complexity(allow_truncated=True):>16d}"
+        )
+
+    print()
+    print("UGF degrades the network blindly; the targeted throttle (Strategy")
+    print("2.1.1 aimed at the source's cluster) pushes first exposure of most")
+    print("of the network back by orders of magnitude in global steps.")
+
+
+if __name__ == "__main__":
+    main()

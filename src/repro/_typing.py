@@ -1,0 +1,19 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+Centralising these keeps signatures short and makes the domain
+vocabulary explicit: a *process id* is a dense integer in ``[0, N)``, a
+*global step* is the discrete time unit of the execution model
+(paper §II-A), and a *gossip id* coincides with the id of the process
+that originates it (every process starts with exactly one unique
+gossip).
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+ProcessId: TypeAlias = int
+GossipId: TypeAlias = int
+GlobalStep: TypeAlias = int
+
+__all__ = ["ProcessId", "GossipId", "GlobalStep"]

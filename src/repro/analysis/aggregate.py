@@ -1,0 +1,44 @@
+"""Aggregation across seeds: medians and quartile bands.
+
+The paper's Figure 3 reports "a median over 50 runs. The dotted lines
+defining the shaded area around each curve represent the first and
+third quartiles observed during the runs." :func:`aggregate_runs`
+produces exactly that triple for any per-run quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RunStatistics", "aggregate_runs"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunStatistics:
+    """Median and quartiles of one quantity across seeds."""
+
+    median: float
+    q1: float
+    q3: float
+    n_runs: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def __str__(self) -> str:
+        return f"{self.median:.6g} [{self.q1:.6g}, {self.q3:.6g}] (x{self.n_runs})"
+
+
+def aggregate_runs(values: Sequence[float]) -> RunStatistics:
+    """Median / first quartile / third quartile of *values*."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot aggregate zero runs")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return RunStatistics(median=float(med), q1=float(q1), q3=float(q3), n_runs=arr.size)

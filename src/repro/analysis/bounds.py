@@ -1,0 +1,164 @@
+"""Closed forms of the paper's probabilistic lemmas and Theorem 1.
+
+These functions transcribe §IV's quantities exactly, constants
+included, so experiments can be checked against the theory rather than
+against hand-waved asymptotics:
+
+- :func:`strategy_probabilities` — the Algorithm 1 mixture weights;
+- :func:`lemma4_probability` — P[UGF applies a strategy 2.k with
+  ``tau^k >= t``] >= ``(1-q1) * 6 / (pi^2 * ceil(log_tau t))``;
+- :func:`lemma5_probability` — the analogous bound for l given 2.k;
+- :func:`theorem1_lower_bounds` — the Omega(alpha F) /
+  Omega(N + F^2 / log_tau^2(alpha F)) pair with the explicit
+  constants derived in the proof's parts 1, 2.a and 2.b.
+
+The bounds are *lower* bounds on averages under worst-case protocol
+behaviour; measured complexities of concrete protocols should sit at
+or above the relevant bound whenever the corresponding case of the
+proof applies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "strategy_probabilities",
+    "lemma4_probability",
+    "lemma5_probability",
+    "Theorem1Bounds",
+    "theorem1_lower_bounds",
+]
+
+
+def _check_q(q1: float, q2: float) -> None:
+    if not 0.0 < q1 < 1.0 or not 0.0 < q2 < 1.0:
+        raise ConfigurationError(
+            f"probability parameters must lie in (0, 1), got q1={q1}, q2={q2}"
+        )
+
+
+def _check_tau(tau: float) -> None:
+    if tau <= 1:
+        raise ConfigurationError(f"delay parameter tau must be > 1, got {tau}")
+
+
+def strategy_probabilities(q1: float = 1.0 / 3.0, q2: float = 0.5) -> dict[str, float]:
+    """Mixture weights of Algorithm 1's three strategy families."""
+    _check_q(q1, q2)
+    return {
+        "1": q1,
+        "2.k.0": (1.0 - q1) * q2,
+        "2.k.l": (1.0 - q1) * (1.0 - q2),
+    }
+
+
+def ceil_log(t: float, tau: float) -> int:
+    """``ceil(log_tau t)``, clamped to >= 1 (the lemmas assume t > 1).
+
+    Uses exact integer powers to dodge float round-off at exact powers
+    of tau (e.g. ``log_150(150**2)`` computing to 2.0000000000000004).
+    """
+    if t <= 1:
+        return 1
+    k = 1
+    power = tau
+    while power < t:
+        k += 1
+        power *= tau
+    return k
+
+
+def lemma4_probability(t: float, tau: float, q1: float = 1.0 / 3.0) -> float:
+    """Lemma 4: lower bound on P[strategy 2.k applied with tau^k >= t]."""
+    _check_q(q1, 0.5)
+    _check_tau(tau)
+    return (1.0 - q1) * 6.0 / (math.pi**2 * ceil_log(t, tau))
+
+
+def lemma5_probability(t: float, tau: float, q2: float = 0.5) -> float:
+    """Lemma 5: lower bound on P[l gives tau^l >= t | strategy 2.k]."""
+    _check_q(0.5, q2)
+    _check_tau(tau)
+    return (1.0 - q2) * 6.0 / (math.pi**2 * ceil_log(t, tau))
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Bounds:
+    """The Theorem 1 disjunction, with explicit constants.
+
+    UGF forces **either** average time complexity at least one of the
+    time bounds **or** average message complexity at least
+    ``message_bound``. ``time_bound_case_i`` is Part 1's
+    ``q1/2 * alpha F``; ``time_bound_case_iia`` is Part 2.a's
+    ``3(1-q1)q2 / (4 pi^2 ceil(log_tau alpha F)) * alpha F
+    ceil(log_tau alpha F)``, i.e. ``3(1-q1)q2/(4 pi^2) * alpha F``.
+    """
+
+    alpha: int
+    n: int
+    f: int
+    tau: float
+    q1: float
+    q2: float
+    time_bound_case_i: float
+    time_bound_case_iia: float
+    message_bound: float
+
+    @property
+    def time_bound(self) -> float:
+        """The weaker (hence guaranteed-available) of the two time cases."""
+        return min(self.time_bound_case_i, self.time_bound_case_iia)
+
+
+def theorem1_lower_bounds(
+    n: int,
+    f: int,
+    *,
+    alpha: int = 1,
+    tau: float | None = None,
+    q1: float = 1.0 / 3.0,
+    q2: float = 0.5,
+) -> Theorem1Bounds:
+    """Theorem 1's lower bounds with the proof's explicit constants.
+
+    Parameters mirror UGF's: ``tau=None`` applies the paper's
+    experimental choice ``tau = F`` (floored at 2 so tau > 1).
+    """
+    if n <= 1 or not 0 <= f < n:
+        raise ConfigurationError(f"need N >= 2 and 0 <= F < N, got N={n}, F={f}")
+    if alpha < 1:
+        raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    _check_q(q1, q2)
+    if tau is None:
+        tau = max(2, f)
+    _check_tau(tau)
+
+    log_af = ceil_log(alpha * f, tau) if f > 0 else 1
+
+    # Part 1 (Case i): E[T] >= 1/2 * q1 * alpha F.
+    time_i = 0.5 * q1 * alpha * f
+    # Part 2.a (Case ii & ii.a): R2 >= 3(1-q1)q2 / (4 pi^2 log) and the
+    # conditional time is alpha F log, so E[T] >= 3(1-q1)q2/(4 pi^2) alpha F.
+    time_iia = 3.0 * (1.0 - q1) * q2 / (4.0 * math.pi**2) * alpha * f
+    # Part 2.b (Case ii & ii.b):
+    # E[M] >= F^2/8 * 9 (1-q1)(1-q2) / (pi^4 ceil(log_tau alpha F)^2),
+    # combined with the trivial E[M] >= N.
+    msg = max(
+        float(n),
+        f * f / 8.0 * 9.0 * (1.0 - q1) * (1.0 - q2) / (math.pi**4 * log_af**2),
+    )
+    return Theorem1Bounds(
+        alpha=alpha,
+        n=n,
+        f=f,
+        tau=tau,
+        q1=q1,
+        q2=q2,
+        time_bound_case_i=time_i,
+        time_bound_case_iia=time_iia,
+        message_bound=msg,
+    )

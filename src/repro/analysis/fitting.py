@@ -1,0 +1,157 @@
+"""Growth-model fitting: which asymptotic family does a curve follow?
+
+The reproduction does not try to match the paper's absolute numbers —
+our substrate is a different simulator — but its *shape* claims are
+checkable: baseline Push-Pull/EARS time is logarithmic in N, attacked
+time is linear, attacked message complexity is quadratic, SEARS
+messages are quadratic even unattacked.
+
+:func:`fit_growth` least-squares-fits ``y ~ c * g(N)`` for a given
+growth function (through the origin — complexities have no additive
+offset of interest), and :func:`best_growth_model` selects among the
+standard families by coefficient of determination computed on
+*normalised* residuals, so that the ranking answers "which shape?"
+rather than "which scale?".
+
+Model selection over so few grid points (the paper's N grid has 10
+values) is indicative, not inferential; the tests therefore assert
+coarse facts (e.g. "quadratic beats linear for this curve"), never
+exact R^2 values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GROWTH_MODELS", "FitResult", "fit_growth", "best_growth_model"]
+
+#: The standard growth families, name -> g(N). ``log`` terms use
+#: ``log(1+N)`` so the families stay finite and ordered at small N.
+GROWTH_MODELS: Mapping[str, Callable[[np.ndarray], np.ndarray]] = {
+    "constant": lambda n: np.ones_like(n, dtype=float),
+    "log": lambda n: np.log1p(n),
+    "sqrt": lambda n: np.sqrt(n),
+    "linear": lambda n: n.astype(float),
+    "nlogn": lambda n: n * np.log1p(n),
+    "n^1.5": lambda n: n**1.5,
+    "quadratic": lambda n: n.astype(float) ** 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """One fitted growth model."""
+
+    model: str
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: np.ndarray | float) -> np.ndarray | float:
+        g = GROWTH_MODELS[self.model]
+        return self.coefficient * g(np.asarray(n, dtype=float))
+
+
+def fit_growth(
+    n_values: Sequence[float], y_values: Sequence[float], model: str
+) -> FitResult:
+    """Least-squares fit of ``y = c * g(n)`` through the origin.
+
+    R^2 is computed on log-scale residuals (``log y`` vs ``log c g(n)``)
+    so that a fit that is off by a constant factor at small N does not
+    mask being the right power law: complexities span several orders
+    of magnitude across a grid.
+    """
+    if model not in GROWTH_MODELS:
+        raise ConfigurationError(
+            f"unknown growth model {model!r}; available: {', '.join(GROWTH_MODELS)}"
+        )
+    n = np.asarray(n_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    if n.shape != y.shape or n.ndim != 1 or n.size < 2:
+        raise ConfigurationError(
+            f"need matching 1-D arrays with >= 2 points, got {n.shape} and {y.shape}"
+        )
+    if (y <= 0).any():
+        raise ConfigurationError("complexities must be positive to fit growth models")
+    g = GROWTH_MODELS[model](n)
+    # Least squares through the origin: c = <g, y> / <g, g>.
+    c = float(np.dot(g, y) / np.dot(g, g))
+    if c <= 0:
+        return FitResult(model=model, coefficient=c, r_squared=-math.inf)
+    log_res = np.log(y) - np.log(c * g)
+    ss_res = float(np.dot(log_res, log_res))
+    log_y = np.log(y)
+    ss_tot = float(np.dot(log_y - log_y.mean(), log_y - log_y.mean()))
+    if ss_tot == 0.0:
+        # A perfectly flat curve: only the constant model explains it.
+        r2 = 1.0 if model == "constant" or ss_res < 1e-12 else 0.0
+    else:
+        r2 = 1.0 - ss_res / ss_tot
+    return FitResult(model=model, coefficient=c, r_squared=r2)
+
+
+def best_growth_model(
+    n_values: Sequence[float],
+    y_values: Sequence[float],
+    candidates: Sequence[str] | None = None,
+) -> FitResult:
+    """Fit every candidate family and return the best by R^2."""
+    names = list(candidates) if candidates is not None else list(GROWTH_MODELS)
+    fits = [fit_growth(n_values, y_values, name) for name in names]
+    return max(fits, key=lambda fit: fit.r_squared)
+
+
+@dataclass(frozen=True, slots=True)
+class AffineFitResult:
+    """One fitted affine growth model ``y = offset + coefficient * g(n)``.
+
+    Curves with a constant floor (e.g. a protocol's fixed patience
+    window under an attack that adds ``~c N`` on top) are poorly
+    served by through-origin fits on small grids; the affine form
+    separates the floor from the growth.
+    """
+
+    model: str
+    offset: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: np.ndarray | float) -> np.ndarray | float:
+        g = GROWTH_MODELS[self.model]
+        return self.offset + self.coefficient * g(np.asarray(n, dtype=float))
+
+
+def fit_affine(
+    n_values: Sequence[float], y_values: Sequence[float], model: str
+) -> AffineFitResult:
+    """Least-squares fit of ``y = a + c * g(n)``.
+
+    R^2 is the classic linear-scale coefficient of determination.
+    """
+    if model not in GROWTH_MODELS:
+        raise ConfigurationError(
+            f"unknown growth model {model!r}; available: {', '.join(GROWTH_MODELS)}"
+        )
+    n = np.asarray(n_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    if n.shape != y.shape or n.ndim != 1 or n.size < 3:
+        raise ConfigurationError(
+            f"need matching 1-D arrays with >= 3 points, got {n.shape} and {y.shape}"
+        )
+    g = GROWTH_MODELS[model](n)
+    design = np.column_stack([np.ones_like(g), g])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    residuals = y - design @ coef
+    ss_res = float(residuals @ residuals)
+    centered = y - y.mean()
+    ss_tot = float(centered @ centered)
+    r2 = 1.0 if ss_tot == 0.0 and ss_res < 1e-12 else 1.0 - ss_res / max(ss_tot, 1e-300)
+    return AffineFitResult(
+        model=model, offset=float(coef[0]), coefficient=float(coef[1]), r_squared=r2
+    )

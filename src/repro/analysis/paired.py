@@ -1,0 +1,79 @@
+"""Seed-paired damage statistics.
+
+Comparing medians of independent run sets wastes the variance
+reduction the shared-seed design buys: the baseline and the attacked
+run of the *same seed* share the protocol's coin flips exactly (see
+``docs/MODEL.md``, "Randomness"), so their ratio isolates the
+adversary's effect from workload luck. This module computes per-seed
+damage ratios and their aggregate — the right statistic for "UGF makes
+it k times worse" claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.aggregate import RunStatistics, aggregate_runs
+from repro.errors import ConfigurationError
+from repro.sim.outcome import Outcome
+
+__all__ = ["DamageSummary", "paired_damage"]
+
+
+@dataclass(frozen=True, slots=True)
+class DamageSummary:
+    """Per-seed attacked/baseline ratios, aggregated."""
+
+    message_ratio: RunStatistics
+    time_ratio: RunStatistics
+    pairs: int
+
+    def __str__(self) -> str:
+        return (
+            f"damage over {self.pairs} seed pairs: "
+            f"messages x{self.message_ratio.median:.2f} "
+            f"[{self.message_ratio.q1:.2f}..{self.message_ratio.q3:.2f}], "
+            f"time x{self.time_ratio.median:.2f} "
+            f"[{self.time_ratio.q1:.2f}..{self.time_ratio.q3:.2f}]"
+        )
+
+
+def paired_damage(
+    baseline: Sequence[Outcome], attacked: Sequence[Outcome]
+) -> DamageSummary:
+    """Aggregate attacked/baseline ratios over seed-matched outcomes.
+
+    Outcomes are matched by their ``seed`` field; both collections
+    must cover exactly the same seeds and the same (N, protocol).
+    """
+    base_by_seed = {o.seed: o for o in baseline}
+    atk_by_seed = {o.seed: o for o in attacked}
+    if not base_by_seed:
+        raise ConfigurationError("no baseline outcomes")
+    if set(base_by_seed) != set(atk_by_seed):
+        missing = set(base_by_seed) ^ set(atk_by_seed)
+        raise ConfigurationError(
+            f"baseline and attacked runs must cover the same seeds; mismatch: {sorted(missing)}"
+        )
+    m_ratios, t_ratios = [], []
+    for seed, base in base_by_seed.items():
+        atk = atk_by_seed[seed]
+        if base.n != atk.n or base.protocol_name != atk.protocol_name:
+            raise ConfigurationError(
+                f"seed {seed}: runs differ in N or protocol "
+                f"({base.n}/{base.protocol_name} vs {atk.n}/{atk.protocol_name})"
+            )
+        base_m = base.message_complexity(allow_truncated=True)
+        base_t = base.time_complexity(allow_truncated=True)
+        m_ratios.append(
+            atk.message_complexity(allow_truncated=True) / max(base_m, 1)
+        )
+        t_ratios.append(
+            atk.time_complexity(allow_truncated=True) / max(base_t, 1e-9)
+        )
+    return DamageSummary(
+        message_ratio=aggregate_runs(m_ratios),
+        time_ratio=aggregate_runs(t_ratios),
+        pairs=len(m_ratios),
+    )

@@ -1,0 +1,418 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-ugf list
+    repro-ugf run --protocol push-pull --adversary ugf -n 100 -f 30 --seed 7
+    repro-ugf figure 3a
+    repro-ugf figure 3d --full --csv out/
+    repro-ugf sweep --protocol ears --adversary str-2.1.1 --n 10 20 50 --seeds 5
+    repro-ugf tradeoff --protocol ears -n 40 -f 12 --tau 3 --k 1 2
+    repro-ugf ablate f --protocol push-pull -n 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.core.registry import available_adversaries, make_adversary
+from repro.experiments.ablation import (
+    run_adversary_comparison,
+    run_f_sweep,
+    run_q_grid,
+)
+from repro.experiments.config import SweepSpec, TrialSpec
+from repro.experiments.figure3 import PANELS, run_figure3_panel
+from repro.experiments.report import (
+    format_table,
+    panel_csv,
+    panel_table,
+    shape_summary,
+    sweep_csv,
+)
+from repro.experiments.runner import run_sweep, run_trial
+from repro.experiments.tradeoff import run_tradeoff
+from repro.protocols.registry import available_protocols
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ugf",
+        description="Reproduction of 'The Universal Gossip Fighter' (IPDPS 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available protocols and adversaries")
+
+    p_run = sub.add_parser("run", help="run one simulation")
+    p_run.add_argument("--protocol", required=True, choices=available_protocols())
+    p_run.add_argument("--adversary", default="ugf")
+    p_run.add_argument("-n", type=int, required=True, help="number of processes N")
+    p_run.add_argument("-f", type=int, required=True, help="crash budget F")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--max-steps", type=int, default=5_000_000)
+    p_run.add_argument(
+        "--environment",
+        default=None,
+        help="baseline timing environment: 'homogeneous' (default) or 'jitter[:<max_delta>,<max_d>]'",
+    )
+
+    p_fig = sub.add_parser("figure", help="regenerate a Figure 3 panel")
+    p_fig.add_argument("panel", choices=sorted(PANELS))
+    p_fig.add_argument("--full", action="store_true", help="use the paper's full grid")
+    p_fig.add_argument("--seeds", type=int, default=None, help="seeds per point")
+    p_fig.add_argument("--workers", type=int, default=None)
+    p_fig.add_argument("--csv", type=pathlib.Path, default=None, help="write CSVs here")
+    p_fig.add_argument("--json", type=pathlib.Path, default=None, help="write result JSON here")
+    p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
+
+    p_sweep = sub.add_parser("sweep", help="run a custom sweep")
+    p_sweep.add_argument("--protocol", required=True, choices=available_protocols())
+    p_sweep.add_argument("--adversary", default="ugf")
+    p_sweep.add_argument("--n", type=int, nargs="+", required=True)
+    p_sweep.add_argument("--f-fraction", type=float, default=0.3)
+    p_sweep.add_argument("--seeds", type=int, default=10)
+    p_sweep.add_argument("--workers", type=int, default=None)
+    p_sweep.add_argument(
+        "--environment",
+        default=None,
+        help="baseline timing environment (see 'run --environment')",
+    )
+
+    p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
+    p_trade.add_argument("--protocol", required=True, choices=available_protocols())
+    p_trade.add_argument("-n", type=int, required=True)
+    p_trade.add_argument("-f", type=int, required=True)
+    p_trade.add_argument("--tau", type=int, default=3)
+    p_trade.add_argument("--k", type=int, nargs="+", default=[1, 2, 3])
+    p_trade.add_argument("--seeds", type=int, default=5)
+
+    p_rep = sub.add_parser(
+        "report", help="run the complete evaluation and write a markdown report"
+    )
+    p_rep.add_argument(
+        "--scale", default="laptop", choices=["smoke", "laptop", "paper"]
+    )
+    p_rep.add_argument("--out", type=pathlib.Path, default=pathlib.Path("report.md"))
+    p_rep.add_argument("--workers", type=int, default=None)
+
+    p_ins = sub.add_parser(
+        "inspect", help="run one trial and show its activity timeline"
+    )
+    p_ins.add_argument("--protocol", required=True, choices=available_protocols())
+    p_ins.add_argument("--adversary", default="ugf")
+    p_ins.add_argument("-n", type=int, required=True)
+    p_ins.add_argument("-f", type=int, required=True)
+    p_ins.add_argument("--seed", type=int, default=0)
+    p_ins.add_argument("--rows", type=int, default=20, help="max timeline rows shown")
+
+    p_dec = sub.add_parser(
+        "decompose", help="group UGF runs by drawn strategy (how 'max UGF' is found)"
+    )
+    p_dec.add_argument("--protocol", required=True, choices=available_protocols())
+    p_dec.add_argument("-n", type=int, default=60)
+    p_dec.add_argument("-f", type=int, default=None, help="F (defaults to 0.3N)")
+    p_dec.add_argument("--seeds", type=int, default=30)
+
+    p_plot = sub.add_parser("plot", help="render a saved result JSON as an ASCII chart")
+    p_plot.add_argument("file", type=pathlib.Path, help="JSON written by 'figure --json'")
+    p_plot.add_argument("--width", type=int, default=64)
+    p_plot.add_argument("--height", type=int, default=16)
+
+    p_abl = sub.add_parser("ablate", help="ablation experiments")
+    p_abl.add_argument("which", choices=["f", "q", "adversaries"])
+    p_abl.add_argument("--protocol", required=True, choices=available_protocols())
+    p_abl.add_argument("-n", type=int, default=100)
+    p_abl.add_argument("-f", type=int, default=None, help="F (defaults to 0.3N)")
+    p_abl.add_argument("--seeds", type=int, default=10)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("protocols :", ", ".join(available_protocols()))
+    print("adversaries:", ", ".join(available_adversaries()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Instantiate eagerly so bad names fail before the run starts.
+    make_adversary(args.adversary)
+    outcome = run_trial(
+        TrialSpec(
+            protocol=args.protocol,
+            adversary=args.adversary,
+            n=args.n,
+            f=args.f,
+            seed=args.seed,
+            max_steps=args.max_steps,
+            environment=args.environment,
+        )
+    )
+    print(outcome.summary())
+    if outcome.completed:
+        print(f"  message complexity M(O) = {outcome.message_complexity()}")
+        print(f"  time complexity    T(O) = {outcome.time_complexity():.3f}")
+        print(
+            f"  T_end = {outcome.t_end}, delta = {outcome.max_local_step_time}, "
+            f"d = {outcome.max_delivery_time}"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    seeds = tuple(range(args.seeds)) if args.seeds is not None else None
+    result = run_figure3_panel(
+        args.panel, full=args.full or None, seeds=seeds, workers=args.workers
+    )
+    print(panel_table(result))
+    print()
+    print(shape_summary(result))
+    if len(result.curves["no-adversary"].points) >= 3:
+        from repro.experiments.verdicts import check_panel
+
+        print()
+        print(check_panel(result).summary())
+    if args.plot:
+        from repro.viz.ascii_chart import render_panel
+
+        print()
+        print(render_panel(result))
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        for curve, text in panel_csv(result).items():
+            path = args.csv / f"figure{args.panel}_{curve}.csv"
+            path.write_text(text)
+            print(f"wrote {path}")
+    if args.json is not None:
+        from repro.experiments.serialization import dumps
+
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(dumps(result))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        protocol=args.protocol,
+        adversary=args.adversary,
+        n_values=tuple(args.n),
+        f_of_n=args.f_fraction,
+        seeds=tuple(range(args.seeds)),
+        environment=args.environment,
+    )
+    result = run_sweep(spec, workers=args.workers)
+    sys.stdout.write(sweep_csv(result))
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    points = run_tradeoff(
+        args.protocol,
+        n=args.n,
+        f=args.f,
+        tau=args.tau,
+        k_values=tuple(args.k),
+        seeds=tuple(range(args.seeds)),
+    )
+    rows = [
+        [
+            str(p.k),
+            str(p.alpha),
+            f"{p.time_under_isolation.median:.3g}",
+            f"{p.steps_under_isolation.median:.4g}",
+            f"{p.bounds.time_bound:.3g}",
+            f"{p.messages_under_delay.median:.4g}",
+            f"{p.bounds.message_bound:.4g}",
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            [
+                "k",
+                "alpha",
+                "T @ 2.k.0",
+                "T_end steps",
+                "T bound",
+                "M @ 2.k.1",
+                "M bound",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.full_report import render_markdown, run_full_reproduction
+
+    report = run_full_reproduction(
+        args.scale, workers=args.workers, progress=print
+    )
+    text = render_markdown(report)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(text)
+    print(f"wrote {args.out}")
+    print(
+        "verdict: "
+        + ("all shape claims reproduced" if report.all_reproduced else "MISMATCHES")
+    )
+    return 0 if report.all_reproduced else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import build_timeline
+    from repro.core.registry import make_adversary as _mk_adv
+    from repro.protocols.registry import make_protocol as _mk_proto
+    from repro.sim.engine import simulate
+    from repro.viz.ascii_chart import render_series
+
+    report = simulate(
+        _mk_proto(args.protocol),
+        _mk_adv(args.adversary),
+        n=args.n,
+        f=args.f,
+        seed=args.seed,
+        record_events=True,
+    )
+    print(report.outcome.summary())
+    timeline = build_timeline(report)
+    rows = [
+        [
+            str(s.step),
+            str(s.sends),
+            str(s.deliveries),
+            str(s.drops),
+            str(s.sleeps),
+            str(s.wakes),
+            str(s.crashes),
+            str(s.awake_after),
+        ]
+        for s in timeline.steps
+    ]
+    headers = ["step", "sends", "delivs", "drops", "sleeps", "wakes", "crashes", "awake"]
+    if len(rows) > args.rows:
+        shown = args.rows // 2
+        rows = rows[:shown] + [["..."] * len(headers)] + rows[-shown:]
+    print(format_table(headers, rows))
+    gaps = timeline.quiet_gaps
+    if gaps:
+        longest = max(gaps, key=lambda g: g[1] - g[0])
+        print(
+            f"\n{len(gaps)} quiet gap(s); longest: steps {longest[0]}..{longest[1]} "
+            f"({longest[1] - longest[0]} steps of dead air, fast-forwarded)"
+        )
+    xs, ys = timeline.series("awake_after")
+    if len(xs) >= 2:
+        print()
+        print(render_series("awake processes over time", {"awake": (xs, ys)}))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.experiments.decomposition import dominant_strategy, run_decomposition
+
+    f = args.f if args.f is not None else round(0.3 * args.n)
+    groups = run_decomposition(
+        args.protocol, n=args.n, f=f, seeds=tuple(range(args.seeds))
+    )
+    rows = [
+        [
+            g.label,
+            str(g.runs),
+            f"{g.messages.median:.4g}",
+            f"{g.time.median:.4g}",
+        ]
+        for g in groups
+    ]
+    print(format_table(["strategy", "runs", "M median", "T median"], rows))
+    worst_t = dominant_strategy(groups, "time")
+    worst_m = dominant_strategy(groups, "messages")
+    print()
+    print(f"max-UGF for time    : {worst_t.label} (T median {worst_t.time.median:.4g})")
+    print(f"max-UGF for messages: {worst_m.label} (M median {worst_m.messages.median:.4g})")
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.experiments.figure3 import PanelResult
+    from repro.experiments.serialization import loads
+    from repro.viz.ascii_chart import render_panel, render_series
+
+    result = loads(args.file.read_text())
+    if isinstance(result, PanelResult):
+        print(render_panel(result, width=args.width, height=args.height))
+        return 0
+    # A bare sweep: plot both quantities.
+    for quantity in ("messages", "time"):
+        ns, ys = result.series(quantity)
+        print(
+            render_series(
+                f"{result.spec.protocol} vs {result.spec.adversary}: {quantity}",
+                {quantity: (ns, ys)},
+                log_y=quantity == "messages",
+                width=args.width,
+                height=args.height,
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    f = args.f if args.f is not None else round(0.3 * args.n)
+    seeds = tuple(range(args.seeds))
+    if args.which == "f":
+        cells = run_f_sweep(args.protocol, n=args.n, seeds=seeds)
+    elif args.which == "q":
+        cells = run_q_grid(args.protocol, n=args.n, f=f, seeds=seeds)
+    else:
+        cells = run_adversary_comparison(args.protocol, n=args.n, f=f, seeds=seeds)
+    rows = [
+        [
+            c.label,
+            str(c.n),
+            str(c.f),
+            f"{c.messages.median:.4g}",
+            f"{c.time.median:.4g}",
+        ]
+        for c in cells
+    ]
+    print(format_table(["setting", "N", "F", "M median", "T median"], rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "tradeoff":
+        return _cmd_tradeoff(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    if args.command == "plot":
+        return _cmd_plot(args)
+    if args.command == "ablate":
+        return _cmd_ablate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the Universal Gossip Fighter.
+
+This subpackage contains the adversary abstraction
+(:class:`Adversary`, :class:`AdversaryControls`), the crash-budget
+enforcement, the Basel randomization scheme, UGF's three strategy
+families, UGF itself (Algorithm 1), and the non-adaptive baselines it
+is contrasted with.
+"""
+
+from repro.core.adversary import Adversary, AdversaryControls, NullAdversary
+from repro.core.budget import CrashBudget
+from repro.core.distributions import BaselSampler, basel_cdf, basel_pmf, basel_tail
+from repro.core.fixed import ObliviousAdversary, OmissionAdversary, ScheduledAdversary
+from repro.core.greedy import GreedyOracleAdversary
+from repro.core.informed import InformedGossipFighter
+from repro.core.strategies import (
+    CrashGroupStrategy,
+    DelayGroupStrategy,
+    GroupStrategy,
+    IsolateSurvivorStrategy,
+    group_size,
+    sample_group,
+)
+from repro.core.registry import available_adversaries, make_adversary
+from repro.core.ugf import ChosenStrategy, UniversalGossipFighter
+
+__all__ = [
+    "available_adversaries",
+    "make_adversary",
+    "Adversary",
+    "AdversaryControls",
+    "NullAdversary",
+    "CrashBudget",
+    "BaselSampler",
+    "basel_cdf",
+    "basel_pmf",
+    "basel_tail",
+    "GreedyOracleAdversary",
+    "InformedGossipFighter",
+    "ObliviousAdversary",
+    "OmissionAdversary",
+    "ScheduledAdversary",
+    "CrashGroupStrategy",
+    "DelayGroupStrategy",
+    "GroupStrategy",
+    "IsolateSurvivorStrategy",
+    "group_size",
+    "sample_group",
+    "ChosenStrategy",
+    "UniversalGossipFighter",
+]

@@ -1,0 +1,126 @@
+"""Adversary abstraction and the write-capability handle.
+
+An adaptive adversary (Definition II.5) observes the state of the
+system at every global step and may, online,
+
+- crash up to F processes, and
+- modify the local-step time ``delta_rho`` and delivery time ``d_rho``
+  of any process.
+
+The *observe* capability is the read-only
+:class:`~repro.sim.observer.SystemView`; the *act* capability is
+:class:`AdversaryControls`, a handle the kernel passes alongside the
+view. Crashes are budget-checked by the kernel
+(:class:`~repro.core.budget.CrashBudget`), so no adversary can exceed
+its model-given power.
+
+Hook protocol (all hooks optional except :meth:`Adversary.setup`):
+
+``setup(view, controls)``
+    Called once at global step 0, before any process takes a local
+    step. This is where UGF samples its strategy, picks C, retimes and
+    performs initial crashes.
+``before_step(view, controls)`` / ``after_step(view, controls)``
+    Called around each global step's deliveries and local steps.
+    ``after_step`` sees ``view.sends_this_step`` — the hook Strategy
+    2.k.0 uses to crash the receivers of the isolated survivor.
+
+Adversaries whose hooks only react to *events* (sends, deliveries)
+should leave :attr:`Adversary.wants_every_step` False so the kernel may
+fast-forward through dead air (stretches of steps with no scheduled
+action and no arrival); an adversary that genuinely needs to run code
+at every global step sets it True and forfeits that optimisation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable
+
+from repro._typing import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.observer import SystemView
+
+__all__ = ["AdversaryControls", "Adversary", "NullAdversary"]
+
+
+class AdversaryControls:
+    """Write-capability handle given to adversaries by the kernel.
+
+    Wraps kernel callbacks; keeping it a distinct object (rather than
+    exposing the engine) makes the observe/act split explicit and
+    keeps adversaries testable with stub callables.
+    """
+
+    __slots__ = ("_crash", "_set_delta", "_set_d", "_set_omission", "budget")
+
+    def __init__(
+        self,
+        crash: Callable[[ProcessId], None],
+        set_local_step_time: Callable[[ProcessId, int], None],
+        set_delivery_time: Callable[[ProcessId, int], None],
+        budget,
+        set_omission: Callable[[ProcessId, bool], None] | None = None,
+    ) -> None:
+        self._crash = crash
+        self._set_delta = set_local_step_time
+        self._set_d = set_delivery_time
+        self._set_omission = set_omission
+        self.budget = budget
+
+    def crash(self, rho: ProcessId) -> None:
+        """Crash *rho* immediately (draws from the F budget)."""
+        self._crash(rho)
+
+    def set_local_step_time(self, rho: ProcessId, value: int) -> None:
+        """Set ``delta_rho``; spacing of future local steps of *rho*."""
+        self._set_delta(rho, value)
+
+    def set_delivery_time(self, rho: ProcessId, value: int) -> None:
+        """Set ``d_rho``; latency of messages *rho* sends from now on."""
+        self._set_d(rho, value)
+
+    def set_omission(self, rho: ProcessId, enabled: bool = True) -> None:
+        """Silence future sends of *rho* — **beyond** Definition II.5.
+
+        Delaying adversaries keep ``d_rho`` finite; omission is the
+        stronger power the paper's §VII asks about. Adversaries that
+        use it are extensions, not instances of the paper's model, and
+        say so in their docstrings.
+        """
+        if self._set_omission is None:
+            raise NotImplementedError("this kernel exposes no omission capability")
+        self._set_omission(rho, enabled)
+
+
+class Adversary(abc.ABC):
+    """Base class for adaptive adversaries."""
+
+    #: Stable identifier used in outcome records and reports.
+    name: str = "abstract"
+
+    #: True forces the kernel to visit every global step (no
+    #: fast-forward). Leave False unless the adversary runs per-step
+    #: logic that is not triggered by sends or deliveries.
+    wants_every_step: bool = False
+
+    @abc.abstractmethod
+    def setup(self, view: "SystemView", controls: AdversaryControls) -> None:
+        """Configure the attack at step 0, before any local step."""
+
+    def before_step(self, view: "SystemView", controls: AdversaryControls) -> None:
+        """Hook before deliveries/local steps of the current step."""
+
+    def after_step(self, view: "SystemView", controls: AdversaryControls) -> None:
+        """Hook after local steps; ``view.sends_this_step`` is populated."""
+
+
+class NullAdversary(Adversary):
+    """The paper's baseline: no crashes, all timings stay at 1."""
+
+    name = "none"
+
+    def setup(self, view: "SystemView", controls: AdversaryControls) -> None:
+        # Nothing to do: the kernel initialises delta_rho = d_rho = 1.
+        return

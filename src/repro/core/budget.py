@@ -1,0 +1,49 @@
+"""Crash budget enforcement.
+
+Definition II.5 grants the adaptive adversary the power to crash *up
+to F < N* processes. The kernel — not the adversary implementation —
+enforces the budget, so a buggy or malicious adversary cannot exceed
+its model-given power: every crash request is drawn from a
+:class:`CrashBudget`, and overdrawing raises
+:class:`~repro.errors.CrashBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, CrashBudgetExceeded
+
+__all__ = ["CrashBudget"]
+
+
+class CrashBudget:
+    """Counter of remaining allowed crashes."""
+
+    __slots__ = ("limit", "_used")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 0:
+            raise ConfigurationError(f"crash budget must be >= 0, got {limit}")
+        self.limit = limit
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self._used
+
+    def draw(self) -> None:
+        """Consume one crash; raises when the budget is exhausted."""
+        if self._used >= self.limit:
+            raise CrashBudgetExceeded(
+                f"adversary attempted crash #{self._used + 1} with budget F={self.limit}"
+            )
+        self._used += 1
+
+    def can_draw(self) -> bool:
+        return self._used < self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrashBudget(used={self._used}/{self.limit})"

@@ -1,0 +1,106 @@
+"""The Basel distribution used by UGF's randomization scheme.
+
+Algorithm 1 samples the exponents k and l "at random from N* with
+probability 6/(k^2 * pi^2)" — the probabilities sum to 1 by the Basel
+problem (sum 1/k^2 = pi^2/6). Remark 2 notes any other infinite
+sequence summing to 1 would do; what matters is the unbounded support,
+which is what makes the strategies mutually indistinguishable during
+their common prefix (Lemmas 1-3).
+
+Two sampling modes:
+
+- **unbounded** — exact inverse-CDF by incremental accumulation. Note
+  the distribution has infinite mean, so astronomically large draws
+  occur with probability ~ 6/(pi^2 * k); callers that turn the draw
+  into a delay ``tau^k`` must be prepared for that (UGF's experiments
+  sidestep it by fixing k = l = 1, paper §V-A.3).
+- **truncated** — support {1..max_k} with renormalised probabilities;
+  sampling is a binary search over a precomputed CDF. This is what the
+  sampled-(k,l) UGF mode uses so a single unlucky draw cannot make a
+  run infeasible; the truncation point is reported so EXPERIMENTS.md
+  can state the deviation from the paper.
+
+Closed-form pmf/cdf/tail are also exposed for the theory module
+(:mod:`repro.analysis.bounds` re-derives Lemma 4/5 from the tail).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["basel_pmf", "basel_cdf", "basel_tail", "BaselSampler"]
+
+_SCALE = 6.0 / math.pi**2
+
+
+def basel_pmf(k: int) -> float:
+    """``P[K = k] = 6 / (pi^2 k^2)`` for integer k >= 1, else 0."""
+    if k < 1:
+        return 0.0
+    return _SCALE / (k * k)
+
+
+def basel_cdf(k: int) -> float:
+    """``P[K <= k]``; 0 for k < 1."""
+    if k < 1:
+        return 0.0
+    return _SCALE * sum(1.0 / (i * i) for i in range(1, k + 1))
+
+
+def basel_tail(k: int) -> float:
+    """``P[K >= k]``; 1 for k <= 1.
+
+    Computed as ``1 - cdf(k-1)`` with a compensated sum; for very
+    large k the telescoping bound of Lemma 4 (``tail(k) >= 6/(pi^2 k)``)
+    remains available in :mod:`repro.analysis.bounds`.
+    """
+    if k <= 1:
+        return 1.0
+    return max(0.0, 1.0 - basel_cdf(k - 1))
+
+
+class BaselSampler:
+    """Sampler for the Basel distribution.
+
+    Parameters
+    ----------
+    max_k:
+        ``None`` for the exact unbounded distribution; an integer
+        ``>= 1`` for the truncated, renormalised variant.
+    """
+
+    __slots__ = ("max_k", "_cdf")
+
+    def __init__(self, max_k: int | None = None) -> None:
+        if max_k is not None and max_k < 1:
+            raise ConfigurationError(f"max_k must be >= 1 or None, got {max_k}")
+        self.max_k = max_k
+        if max_k is None:
+            self._cdf = None
+        else:
+            pmf = _SCALE / np.arange(1, max_k + 1, dtype=float) ** 2
+            cdf = np.cumsum(pmf)
+            cdf /= cdf[-1]  # renormalise the truncated support
+            self._cdf = cdf
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one value of K (>= 1)."""
+        u = rng.random()
+        if self._cdf is not None:
+            # searchsorted returns the first index with cdf >= u;
+            # support starts at k=1.
+            return int(np.searchsorted(self._cdf, u, side="left")) + 1
+        # Unbounded: accumulate pmf until the draw is covered.
+        acc = 0.0
+        k = 0
+        while acc < u:
+            k += 1
+            acc += _SCALE / (k * k)
+        return max(1, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BaselSampler(max_k={self.max_k})"

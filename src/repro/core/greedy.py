@@ -1,0 +1,68 @@
+"""A full-knowledge greedy baseline: crash the best-informed spreader.
+
+UGF's strength is doing damage while observing almost nothing. The
+natural question from the other end: how much damage does a *maximally
+informed* but strategically naive adversary do? This baseline exploits
+the SystemView's full omniscience — it reads every process's knowledge
+set — and each step crashes the correct, awake process holding the
+most gossips (the one whose next sends would spread the most), one
+crash per step until the budget runs out.
+
+It is a useful calibration point for the evaluation: UGF beating (or
+matching) an omniscient greedy crasher demonstrates that *strategy*
+matters more than *information*, complementing the probe-based
+:class:`~repro.core.informed.InformedGossipFighter` on the §VII
+question.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adversary import Adversary, AdversaryControls
+from repro.errors import ConfigurationError
+from repro.sim.observer import SystemView
+
+__all__ = ["GreedyOracleAdversary"]
+
+
+class GreedyOracleAdversary(Adversary):
+    """Each step, crash the most-knowledgeable correct awake process."""
+
+    name = "greedy-oracle"
+
+    def __init__(self, *, start_step: int = 1, crashes_per_step: int = 1) -> None:
+        if start_step < 0:
+            raise ConfigurationError(f"start_step must be >= 0, got {start_step}")
+        if crashes_per_step < 1:
+            raise ConfigurationError(
+                f"crashes_per_step must be >= 1, got {crashes_per_step}"
+            )
+        self.start_step = start_step
+        self.crashes_per_step = crashes_per_step
+
+    def setup(self, view: SystemView, controls: AdversaryControls) -> None:
+        return
+
+    def after_step(self, view: SystemView, controls: AdversaryControls) -> None:
+        if view.now < self.start_step:
+            return
+        for _ in range(self.crashes_per_step):
+            if not controls.budget.can_draw():
+                return
+            victim = self._best_informed(view)
+            if victim is None:
+                return
+            controls.crash(victim)
+
+    @staticmethod
+    def _best_informed(view: SystemView) -> int | None:
+        candidates = np.flatnonzero(view.correct_mask & ~view.asleep_mask)
+        if candidates.size == 0:
+            # Everyone correct is asleep; crash the best-informed
+            # sleeper instead (it may yet be woken).
+            candidates = np.flatnonzero(view.correct_mask)
+            if candidates.size == 0:
+                return None
+        counts = [int(view.knowledge_of(int(rho)).sum()) for rho in candidates]
+        return int(candidates[int(np.argmax(counts))])

@@ -1,0 +1,72 @@
+"""Name-based adversary registry (mirror of the protocol registry).
+
+Names accept strategy shorthand: ``"str-1"``, ``"str-2.k.0"`` and
+``"str-2.k.l"`` with literal integers for k and l (e.g.
+``"str-2.1.0"``, ``"str-2.3.2"``), plus ``"none"``, ``"ugf"``,
+``"oblivious"`` and ``"omission"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.adversary import Adversary, NullAdversary
+from repro.core.fixed import ObliviousAdversary, OmissionAdversary
+from repro.core.greedy import GreedyOracleAdversary
+from repro.core.informed import InformedGossipFighter
+from repro.core.strategies import (
+    CrashGroupStrategy,
+    DelayGroupStrategy,
+    IsolateSurvivorStrategy,
+)
+from repro.core.ugf import UniversalGossipFighter
+from repro.errors import ConfigurationError
+
+__all__ = ["make_adversary", "available_adversaries"]
+
+_STRATEGY_RE = re.compile(r"^str-2\.(\d+)\.(\d+)$")
+
+
+def available_adversaries() -> list[str]:
+    """Names (and name patterns) accepted by :func:`make_adversary`."""
+    return [
+        "none",
+        "ugf",
+        "informed",
+        "greedy-oracle",
+        "oblivious",
+        "omission",
+        "str-1",
+        "str-2.<k>.<l>",
+    ]
+
+
+def make_adversary(name: str, **kwargs) -> Adversary:
+    """Build a fresh adversary instance by name.
+
+    Keyword arguments are forwarded to the constructor (e.g.
+    ``make_adversary("ugf", q1=0.5, kl_mode="sampled")``).
+    """
+    if name == "none":
+        return NullAdversary(**kwargs)
+    if name == "ugf":
+        return UniversalGossipFighter(**kwargs)
+    if name == "informed":
+        return InformedGossipFighter(**kwargs)
+    if name == "greedy-oracle":
+        return GreedyOracleAdversary(**kwargs)
+    if name == "oblivious":
+        return ObliviousAdversary(**kwargs)
+    if name == "omission":
+        return OmissionAdversary(**kwargs)
+    if name == "str-1":
+        return CrashGroupStrategy(**kwargs)
+    match = _STRATEGY_RE.match(name)
+    if match:
+        k, l = int(match.group(1)), int(match.group(2))
+        if l == 0:
+            return IsolateSurvivorStrategy(k, **kwargs)
+        return DelayGroupStrategy(k, l, **kwargs)
+    raise ConfigurationError(
+        f"unknown adversary {name!r}; accepted: {', '.join(available_adversaries())}"
+    )

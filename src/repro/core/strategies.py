@@ -1,0 +1,171 @@
+"""UGF's three strategy families as standalone adversaries.
+
+Algorithm 1 composes three kinds of attacks; each is implemented here
+as a self-contained :class:`~repro.core.adversary.Adversary` so it can
+be (a) delegated to by :class:`~repro.core.ugf.UniversalGossipFighter`
+and (b) run directly — the paper's "max UGF" curves are exactly these
+strategies applied deterministically (Str. 1 for Fig. 3a, Str. 2.1.0
+for Fig. 3b, Str. 2.1.1 for Fig. 3c/3d/3e).
+
+All three start the same way: pick the controlled group C — a random
+sample of ``floor(F/2)`` processes (the paper's ``F/2``; we floor for
+odd F) — separating the processes UGF actively disrupts from those it
+leaves alone.
+
+- **Strategy 1** (:class:`CrashGroupStrategy`): crash all of C at
+  step 0. Bites protocols whose sleep rule forces interaction with
+  every process (Push-Pull must burn a local step pulling each corpse).
+- **Strategy 2.k.0** (:class:`IsolateSurvivorStrategy`): slow C down
+  to local steps of ``tau^k``, crash everyone in C except a random
+  survivor ``rho_hat``, then crash each correct receiver ``rho_hat``
+  sends to while the F budget lasts. A protocol whose processes send
+  slowly cannot get the survivor's gossip out before ~``F/2`` of its
+  sends were wasted — a ``Theta(F * tau^k)`` time floor.
+- **Strategy 2.k.l** (:class:`DelayGroupStrategy`): slow C down
+  (``delta = tau^k``) *and* delay its messages (``d = tau^(k+l)``).
+  Nothing crashes; the rest of the system keeps gossiping (and paying
+  messages) while C's information crawls — the message-complexity
+  attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adversary import Adversary, AdversaryControls
+from repro.errors import ConfigurationError
+from repro.sim.observer import SystemView
+
+__all__ = [
+    "group_size",
+    "sample_group",
+    "GroupStrategy",
+    "CrashGroupStrategy",
+    "IsolateSurvivorStrategy",
+    "DelayGroupStrategy",
+]
+
+
+def group_size(f: int) -> int:
+    """|C| = floor(F/2) (Algorithm 1 samples F/2 processes)."""
+    return f // 2
+
+
+def sample_group(rng: np.random.Generator, n: int, f: int) -> np.ndarray:
+    """Sample the controlled group C uniformly from Pi."""
+    size = group_size(f)
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(n, size=size, replace=False)).astype(np.int64)
+
+
+class GroupStrategy(Adversary):
+    """Common machinery: group selection and the tau parameter.
+
+    ``tau`` may be given explicitly or left ``None``, in which case the
+    paper's experimental choice ``tau = F`` is applied at setup (with a
+    floor of 2 so that ``tau > 1`` always holds, as the analysis
+    requires). ``group`` may pin C explicitly for tests; otherwise C is
+    sampled from the adversary's RNG stream.
+    """
+
+    def __init__(self, *, tau: int | None = None, group=None) -> None:
+        if tau is not None and tau <= 1:
+            raise ConfigurationError(f"delay parameter tau must be > 1, got {tau}")
+        self._tau_param = tau
+        self._fixed_group = None if group is None else np.asarray(sorted(group), dtype=np.int64)
+        self.group: np.ndarray = np.empty(0, dtype=np.int64)
+        self.tau: int = 0
+        self.rng: np.random.Generator | None = None
+
+    def seed_with(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def _prepare(self, view: SystemView) -> None:
+        if self._fixed_group is not None:
+            self.group = self._fixed_group
+        else:
+            if self.rng is None:
+                raise ConfigurationError(
+                    f"{type(self).__name__} needs an RNG (engine calls seed_with) "
+                    "or an explicit group"
+                )
+            self.group = sample_group(self.rng, view.n, view.f)
+        self.tau = self._tau_param if self._tau_param is not None else max(2, view.f)
+
+
+class CrashGroupStrategy(GroupStrategy):
+    """Strategy 1: crash all of C at step 0."""
+
+    name = "str-1"
+
+    def setup(self, view: SystemView, controls: AdversaryControls) -> None:
+        self._prepare(view)
+        for rho in self.group:
+            controls.crash(int(rho))
+
+
+class IsolateSurvivorStrategy(GroupStrategy):
+    """Strategy 2.k.0: isolate one slow survivor of C."""
+
+    def __init__(self, k: int = 1, *, tau: int | None = None, group=None) -> None:
+        super().__init__(tau=tau, group=group)
+        if k < 1:
+            raise ConfigurationError(f"strategy exponent k must be >= 1, got {k}")
+        self.k = k
+        self.survivor: int | None = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"str-2.{self.k}.0"
+
+    def setup(self, view: SystemView, controls: AdversaryControls) -> None:
+        self._prepare(view)
+        if self.group.size == 0:
+            return  # F < 2: no group to control, strategy degenerates
+        delta = self.tau**self.k
+        for rho in self.group:
+            controls.set_local_step_time(int(rho), delta)
+        pick = int(self.rng.integers(self.group.size)) if self.rng is not None else 0
+        self.survivor = int(self.group[pick])
+        for rho in self.group:
+            if int(rho) != self.survivor:
+                controls.crash(int(rho))
+
+    def after_step(self, view: SystemView, controls: AdversaryControls) -> None:
+        if self.survivor is None:
+            return
+        for msg in view.sends_this_step:
+            if msg.sender != self.survivor:
+                continue
+            if not controls.budget.can_draw():
+                break
+            if view.is_correct(msg.receiver):
+                controls.crash(msg.receiver)
+
+
+class DelayGroupStrategy(GroupStrategy):
+    """Strategy 2.k.l (l >= 1): slow C down and delay its messages."""
+
+    def __init__(
+        self, k: int = 1, l: int = 1, *, tau: int | None = None, group=None
+    ) -> None:
+        super().__init__(tau=tau, group=group)
+        if k < 1 or l < 1:
+            raise ConfigurationError(
+                f"strategy exponents must be >= 1, got k={k}, l={l}"
+            )
+        self.k = k
+        self.l = l
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"str-2.{self.k}.{self.l}"
+
+    def setup(self, view: SystemView, controls: AdversaryControls) -> None:
+        self._prepare(view)
+        delta = self.tau**self.k
+        d = self.tau ** (self.k + self.l)
+        for rho in self.group:
+            controls.set_local_step_time(int(rho), delta)
+            controls.set_delivery_time(int(rho), d)

@@ -1,0 +1,146 @@
+"""The Universal Gossip Fighter — Algorithm 1 of the paper.
+
+UGF is the paper's contribution: a *single* adaptive adversary that
+disrupts every all-to-all gossip protocol without knowing which one it
+faces. Its power comes from randomising over the strategy families of
+:mod:`repro.core.strategies` in a way the protocol cannot distinguish
+in time to adapt (Lemmas 1-3):
+
+- with probability ``q1``: **Strategy 1** (crash the controlled
+  group C);
+- otherwise draw ``k ~ Basel`` and slow C to local steps of
+  ``tau^k``; then
+
+  - with probability ``q2``: **Strategy 2.k.0** (isolate one survivor
+    of C and crash its correspondents), or
+  - otherwise draw ``l ~ Basel``: **Strategy 2.k.l** (additionally
+    delay C's messages by ``tau^(k+l)``).
+
+Theorem 1: for any all-to-all gossip protocol and any integer
+``alpha > 1``, UGF forces average time complexity ``Omega(alpha F)``
+or average message complexity ``Omega(N + F^2 / log_tau^2(alpha F))``
+— for any choice of ``q1, q2`` in (0, 1).
+
+Defaults follow the paper's experimental section (§V-A.3): strategies
+1, 2.k.0 and 2.k.l equiprobable (``q1 = 1/3``, ``q2 = 1/2``),
+``tau = F``, and ``kl_mode="fixed"`` pinning ``k = l = 1`` "for the
+sake of simplicity". Pass ``kl_mode="sampled"`` for the
+Algorithm-1-faithful Basel draws (truncated at ``max_k`` so one
+unlucky draw of the infinite-mean distribution cannot stall a run —
+the truncation is recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adversary import Adversary, AdversaryControls
+from repro.core.distributions import BaselSampler
+from repro.core.strategies import (
+    CrashGroupStrategy,
+    DelayGroupStrategy,
+    IsolateSurvivorStrategy,
+    sample_group,
+)
+from repro.errors import ConfigurationError
+from repro.sim.observer import SystemView
+
+__all__ = ["UniversalGossipFighter", "ChosenStrategy"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChosenStrategy:
+    """Record of the strategy UGF sampled for one run (diagnostics)."""
+
+    kind: str  # "1", "2.k.0" or "2.k.l"
+    k: int | None
+    l: int | None
+
+    @property
+    def label(self) -> str:
+        if self.kind == "1":
+            return "str-1"
+        if self.kind == "2.k.0":
+            return f"str-2.{self.k}.0"
+        return f"str-2.{self.k}.{self.l}"
+
+
+class UniversalGossipFighter(Adversary):
+    """Algorithm 1: the randomized universal adversary."""
+
+    name = "ugf"
+
+    def __init__(
+        self,
+        q1: float = 1.0 / 3.0,
+        q2: float = 0.5,
+        *,
+        tau: int | None = None,
+        kl_mode: str = "fixed",
+        max_k: int = 8,
+    ) -> None:
+        if not 0.0 < q1 < 1.0:
+            raise ConfigurationError(f"q1 must be in (0, 1), got {q1}")
+        if not 0.0 < q2 < 1.0:
+            raise ConfigurationError(f"q2 must be in (0, 1), got {q2}")
+        if tau is not None and tau <= 1:
+            raise ConfigurationError(f"delay parameter tau must be > 1, got {tau}")
+        if kl_mode not in ("fixed", "sampled"):
+            raise ConfigurationError(
+                f"kl_mode must be 'fixed' or 'sampled', got {kl_mode!r}"
+            )
+        self.q1 = q1
+        self.q2 = q2
+        self.tau = tau
+        self.kl_mode = kl_mode
+        self._sampler = BaselSampler(max_k=max_k) if kl_mode == "sampled" else None
+        self.rng: np.random.Generator | None = None
+        #: Populated at setup: which strategy this run drew.
+        self.chosen: ChosenStrategy | None = None
+        self._inner: Adversary | None = None
+
+    def seed_with(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    # -- Algorithm 1 ------------------------------------------------------------
+
+    def _draw_exponent(self) -> int:
+        if self._sampler is None:
+            return 1  # paper's experiments: k = l = 1 for simplicity
+        assert self.rng is not None
+        return self._sampler.sample(self.rng)
+
+    def setup(self, view: SystemView, controls: AdversaryControls) -> None:
+        if self.rng is None:
+            raise ConfigurationError(
+                "UniversalGossipFighter needs an RNG; the engine calls seed_with"
+            )
+        rng = self.rng
+        # C <- a random sample of floor(F/2) processes from Pi
+        group = sample_group(rng, view.n, view.f)
+
+        if rng.random() < self.q1:
+            self.chosen = ChosenStrategy(kind="1", k=None, l=None)
+            inner: Adversary = CrashGroupStrategy(tau=self.tau, group=group)
+        else:
+            k = self._draw_exponent()
+            if rng.random() < self.q2:
+                self.chosen = ChosenStrategy(kind="2.k.0", k=k, l=None)
+                inner = IsolateSurvivorStrategy(k, tau=self.tau, group=group)
+            else:
+                l = self._draw_exponent()
+                self.chosen = ChosenStrategy(kind="2.k.l", k=k, l=l)
+                inner = DelayGroupStrategy(k, l, tau=self.tau, group=group)
+        inner.seed_with(rng)  # type: ignore[attr-defined]
+        self._inner = inner
+        inner.setup(view, controls)
+
+    def before_step(self, view: SystemView, controls: AdversaryControls) -> None:
+        if self._inner is not None:
+            self._inner.before_step(view, controls)
+
+    def after_step(self, view: SystemView, controls: AdversaryControls) -> None:
+        if self._inner is not None:
+            self._inner.after_step(view, controls)

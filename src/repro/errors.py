@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so
+callers can catch everything from this package with one clause while
+still being able to distinguish configuration mistakes from runtime
+violations of the execution model.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CrashBudgetExceeded",
+    "ProtocolViolation",
+    "IncompleteRunError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Examples: ``N <= 0``, ``F > N``, a probability outside ``(0, 1)``,
+    or a delay parameter ``tau <= 1``.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation kernel detected an internal inconsistency.
+
+    These indicate bugs (in the kernel, a protocol, or an adversary),
+    not bad user input: e.g. a message scheduled to arrive in the past,
+    or a crashed process attempting to act.
+    """
+
+
+class CrashBudgetExceeded(SimulationError):
+    """An adversary attempted to crash more than ``F`` processes."""
+
+
+class ProtocolViolation(SimulationError):
+    """A protocol implementation broke the all-to-all gossip contract.
+
+    Raised e.g. when a protocol addresses a message to a process id
+    outside ``[0, N)`` or to itself.
+    """
+
+
+class IncompleteRunError(ReproError, RuntimeError):
+    """A quantity that requires a completed run was requested too early.
+
+    Raised when complexity measures are computed for an execution that
+    hit ``max_steps`` before reaching quiescence, unless the caller
+    explicitly opts into truncated measurements.
+    """

@@ -1,0 +1,131 @@
+"""Ablations the paper mentions or motivates.
+
+- :func:`run_f_sweep` — §V-A.1: "we also vary F in {0.1N .. 0.5N}. As
+  expected, the higher F, the stronger the adversary"; the paper only
+  *shows* F = 0.3N, we regenerate the whole sweep.
+- :func:`run_q_grid` — §III-B: UGF disrupts for *any* q1, q2; the grid
+  measures how the mixture weights trade time damage against message
+  damage on one protocol.
+- :func:`run_adversary_comparison` — §VI: oblivious adversaries "are
+  not sufficiently powerful to harm the dissemination"; measured
+  side by side with UGF and the null baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import RunStatistics, aggregate_runs
+from repro.experiments.config import TrialSpec, f_fraction
+from repro.experiments.runner import run_trial
+
+__all__ = [
+    "AblationCell",
+    "run_f_sweep",
+    "run_q_grid",
+    "run_adversary_comparison",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AblationCell:
+    """Aggregated (M, T) at one setting of the ablated knob."""
+
+    label: str
+    n: int
+    f: int
+    messages: RunStatistics
+    time: RunStatistics
+
+
+def _measure(
+    protocol: str,
+    adversary: str,
+    n: int,
+    f: int,
+    seeds: tuple[int, ...],
+    label: str,
+    adversary_kwargs: tuple[tuple[str, object], ...] = (),
+    max_steps: int = 5_000_000,
+) -> AblationCell:
+    msgs, times = [], []
+    for seed in seeds:
+        outcome = run_trial(
+            TrialSpec(
+                protocol=protocol,
+                adversary=adversary,
+                n=n,
+                f=f,
+                seed=seed,
+                max_steps=max_steps,
+                adversary_kwargs=adversary_kwargs,
+            )
+        )
+        msgs.append(outcome.message_complexity(allow_truncated=True))
+        times.append(outcome.time_complexity(allow_truncated=True))
+    return AblationCell(
+        label=label, n=n, f=f, messages=aggregate_runs(msgs), time=aggregate_runs(times)
+    )
+
+
+def run_f_sweep(
+    protocol: str,
+    *,
+    n: int,
+    fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    seeds: tuple[int, ...] = tuple(range(10)),
+    adversary: str = "ugf",
+) -> list[AblationCell]:
+    """UGF strength as a function of the crash-budget fraction F/N."""
+    return [
+        _measure(
+            protocol,
+            adversary,
+            n,
+            f_fraction(n, frac),
+            seeds,
+            label=f"F={frac:.1f}N",
+        )
+        for frac in fractions
+    ]
+
+
+def run_q_grid(
+    protocol: str,
+    *,
+    n: int,
+    f: int,
+    q1_values: tuple[float, ...] = (0.2, 1.0 / 3.0, 0.6),
+    q2_values: tuple[float, ...] = (0.3, 0.5, 0.7),
+    seeds: tuple[int, ...] = tuple(range(10)),
+) -> list[AblationCell]:
+    """UGF damage across the (q1, q2) mixture grid."""
+    cells = []
+    for q1 in q1_values:
+        for q2 in q2_values:
+            cells.append(
+                _measure(
+                    protocol,
+                    "ugf",
+                    n,
+                    f,
+                    seeds,
+                    label=f"q1={q1:.2f},q2={q2:.2f}",
+                    adversary_kwargs=(("q1", q1), ("q2", q2)),
+                )
+            )
+    return cells
+
+
+def run_adversary_comparison(
+    protocol: str,
+    *,
+    n: int,
+    f: int,
+    seeds: tuple[int, ...] = tuple(range(10)),
+    adversaries: tuple[str, ...] = ("none", "oblivious", "ugf"),
+) -> list[AblationCell]:
+    """Null vs oblivious vs UGF on one protocol (the §VI contrast)."""
+    return [
+        _measure(protocol, adv, n, f, seeds, label=adv) for adv in adversaries
+    ]

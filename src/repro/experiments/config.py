@@ -1,0 +1,95 @@
+"""Experiment specifications.
+
+Specs are plain frozen dataclasses built from registry *names* (not
+live objects), so they are picklable — a requirement for the
+process-parallel sweep runner — and serialisable into reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TrialSpec", "SweepSpec", "f_fraction"]
+
+
+def f_fraction(n: int, fraction: float) -> int:
+    """The paper's ``F = fraction * N`` rounded to an int, clamped to [0, N-1].
+
+    The paper sweeps fraction over {0.1, ..., 0.5} and reports 0.3.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigurationError(f"F fraction must be in [0, 1), got {fraction}")
+    return min(n - 1, max(0, round(n * fraction)))
+
+
+@dataclass(frozen=True, slots=True)
+class TrialSpec:
+    """One run: protocol vs adversary at a given (N, F, seed)."""
+
+    protocol: str
+    adversary: str
+    n: int
+    f: int
+    seed: int
+    max_steps: int = 5_000_000
+    protocol_kwargs: tuple[tuple[str, Any], ...] = ()
+    adversary_kwargs: tuple[tuple[str, Any], ...] = ()
+    #: Baseline timing environment spec (None = homogeneous; see
+    #: :mod:`repro.sim.environment` for the accepted strings).
+    environment: str | None = None
+
+    def with_seed(self, seed: int) -> "TrialSpec":
+        return TrialSpec(
+            protocol=self.protocol,
+            adversary=self.adversary,
+            n=self.n,
+            f=self.f,
+            seed=seed,
+            max_steps=self.max_steps,
+            protocol_kwargs=self.protocol_kwargs,
+            adversary_kwargs=self.adversary_kwargs,
+            environment=self.environment,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A grid: one protocol/adversary pair across N values and seeds.
+
+    ``f_of_n`` is the fraction of the paper's ``F = 0.3 N`` style; the
+    ablation harness sweeps it.
+    """
+
+    protocol: str
+    adversary: str
+    n_values: tuple[int, ...]
+    f_of_n: float = 0.3
+    seeds: tuple[int, ...] = tuple(range(50))
+    max_steps: int = 5_000_000
+    protocol_kwargs: tuple[tuple[str, Any], ...] = ()
+    adversary_kwargs: tuple[tuple[str, Any], ...] = ()
+    environment: str | None = None
+
+    def trials(self) -> Iterator[TrialSpec]:
+        """Enumerate every (N, seed) cell of the grid."""
+        for n in self.n_values:
+            f = f_fraction(n, self.f_of_n)
+            for seed in self.seeds:
+                yield TrialSpec(
+                    protocol=self.protocol,
+                    adversary=self.adversary,
+                    n=n,
+                    f=f,
+                    seed=seed,
+                    max_steps=self.max_steps,
+                    protocol_kwargs=self.protocol_kwargs,
+                    adversary_kwargs=self.adversary_kwargs,
+                    environment=self.environment,
+                )
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.n_values) * len(self.seeds)

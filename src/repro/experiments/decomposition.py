@@ -1,0 +1,92 @@
+"""Decomposing UGF's mixture: which drawn strategy did what?
+
+The paper's "max UGF" curves come from asking, per protocol, which of
+UGF's strategies causes the most damage. This module answers it
+empirically *from UGF runs themselves*: run the mixture across seeds,
+group the outcomes by the strategy each run drew
+(:attr:`UniversalGossipFighter.chosen`), and aggregate per group.
+
+The output both identifies the per-protocol worst case (compare with
+:data:`repro.experiments.figure3.PANELS`) and shows the mixture
+dilution — the median UGF curve sits at whichever strategy happens to
+be the middle draw, which is why the paper plots max-UGF separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import RunStatistics, aggregate_runs
+from repro.core.ugf import UniversalGossipFighter
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator
+
+__all__ = ["StrategyGroup", "run_decomposition", "dominant_strategy"]
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyGroup:
+    """Aggregated outcomes of the UGF runs that drew one strategy."""
+
+    label: str  # e.g. "str-1", "str-2.1.0", "str-2.1.1"
+    runs: int
+    messages: RunStatistics
+    time: RunStatistics
+
+
+def run_decomposition(
+    protocol: str,
+    *,
+    n: int,
+    f: int,
+    seeds: tuple[int, ...] = tuple(range(30)),
+    max_steps: int = 5_000_000,
+    **ugf_kwargs,
+) -> list[StrategyGroup]:
+    """Run UGF across *seeds* and group outcomes by drawn strategy.
+
+    Returns groups sorted by label. With the default equiprobable
+    mixture and 30 seeds, each family collects ~10 runs.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    buckets: dict[str, list[tuple[int, float]]] = {}
+    for seed in seeds:
+        ugf = UniversalGossipFighter(**ugf_kwargs)
+        sim = Simulator(
+            make_protocol(protocol), ugf, n=n, f=f, seed=seed, max_steps=max_steps
+        )
+        outcome = sim.run()
+        assert ugf.chosen is not None
+        buckets.setdefault(ugf.chosen.label, []).append(
+            (
+                outcome.message_complexity(allow_truncated=True),
+                outcome.time_complexity(allow_truncated=True),
+            )
+        )
+    groups = []
+    for label in sorted(buckets):
+        cells = buckets[label]
+        groups.append(
+            StrategyGroup(
+                label=label,
+                runs=len(cells),
+                messages=aggregate_runs([m for m, _ in cells]),
+                time=aggregate_runs([t for _, t in cells]),
+            )
+        )
+    return groups
+
+
+def dominant_strategy(groups: list[StrategyGroup], quantity: str) -> StrategyGroup:
+    """The group with the largest median of *quantity* ("messages"/"time")."""
+    if not groups:
+        raise ConfigurationError("no strategy groups to compare")
+    if quantity == "messages":
+        return max(groups, key=lambda g: g.messages.median)
+    if quantity == "time":
+        return max(groups, key=lambda g: g.time.median)
+    raise ConfigurationError(
+        f"quantity must be 'messages' or 'time', got {quantity!r}"
+    )

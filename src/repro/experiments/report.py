@@ -1,0 +1,123 @@
+"""Rendering experiment results: aligned tables and CSV.
+
+The paper's figures become numeric series here; tables print the
+median with the quartile band exactly as the figure's shaded area
+would show it.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Mapping, Sequence
+
+from repro.analysis.fitting import best_growth_model
+from repro.experiments.figure3 import PanelResult
+from repro.experiments.runner import SweepResult
+
+__all__ = ["format_table", "panel_table", "panel_csv", "sweep_csv", "shape_summary"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain aligned text table (no third-party dependencies)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _stat_cell(stat) -> str:
+    return f"{stat.median:.4g} [{stat.q1:.4g}..{stat.q3:.4g}]"
+
+
+def panel_table(result: PanelResult) -> str:
+    """One Figure 3 panel as a median [q1..q3] table over N."""
+    quantity = result.spec.quantity
+    curve_names = list(result.curves)
+    headers = ["N", "F"] + curve_names
+    ns = [p.n for p in result.curves[curve_names[0]].points]
+    rows = []
+    for i, n in enumerate(ns):
+        row = [str(n), str(result.curves[curve_names[0]].points[i].f)]
+        for name in curve_names:
+            point = result.curves[name].points[i]
+            stat = point.messages if quantity == "messages" else point.time
+            row.append(_stat_cell(stat))
+        rows.append(row)
+    title = (
+        f"Figure {result.spec.panel}: {result.spec.protocol} "
+        f"{quantity} complexity (median [q1..q3])"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def shape_summary(result: PanelResult) -> str:
+    """Fitted growth family per curve (the panel's scientific content)."""
+    lines = [f"Growth-model fits for panel {result.spec.panel} ({result.spec.quantity}):"]
+    for name in result.curves:
+        ns, ys = result.series(name)
+        if len(ns) < 2 or min(ys) <= 0:
+            lines.append(f"  {name:>13s}: (not enough data)")
+            continue
+        fit = best_growth_model(ns, ys)
+        lines.append(
+            f"  {name:>13s}: ~ {fit.coefficient:.3g} * {fit.model}(N)"
+            f"   (log-R^2 = {fit.r_squared:.3f})"
+        )
+    lines.append(
+        f"  paper expects: baseline ~ {result.spec.expected_baseline_shape}(N), "
+        f"attacked ~ {result.spec.expected_attacked_shape}(N)"
+    )
+    return "\n".join(lines)
+
+
+def sweep_csv(result: SweepResult) -> str:
+    """One sweep as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "protocol",
+            "adversary",
+            "n",
+            "f",
+            "messages_median",
+            "messages_q1",
+            "messages_q3",
+            "time_median",
+            "time_q1",
+            "time_q3",
+            "truncated_runs",
+            "gather_failures",
+        ]
+    )
+    for p in result.points:
+        writer.writerow(
+            [
+                result.spec.protocol,
+                result.spec.adversary,
+                p.n,
+                p.f,
+                p.messages.median,
+                p.messages.q1,
+                p.messages.q3,
+                p.time.median,
+                p.time.q1,
+                p.time.q3,
+                p.truncated_runs,
+                p.gather_failures,
+            ]
+        )
+    return buf.getvalue()
+
+
+def panel_csv(result: PanelResult) -> Mapping[str, str]:
+    """CSV text per curve of a panel, keyed by curve name."""
+    return {name: sweep_csv(sweep) for name, sweep in result.curves.items()}

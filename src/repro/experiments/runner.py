@@ -1,0 +1,137 @@
+"""Trial and sweep execution, optionally process-parallel.
+
+A *trial* is one simulated execution; a *sweep* is a grid of trials
+(N values x seeds for one protocol/adversary pair). Seeds of a sweep
+are embarrassingly parallel, so :func:`run_sweep` can fan them out
+over a :class:`concurrent.futures.ProcessPoolExecutor`; specs are
+plain picklable dataclasses and the worker rebuilds protocol and
+adversary from the registries, so nothing stateful crosses process
+boundaries.
+
+Trials within one (protocol, adversary, N) cell differ only by seed;
+results come back keyed by ``(n, seed)`` and are aggregated into the
+paper's median/quartile series per N.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import RunStatistics, aggregate_runs
+from repro.core.registry import make_adversary
+from repro.errors import IncompleteRunError
+from repro.experiments.config import SweepSpec, TrialSpec
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator
+from repro.sim.outcome import Outcome
+
+__all__ = ["run_trial", "run_sweep", "SweepResult", "SeriesPoint"]
+
+
+def run_trial(spec: TrialSpec) -> Outcome:
+    """Execute one trial described by *spec*."""
+    protocol = make_protocol(spec.protocol, **dict(spec.protocol_kwargs))
+    adversary = make_adversary(spec.adversary, **dict(spec.adversary_kwargs))
+    sim = Simulator(
+        protocol,
+        adversary,
+        n=spec.n,
+        f=spec.f,
+        seed=spec.seed,
+        max_steps=spec.max_steps,
+        environment=spec.environment,
+    )
+    return sim.run()
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesPoint:
+    """Aggregated complexities at one N of a sweep."""
+
+    n: int
+    f: int
+    messages: RunStatistics
+    time: RunStatistics
+    truncated_runs: int
+    gather_failures: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """All aggregated points of one sweep, in ascending N."""
+
+    spec: SweepSpec
+    points: tuple[SeriesPoint, ...]
+
+    def series(self, quantity: str) -> tuple[list[int], list[float]]:
+        """``(N values, medians)`` for ``quantity`` in {"messages", "time"}."""
+        ns = [p.n for p in self.points]
+        if quantity == "messages":
+            return ns, [p.messages.median for p in self.points]
+        if quantity == "time":
+            return ns, [p.time.median for p in self.points]
+        raise ValueError(f"quantity must be 'messages' or 'time', got {quantity!r}")
+
+
+def _default_workers() -> int:
+    cpus = os.cpu_count() or 1
+    return max(1, cpus - 1)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int | None = None,
+    allow_truncated: bool = True,
+) -> SweepResult:
+    """Run every trial of *spec* and aggregate per N.
+
+    ``workers=0`` or ``1`` runs inline (useful under pytest and for
+    debugging); ``None`` uses CPU count - 1. Truncated runs (hit
+    ``max_steps``) are counted per point and — when
+    ``allow_truncated`` — included in the aggregates with their
+    truncated measurements, which under-reports the attack rather than
+    over-reporting it.
+    """
+    trials = list(spec.trials())
+    if workers is None:
+        workers = _default_workers()
+    if workers <= 1 or len(trials) <= 1:
+        outcomes = [run_trial(t) for t in trials]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(run_trial, trials, chunksize=4))
+
+    by_n: dict[int, list[Outcome]] = {}
+    for outcome in outcomes:
+        by_n.setdefault(outcome.n, []).append(outcome)
+
+    points = []
+    for n in sorted(by_n):
+        cell = by_n[n]
+        usable = [o for o in cell if o.completed or allow_truncated]
+        if not usable:
+            raise IncompleteRunError(
+                f"every run at N={n} hit max_steps={spec.max_steps} before "
+                "quiescence and allow_truncated is False; raise max_steps or "
+                "pass allow_truncated=True"
+            )
+        msgs = aggregate_runs(
+            [o.message_complexity(allow_truncated=True) for o in usable]
+        )
+        times = aggregate_runs([o.time_complexity(allow_truncated=True) for o in usable])
+        points.append(
+            SeriesPoint(
+                n=n,
+                f=cell[0].f,
+                messages=msgs,
+                time=times,
+                truncated_runs=sum(not o.completed for o in cell),
+                gather_failures=sum(
+                    o.completed and not o.rumor_gathering_ok for o in cell
+                ),
+            )
+        )
+    return SweepResult(spec=spec, points=tuple(points))

@@ -1,0 +1,118 @@
+"""Theorem 1's time/message trade-off, rendered empirically.
+
+Theorem 1 says UGF forces, for any integer alpha > 1, either
+``E[T] = Omega(alpha F)`` or ``E[M] = Omega(N + F^2/log_tau^2(alpha F))``
+— i.e. buying message complexity alpha times below quadratic costs
+time exponential in alpha. The knob that realises the trade-off inside
+UGF is the strategy exponent: Strategy 2.k.0 with a larger k stretches
+the isolated survivor's wall to ``~F/2 * tau^k`` global steps, while
+Strategy 2.k.l with larger k+l delays group C by ``tau^(k+l)``.
+
+The paper proves the trade-off but does not plot it; this module is
+the paper-extension experiment that measures it. For each exponent k
+it runs, at fixed (N, F, tau):
+
+- Strategy 2.k.0 and records the *time* complexity (the wall), and
+- Strategy 2.k.1 and records the *message* complexity (the delay tax),
+
+next to the Theorem 1 lower-bound pair from
+:mod:`repro.analysis.bounds` for the matching alpha (``alpha F = tau^k``
+is the time scale the strategy installs, so ``alpha = tau^k / F``
+rounded up to >= 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import RunStatistics, aggregate_runs
+from repro.analysis.bounds import Theorem1Bounds, theorem1_lower_bounds
+from repro.errors import ConfigurationError
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+
+__all__ = ["TradeoffPoint", "run_tradeoff"]
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """Measurements and bounds at one exponent k.
+
+    ``time_under_isolation`` is the *normalised* T (Definition II.4);
+    note the adversary pays its own delay into the normaliser
+    (delta = tau^k), so T stays roughly flat in k while
+    ``steps_under_isolation`` — the raw T_end in global steps, i.e.
+    wall-clock — grows geometrically with k. The exponential flavour
+    of the theorem's trade-off is a wall-clock statement.
+    """
+
+    k: int
+    alpha: int
+    time_under_isolation: RunStatistics  # T under strategy 2.k.0
+    steps_under_isolation: RunStatistics  # raw T_end under strategy 2.k.0
+    messages_under_delay: RunStatistics  # M under strategy 2.k.1
+    bounds: Theorem1Bounds
+
+
+def run_tradeoff(
+    protocol: str,
+    *,
+    n: int,
+    f: int,
+    tau: int,
+    k_values: tuple[int, ...] = (1, 2, 3),
+    seeds: tuple[int, ...] = tuple(range(10)),
+    max_steps: int = 20_000_000,
+) -> list[TradeoffPoint]:
+    """Measure the trade-off frontier for one protocol.
+
+    Use a small ``tau`` (e.g. 3 or 4): the wall scales as
+    ``F/2 * tau^k`` global steps, so large tau with k >= 2 makes runs
+    astronomically long — which is the theorem's point, but not a
+    useful way to spend a benchmark budget.
+    """
+    if tau <= 1:
+        raise ConfigurationError(f"tau must be > 1, got {tau}")
+    points = []
+    for k in k_values:
+        iso_times = []
+        iso_steps = []
+        delay_msgs = []
+        for seed in seeds:
+            iso = run_trial(
+                TrialSpec(
+                    protocol=protocol,
+                    adversary=f"str-2.{k}.0",
+                    n=n,
+                    f=f,
+                    seed=seed,
+                    max_steps=max_steps,
+                    adversary_kwargs=(("tau", tau),),
+                )
+            )
+            iso_times.append(iso.time_complexity(allow_truncated=True))
+            iso_steps.append(float(iso.t_end))
+            dly = run_trial(
+                TrialSpec(
+                    protocol=protocol,
+                    adversary=f"str-2.{k}.1",
+                    n=n,
+                    f=f,
+                    seed=seed,
+                    max_steps=max_steps,
+                    adversary_kwargs=(("tau", tau),),
+                )
+            )
+            delay_msgs.append(dly.message_complexity(allow_truncated=True))
+        alpha = max(1, -(-(tau**k) // max(1, f)))  # ceil(tau^k / F)
+        points.append(
+            TradeoffPoint(
+                k=k,
+                alpha=alpha,
+                time_under_isolation=aggregate_runs(iso_times),
+                steps_under_isolation=aggregate_runs(iso_steps),
+                messages_under_delay=aggregate_runs(delay_msgs),
+                bounds=theorem1_lower_bounds(n, f, alpha=alpha, tau=tau),
+            )
+        )
+    return points

@@ -1,0 +1,68 @@
+"""The attacked class: all-to-all gossip protocols.
+
+Every protocol here satisfies (or, where flagged, aims for) the two
+properties of paper §II-B: *rumor gathering* (every correct process
+ends up with every correct gossip) and *quiescence* (every process
+eventually crashes or stops sending forever).
+
+The paper evaluates three protocols — :class:`PushPull`,
+:class:`Ears` and :class:`Sears` ("the only currently existing
+all-to-all gossip protocols functioning in partial synchrony even with
+process crashes and communication delays") — which are implemented
+here from their §V-A descriptions, alongside the deterministic
+Example-1 protocol (:class:`RoundRobin`), the trivial one-round
+broadcast (:class:`Flood`) and a classic push-only epidemic
+(:class:`PushOnly`) used to probe UGF's universality beyond the
+evaluated trio.
+"""
+
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.bitset import PackedBits, PackedMatrix, packed_size
+from repro.protocols.ears import Ears, ears_timeout
+from repro.protocols.flood import Flood
+from repro.protocols.knowledge import (
+    GossipKnowledge,
+    GossipPayload,
+    RelationalKnowledge,
+    RelationPayload,
+)
+from repro.protocols.adaptive import HedgedPushPull
+from repro.protocols.pull import PullOnly
+from repro.protocols.push import PushOnly
+from repro.protocols.push_pull import PullRequest, PushPull
+from repro.protocols.structured import Coordinator, RecursiveDoubling
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+from repro.protocols.round_robin import RoundRobin
+from repro.protocols.sears import Sears, sears_fanout
+
+__all__ = [
+    "GossipProtocol",
+    "LocalStep",
+    "PackedBits",
+    "PackedMatrix",
+    "packed_size",
+    "Ears",
+    "ears_timeout",
+    "Flood",
+    "GossipKnowledge",
+    "GossipPayload",
+    "RelationalKnowledge",
+    "RelationPayload",
+    "HedgedPushPull",
+    "PullOnly",
+    "PushOnly",
+    "PullRequest",
+    "PushPull",
+    "Coordinator",
+    "RecursiveDoubling",
+    "available_protocols",
+    "make_protocol",
+    "register_protocol",
+    "RoundRobin",
+    "Sears",
+    "sears_fanout",
+]

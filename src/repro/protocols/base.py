@@ -1,0 +1,155 @@
+"""Protocol abstraction: the class of all-to-all gossip protocols.
+
+A protocol (paper §II-B) orchestrates the behaviour of every process at
+each local step. Concretely an implementation:
+
+- allocates per-process state in :meth:`GossipProtocol.bind`;
+- reacts to one local step of one process in
+  :meth:`GossipProtocol.on_local_step`, reading the drained inbox and
+  emitting sends through the :class:`LocalStep` context; the return
+  value says whether the process *falls asleep* (Definition IV.2) —
+  the kernel handles wake-ups on delivery;
+- exposes :meth:`GossipProtocol.knowledge_of` so the kernel can verify
+  the *rumor gathering* property (Definition II.1) at quiescence and
+  the adversary can exercise its omniscience.
+
+The contract mirrors the paper's model: what is sent and to whom is
+entirely the protocol's business; *when* local steps happen and how
+long messages travel is entirely the kernel's (and the adversary's).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.messages import Message
+
+__all__ = ["LocalStep", "GossipProtocol"]
+
+
+class LocalStep:
+    """Mutable context for one local step of one process.
+
+    A single instance is owned by the engine and re-pointed before each
+    local step (no per-step allocation). Protocols must not retain it
+    across steps.
+    """
+
+    __slots__ = ("rho", "now", "inbox", "_sink", "sends")
+
+    def __init__(self) -> None:
+        self.rho: ProcessId = -1
+        self.now: GlobalStep = -1
+        self.inbox: list["Message"] = []
+        self._sink: Any = None
+        self.sends = 0
+
+    def rebind(self, rho: ProcessId, now: GlobalStep, inbox: list["Message"], sink: Any) -> None:
+        self.rho = rho
+        self.now = now
+        self.inbox = inbox
+        self._sink = sink
+        self.sends = 0
+
+    def send(self, receiver: ProcessId, payload: Any) -> None:
+        """Emit one message at the end of this local step.
+
+        The kernel stamps it with the sender's current local-step time
+        (emission at ``now + delta_rho``) and delivery time (arrival at
+        ``emission + d_rho``).
+        """
+        self._sink(self.rho, receiver, payload)
+        self.sends += 1
+
+
+class GossipProtocol(abc.ABC):
+    """Base class of all-to-all gossip protocols."""
+
+    #: Stable identifier used in outcome records, registries and reports.
+    name: str = "abstract"
+
+    #: Whether rumor gathering (Def. II.1) among correct processes is
+    #: guaranteed deterministically in every execution, crashes
+    #: included. Protocols that gather only with high probability
+    #: (push-only) or only in crash-free runs (the structured foils in
+    #: :mod:`repro.protocols.structured`) set this False, and the
+    #: integration tests gate on it.
+    guarantees_gathering: bool = True
+
+    #: Number of processes; set by :meth:`bind`.
+    n: int = 0
+    #: Crash budget the system is dimensioned for; set by :meth:`bind`.
+    #: (Protocols such as EARS use F in their completion timeout.)
+    f: int = 0
+
+    def bind(self, n: int, f: int, rng: np.random.Generator) -> None:
+        """Allocate per-process state for a system of *n* processes.
+
+        Called exactly once by the engine before the run starts. The
+        *rng* stream is the protocol's private randomness; adversary
+        randomness is drawn from an independent stream.
+
+        Each process additionally receives its own independent
+        substream (``self.rngs[rho]``). This is not just hygiene: the
+        indistinguishability lemmas (§IV-A) reason about the actions
+        of processes in Pi\\C being *identically distributed* across
+        adversary strategies, and with per-process streams the
+        identity is exact — whether C's processes take local steps
+        (Strategy 2.k.l) or are crashed (Strategy 1) cannot perturb
+        anyone else's coins. ``tests/test_lemmas.py`` asserts this on
+        traces.
+        """
+        self.n = n
+        self.f = f
+        self.rng = rng
+        seeds = rng.integers(0, 2**63 - 1, size=n)
+        self.rngs = [np.random.default_rng(int(s)) for s in seeds]
+        self._allocate()
+
+    @abc.abstractmethod
+    def _allocate(self) -> None:
+        """Create per-process state; ``self.n``/``self.f``/``self.rng`` are set."""
+
+    @abc.abstractmethod
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        """Execute one local step; return True to fall asleep.
+
+        ``ctx.inbox`` holds the messages delivered since the previous
+        local step (possibly empty). Returning True means the process
+        stops taking local steps until a delivery wakes it.
+        """
+
+    @abc.abstractmethod
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        """Boolean vector over gossip ids currently known by *rho*."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def pick_other(self, rho: ProcessId) -> ProcessId:
+        """Uniformly random process id different from *rho*.
+
+        Drawn from *rho*'s private stream (see :meth:`bind`).
+        """
+        other = int(self.rngs[rho].integers(self.n - 1))
+        return other + (other >= rho)
+
+    def pick_others(self, rho: ProcessId, k: int) -> np.ndarray:
+        """*k* uniformly random ids (without replacement) excluding *rho*.
+
+        If ``k >= n - 1`` every other process is returned. Drawn from
+        *rho*'s private stream.
+        """
+        if k >= self.n - 1:
+            ids = np.arange(self.n)
+            return ids[ids != rho]
+        picks = self.rngs[rho].choice(self.n - 1, size=k, replace=False)
+        return picks + (picks >= rho)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, n={self.n})"

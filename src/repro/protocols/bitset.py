@@ -1,0 +1,176 @@
+"""Packed bitset primitives backing gossip knowledge.
+
+EARS/SEARS state is per-process a set ``G(rho)`` of known gossips and a
+relation ``I(rho) = {(rho', g)}`` of who-knows-what (paper §V-A.2).
+Naively these are an ``N`` bool vector and an ``N x N`` bool matrix per
+process; merging them on every delivery is the simulation's hot loop
+(SEARS fans out ``c * N^eps * log N`` messages per process per step).
+
+Packing bits into ``uint8`` words makes a merge an 8x smaller memcpy-OR
+and is the single optimization that keeps the paper's full N=500 grid
+tractable in pure Python — applied after profiling confirmed merges
+dominated, per the make-it-work-then-optimize workflow.
+
+Bit order matches :func:`numpy.packbits` default (most significant bit
+first within each byte) so conversions to/from bool arrays are single
+numpy calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PackedBits", "PackedMatrix", "packed_size"]
+
+
+def packed_size(nbits: int) -> int:
+    """Number of uint8 words needed to store *nbits* bits."""
+    return (nbits + 7) >> 3
+
+
+class PackedBits:
+    """A fixed-size bitset stored in packed uint8 words."""
+
+    __slots__ = ("nbits", "words")
+
+    def __init__(self, nbits: int, words: np.ndarray | None = None) -> None:
+        if nbits <= 0:
+            raise ConfigurationError(f"bitset size must be positive, got {nbits}")
+        self.nbits = nbits
+        if words is None:
+            self.words = np.zeros(packed_size(nbits), dtype=np.uint8)
+        else:
+            if words.shape != (packed_size(nbits),) or words.dtype != np.uint8:
+                raise ConfigurationError(
+                    f"backing words must be uint8[{packed_size(nbits)}]"
+                )
+            self.words = words
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_bool(cls, mask: np.ndarray) -> "PackedBits":
+        """Pack a boolean vector."""
+        mask = np.asarray(mask, dtype=bool)
+        return cls(mask.size, np.packbits(mask))
+
+    @classmethod
+    def from_indices(cls, nbits: int, indices) -> "PackedBits":
+        """Bitset with exactly the given indices set."""
+        mask = np.zeros(nbits, dtype=bool)
+        mask[list(indices)] = True
+        return cls.from_bool(mask)
+
+    def copy(self) -> "PackedBits":
+        return PackedBits(self.nbits, self.words.copy())
+
+    # -- single-bit access -------------------------------------------------------
+
+    def set(self, i: int) -> None:
+        self.words[i >> 3] |= np.uint8(0x80 >> (i & 7))
+
+    def get(self, i: int) -> bool:
+        return bool(self.words[i >> 3] & (0x80 >> (i & 7)))
+
+    # -- bulk operations (the hot path) -------------------------------------------
+
+    def or_inplace(self, other: "PackedBits") -> None:
+        """``self |= other``; the merge primitive."""
+        np.bitwise_or(self.words, other.words, out=self.words)
+
+    def contains_all(self, other: "PackedBits") -> bool:
+        """True iff every bit of *other* is set in *self* (superset test)."""
+        return bool(
+            np.array_equal(np.bitwise_and(self.words, other.words), other.words)
+        )
+
+    def equals(self, other: "PackedBits") -> bool:
+        return bool(np.array_equal(self.words, other.words))
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return int(np.unpackbits(self.words, count=self.nbits).sum())
+
+    def to_bool(self) -> np.ndarray:
+        """Unpack into a boolean vector of length ``nbits``."""
+        return np.unpackbits(self.words, count=self.nbits).astype(bool)
+
+    def to_indices(self) -> np.ndarray:
+        """Indices of set bits, ascending."""
+        return np.flatnonzero(self.to_bool())
+
+    def is_full(self) -> bool:
+        """True iff all ``nbits`` bits are set."""
+        return self.count() == self.nbits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedBits(nbits={self.nbits}, count={self.count()})"
+
+
+class PackedMatrix:
+    """A matrix of bitset rows stored contiguously (row-major packed).
+
+    Row ``r`` holds a bitset over ``ncols`` bits. The whole matrix
+    supports a flat OR-merge (one vectorised pass over all rows), which
+    is how the EARS/SEARS ``I`` relations are combined on delivery.
+    """
+
+    __slots__ = ("nrows", "ncols", "words")
+
+    def __init__(self, nrows: int, ncols: int, words: np.ndarray | None = None) -> None:
+        if nrows <= 0 or ncols <= 0:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got {nrows}x{ncols}"
+            )
+        self.nrows = nrows
+        self.ncols = ncols
+        row_words = packed_size(ncols)
+        if words is None:
+            self.words = np.zeros((nrows, row_words), dtype=np.uint8)
+        else:
+            if words.shape != (nrows, row_words) or words.dtype != np.uint8:
+                raise ConfigurationError(
+                    f"backing words must be uint8[{nrows}, {row_words}]"
+                )
+            self.words = words
+
+    def copy(self) -> "PackedMatrix":
+        return PackedMatrix(self.nrows, self.ncols, self.words.copy())
+
+    # -- element access ------------------------------------------------------------
+
+    def set(self, r: int, c: int) -> None:
+        self.words[r, c >> 3] |= np.uint8(0x80 >> (c & 7))
+
+    def get(self, r: int, c: int) -> bool:
+        return bool(self.words[r, c >> 3] & (0x80 >> (c & 7)))
+
+    # -- bulk operations --------------------------------------------------------------
+
+    def or_inplace(self, other: "PackedMatrix") -> None:
+        """``self |= other`` over the whole matrix (the merge primitive)."""
+        np.bitwise_or(self.words, other.words, out=self.words)
+
+    def or_row_bits(self, r: int, bits: PackedBits) -> None:
+        """OR a bitset into row *r*."""
+        np.bitwise_or(self.words[r], bits.words, out=self.words[r])
+
+    def rows_contain(self, row_selector: np.ndarray, bits: PackedBits) -> bool:
+        """True iff every selected row is a superset of *bits*.
+
+        ``row_selector`` is a boolean vector over rows. This implements
+        the EARS completion test "every process I know of knows every
+        gossip I know" in one vectorised pass.
+        """
+        sub = self.words[row_selector]
+        return bool((np.bitwise_and(sub, bits.words) == bits.words).all())
+
+    def to_bool(self) -> np.ndarray:
+        """Unpack into an ``(nrows, ncols)`` boolean matrix."""
+        flat = np.unpackbits(self.words, axis=1, count=self.ncols)
+        return flat.astype(bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedMatrix({self.nrows}x{self.ncols})"

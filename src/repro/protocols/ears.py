@@ -1,0 +1,108 @@
+"""EARS — Epidemic Asynchronous Rumor Spreading (paper §V-A.2b, from [14]).
+
+Each process maintains the pair ``(G(rho), I(rho))`` — the gossips it
+knows and the who-knows-what relation — and, at every local step, sends
+both sets to one uniformly random other process. The receiver merges
+them.
+
+**Completion rule.** A process completes when it has not received any
+message for ``ceil(N/(N-F) * ln N)`` consecutive local steps *and* its
+relation says that everyone it knows of knows everything it knows (the
+known-universe reading of the paper's condition; see the EARS note in
+DESIGN.md). Waking on a later delivery restarts the countdown — "it
+can wake up and start gossiping again" (Definition IV.2).
+
+EARS's one-message-per-step rhythm is exactly what Strategy 2.k.0
+exploits: an isolated survivor needs ``F/2`` local steps of length
+``tau^k`` to get anything past the adversary's crash wall, a
+``Theta(F^2)`` time floor (Fig. 3b's max-UGF curve).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import RelationalKnowledge
+
+__all__ = ["Ears", "ears_timeout"]
+
+
+def ears_timeout(n: int, f: int) -> int:
+    """The paper's completion patience: ``ceil(N/(N-F) * ln N)`` local steps."""
+    if not 0 <= f < n:
+        raise ConfigurationError(f"need 0 <= F < N, got F={f}, N={n}")
+    return max(1, math.ceil(n / (n - f) * math.log(n)))
+
+
+class Ears(GossipProtocol):
+    """The EARS protocol."""
+
+    name = "ears"
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [RelationalKnowledge(n, rho) for rho in range(n)]
+        self._quiet_steps = np.zeros(n, dtype=np.int64)
+        self._patience = ears_timeout(n, self.f)
+        self._give_up = n  # newsless local steps beyond patience before giving up
+        self._has_sent = np.zeros(n, dtype=bool)
+
+    @property
+    def patience(self) -> int:
+        """Local steps without a delivery required before completing."""
+        return self._patience
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        rk = self._knowledge[rho]
+
+        # "Not receiving any new message" counts local steps without
+        # *novel information*: a delivery that changes neither G nor I
+        # does not reset the countdown. (Under the any-delivery reading
+        # awake processes perpetually reset one another — each sends
+        # every step — and quiescence would never be reached.)
+        learned = False
+        for msg in ctx.inbox:
+            learned |= rk.merge(msg.payload)
+        if learned:
+            self._quiet_steps[rho] = 0
+        else:
+            self._quiet_steps[rho] += 1
+
+        quiet = int(self._quiet_steps[rho])
+        # A process may not complete before it has gossiped at least
+        # once: before the first send the known universe is just
+        # itself and the completion condition would be vacuously true
+        # (visible at N=2, where the patience window is one step).
+        if self._has_sent[rho] and quiet >= self._patience and rk.dissemination_complete():
+            return True
+        # Crash-tolerance fallback: an adaptive adversary can crash a
+        # process *after* its gossip entered circulation, making the
+        # I-completeness condition unsatisfiable forever (the dead can
+        # never be known to know later gossips) — without a fallback,
+        # quiescence (Def. II.2) would be violated under Strategy
+        # 2.k.0. A process only concludes its missing witnesses are
+        # dead after the fault-tolerance window *plus* N further
+        # newsless local steps (enough to have personally re-offered
+        # its state ~N times). The N-step persistence is what keeps
+        # the isolated survivor of Strategy 2.k.0 knocking long enough
+        # for the Theta(F * tau^k) time floor to materialise. See the
+        # EARS note in DESIGN.md.
+        if self._has_sent[rho] and quiet >= self._patience + self._give_up:
+            return True
+
+        ctx.send(self.pick_other(rho), rk.snapshot())
+        self._has_sent[rho] = True
+        return False
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()
+
+    def relation_of(self, rho: ProcessId) -> np.ndarray:
+        """The full ``I(rho)`` matrix as booleans (diagnostics/tests)."""
+        return self._knowledge[rho].relation.to_bool()

@@ -1,0 +1,45 @@
+"""Flood: the trivial one-round, N^2-message protocol.
+
+"Every process could send its gossip to all the other processes in
+only 1 communication round. But this amounts to sending N^2 messages"
+(paper §I). Flood is that protocol: maximal message complexity,
+minimal time complexity — the logical ceiling the paper's
+inefficiency notion is calibrated against, and the reason "there is no
+point in aiming for more than quadratic message complexity".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+
+__all__ = ["Flood"]
+
+
+class Flood(GossipProtocol):
+    """Broadcast everything to everyone at the first local step, then stop."""
+
+    name = "flood"
+
+    def _allocate(self) -> None:
+        self._knowledge = [GossipKnowledge(self.n, rho) for rho in range(self.n)]
+        self._done = np.zeros(self.n, dtype=bool)
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+        for msg in ctx.inbox:
+            kn.merge(msg.payload)
+        if not self._done[rho]:
+            snap = kn.snapshot()
+            for other in range(self.n):
+                if other != rho:
+                    ctx.send(other, snap)
+            self._done[rho] = True
+        return True
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

@@ -1,0 +1,173 @@
+"""Gossip knowledge state with snapshot-on-send semantics.
+
+Protocols own one knowledge object per process. Two shapes exist:
+
+- :class:`GossipKnowledge` — just the set ``G(rho)`` of known gossips
+  (enough for Push-Pull and simple push protocols);
+- :class:`RelationalKnowledge` — ``G(rho)`` plus the relation
+  ``I(rho) = {(rho', g) : rho' knows g}`` required by EARS and SEARS.
+
+**Snapshot discipline.** The kernel moves payloads by reference, so a
+payload must never alias mutable state. ``snapshot()`` returns an
+immutable-by-convention copy that is *cached* until the next mutation:
+a process that fans out to many receivers in one local step (SEARS) or
+that sends repeatedly without learning anything new (an isolated
+process under Strategy 2.k.0) pays for a single copy. This is the
+second load-bearing optimization after bit-packing (see
+:mod:`repro.protocols.bitset`).
+
+Maintained invariant: a process's own row of ``I`` always contains its
+``G`` ("I know that I know g"), so receivers transitively learn who
+knew what without protocol-specific bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import GossipId, ProcessId
+from repro.protocols.bitset import PackedBits, PackedMatrix
+
+__all__ = [
+    "GossipPayload",
+    "RelationPayload",
+    "GossipKnowledge",
+    "RelationalKnowledge",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GossipPayload:
+    """Snapshot of a sender's ``G`` set. Treat as immutable."""
+
+    gossips: PackedBits
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size (bandwidth metric; see :func:`repro.sim.messages.payload_size`)."""
+        return self.gossips.words.nbytes
+
+
+@dataclass(frozen=True, slots=True)
+class RelationPayload:
+    """Snapshot of a sender's ``(G, I)`` pair. Treat as immutable."""
+
+    gossips: PackedBits
+    relation: PackedMatrix
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size (bandwidth metric)."""
+        return self.gossips.words.nbytes + self.relation.words.nbytes
+
+
+class GossipKnowledge:
+    """``G(rho)``: the set of gossips a process currently holds."""
+
+    __slots__ = ("n", "owner", "gossips", "_snapshot")
+
+    def __init__(self, n: int, owner: ProcessId) -> None:
+        self.n = n
+        self.owner = owner
+        self.gossips = PackedBits(n)
+        self.gossips.set(owner)  # every process starts with its own gossip
+        self._snapshot: GossipPayload | None = None
+
+    def knows(self, g: GossipId) -> bool:
+        return self.gossips.get(g)
+
+    def known_count(self) -> int:
+        return self.gossips.count()
+
+    def knows_all_of(self, ids: PackedBits) -> bool:
+        return self.gossips.contains_all(ids)
+
+    def unknown_mask(self) -> np.ndarray:
+        """Boolean vector: True where the gossip is *not* yet known."""
+        return ~self.gossips.to_bool()
+
+    def merge(self, payload: GossipPayload) -> bool:
+        """Absorb a received ``G`` snapshot; returns True if it taught us anything."""
+        changed = not self.gossips.contains_all(payload.gossips)
+        if changed:
+            self.gossips.or_inplace(payload.gossips)
+            self._snapshot = None
+        return changed
+
+    def learn(self, g: GossipId) -> bool:
+        """Record one gossip; returns True if it was new."""
+        if self.gossips.get(g):
+            return False
+        self.gossips.set(g)
+        self._snapshot = None
+        return True
+
+    def snapshot(self) -> GossipPayload:
+        """Immutable copy of the current state, cached until mutation."""
+        if self._snapshot is None:
+            self._snapshot = GossipPayload(self.gossips.copy())
+        return self._snapshot
+
+    def to_bool(self) -> np.ndarray:
+        return self.gossips.to_bool()
+
+
+class RelationalKnowledge:
+    """``(G(rho), I(rho))``: known gossips plus who-knows-what relation."""
+
+    __slots__ = ("n", "owner", "gossips", "relation", "_snapshot")
+
+    def __init__(self, n: int, owner: ProcessId) -> None:
+        self.n = n
+        self.owner = owner
+        self.gossips = PackedBits(n)
+        self.relation = PackedMatrix(n, n)
+        self.gossips.set(owner)
+        self.relation.set(owner, owner)
+        self._snapshot: RelationPayload | None = None
+
+    def knows(self, g: GossipId) -> bool:
+        return self.gossips.get(g)
+
+    def merge(self, payload: RelationPayload) -> bool:
+        """Absorb a received ``(G, I)`` snapshot; True if anything was new."""
+        new_g = not self.gossips.contains_all(payload.gossips)
+        new_i = not bool(
+            (
+                np.bitwise_and(self.relation.words, payload.relation.words)
+                == payload.relation.words
+            ).all()
+        )
+        if not (new_g or new_i):
+            return False
+        if new_g:
+            self.gossips.or_inplace(payload.gossips)
+            # invariant: own I row covers own G
+            self.relation.or_row_bits(self.owner, payload.gossips)
+        if new_i:
+            self.relation.or_inplace(payload.relation)
+        self._snapshot = None
+        return True
+
+    def snapshot(self) -> RelationPayload:
+        """Immutable copy of the current state, cached until mutation."""
+        if self._snapshot is None:
+            self._snapshot = RelationPayload(
+                self.gossips.copy(), self.relation.copy()
+            )
+        return self._snapshot
+
+    def dissemination_complete(self) -> bool:
+        """EARS completion predicate over the *known universe*.
+
+        True iff, for every process ``rho'`` whose gossip we know, our
+        relation says ``rho'`` knows every gossip we know. See the
+        EARS completion note in DESIGN.md for why the quantifier runs
+        over the known universe rather than all of ``Pi``.
+        """
+        return self.relation.rows_contain(self.gossips.to_bool(), self.gossips)
+
+    def to_bool(self) -> np.ndarray:
+        return self.gossips.to_bool()

@@ -1,0 +1,73 @@
+"""Pull-only rumor spreading.
+
+The complement of :mod:`repro.protocols.push`: each local step, a
+process sends a pull request to a uniformly random process it has
+neither pulled before nor learned the gossip of; a pulled process
+answers with everything it knows (even if it was asleep — the request
+wakes it). A process sleeps once every other process was pulled or is
+known — the same coverage rule as Push-Pull's pull side.
+
+Unlike push-only, the coverage rule makes gathering *deterministic*
+even under crashes: every correct pair either shares knowledge through
+intermediaries or interacts directly via a pull/answer exchange, and a
+crashed pull target is simply covered-by-having-been-pulled. It is a
+fourth genuine member of the crash-tolerant all-to-all class, used in
+the universality tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+from repro.protocols.push_pull import PullRequest
+
+__all__ = ["PullOnly"]
+
+_PULL = PullRequest()
+
+
+class PullOnly(GossipProtocol):
+    """Pull-only epidemic with coverage-based sleep."""
+
+    name = "pull"
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._pulled = np.zeros((n, n), dtype=bool)
+        idx = np.arange(n)
+        self._pulled[idx, idx] = True
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+
+        requesters = []
+        for msg in ctx.inbox:
+            if msg.payload is _PULL or isinstance(msg.payload, PullRequest):
+                requesters.append(msg.sender)
+            else:
+                kn.merge(msg.payload)
+
+        if requesters:
+            snap = kn.snapshot()
+            for requester in requesters:
+                ctx.send(requester, snap)
+
+        unknown = kn.unknown_mask()
+        if bool((self._pulled[rho] | ~unknown).all()):
+            return True
+
+        candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+        if candidates.size:
+            target = int(candidates[self.rngs[rho].integers(candidates.size)])
+            ctx.send(target, _PULL)
+            self._pulled[rho, target] = True
+
+        return bool((self._pulled[rho] | ~unknown).all())
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

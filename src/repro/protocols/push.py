@@ -1,0 +1,74 @@
+"""Push-only epidemic rumor spreading (classic, e.g. Demers et al. [9]).
+
+Each process, at every local step, pushes all the gossips it knows to
+one uniformly random other process, and goes quiet once it has learned
+nothing new for a patience window of ``ceil(2*log2 N) + extra`` local
+steps.
+
+This protocol is *not* one of the paper's three evaluated protocols.
+It is included as an extra member of the all-to-all class to
+demonstrate that UGF is protocol-agnostic beyond the protocols it was
+evaluated on. Note the caveat flagged by
+:attr:`PushOnly.guarantees_gathering`: push-only dissemination
+completes rumor gathering only with high probability, not surely —
+integration tests treat it accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+
+__all__ = ["PushOnly"]
+
+
+class PushOnly(GossipProtocol):
+    """Push-only epidemic with a no-news patience window."""
+
+    name = "push"
+
+    #: Rumor gathering (Def. II.1) holds only with high probability.
+    guarantees_gathering = False
+
+    def __init__(self, extra_patience: int = 4) -> None:
+        if extra_patience < 0:
+            raise ConfigurationError(
+                f"extra_patience must be >= 0, got {extra_patience}"
+            )
+        self.extra_patience = extra_patience
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._quiet_steps = np.zeros(n, dtype=np.int64)
+        self._patience = math.ceil(2 * math.log2(max(2, n))) + self.extra_patience
+
+    @property
+    def patience(self) -> int:
+        return self._patience
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+
+        learned = False
+        for msg in ctx.inbox:
+            learned |= kn.merge(msg.payload)
+        if learned:
+            self._quiet_steps[rho] = 0
+        else:
+            self._quiet_steps[rho] += 1
+
+        if self._quiet_steps[rho] >= self._patience:
+            return True
+        ctx.send(self.pick_other(rho), kn.snapshot())
+        return False
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

@@ -1,0 +1,113 @@
+"""Push-Pull all-to-all gossip (paper §V-A.2a, after Karp et al. [19]).
+
+Per local step, each process:
+
+1. absorbs everything in its inbox (gossip payloads are merged, pull
+   requests are remembered);
+2. answers every pull request with *all* the gossips it knows;
+3. sends a pull request to a uniformly random process whose gossip it
+   does not yet know and has not pulled before;
+4. pushes all the gossips it knows to a uniformly random process to
+   whom it has not yet sent its own gossip;
+5. falls asleep once every other process has either been pulled or its
+   gossip is known (the paper's sleep rule — note it is pull-sided; a
+   process may sleep with pushes remaining, gathering then completes
+   through other processes' pulls).
+
+This sleep rule is what Strategy 1 exploits: crashed processes never
+answer, so every correct process must burn one local step per crashed
+process just to have *pulled* it — a Theta(F) time floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge, GossipPayload
+
+__all__ = ["PullRequest", "PushPull"]
+
+
+class PullRequest:
+    """Marker payload: 'send me everything you know'.
+
+    Stateless, so one shared instance serves every request.
+    """
+
+    __slots__ = ()
+
+    _instance: "PullRequest | None" = None
+
+    def __new__(cls) -> "PullRequest":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+_PULL = PullRequest()
+
+
+class PushPull(GossipProtocol):
+    """The paper's Push-Pull protocol."""
+
+    name = "push-pull"
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        # pulled[rho, o]: rho has sent a pull request to o.
+        self._pulled = np.zeros((n, n), dtype=bool)
+        # pushed[rho, o]: rho has sent (pushed) its own gossip to o.
+        self._pushed = np.zeros((n, n), dtype=bool)
+        # A process never needs to pull or push itself.
+        idx = np.arange(n)
+        self._pulled[idx, idx] = True
+        self._pushed[idx, idx] = True
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+
+        requesters: list[ProcessId] = []
+        for msg in ctx.inbox:
+            if msg.payload is _PULL or isinstance(msg.payload, PullRequest):
+                requesters.append(msg.sender)
+            else:
+                kn.merge(msg.payload)
+
+        # Answer pull requests with the post-merge knowledge.
+        if requesters:
+            snap = kn.snapshot()
+            for requester in requesters:
+                ctx.send(requester, snap)
+
+        # Sleep rule: every other process was pulled or is known. A
+        # process that already satisfies it only answers pull requests
+        # (a woken sleeper must not resume pushing, or answer-push
+        # cascades would keep the whole system busy for Theta(N^2)
+        # steps even without an adversary).
+        unknown = kn.unknown_mask()
+        if bool((self._pulled[rho] | ~unknown).all()):
+            return True
+
+        # Pull: a random not-yet-known, not-yet-pulled process.
+        candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+        if candidates.size:
+            target = int(candidates[self.rngs[rho].integers(candidates.size)])
+            ctx.send(target, _PULL)
+            self._pulled[rho, target] = True
+
+        # Push: all known gossips to a random process not yet given our own.
+        push_candidates = np.flatnonzero(~self._pushed[rho])
+        if push_candidates.size:
+            target = int(push_candidates[self.rngs[rho].integers(push_candidates.size)])
+            ctx.send(target, kn.snapshot())
+            self._pushed[rho, target] = True
+
+        # Re-check: this step's pull may have completed the coverage.
+        return bool((self._pulled[rho] | ~unknown).all())
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

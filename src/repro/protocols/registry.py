@@ -1,0 +1,65 @@
+"""Name-based protocol registry.
+
+The experiment harness and CLI refer to protocols by their stable
+string names; the registry maps names to factories. Each call builds a
+*fresh* protocol instance (protocol objects carry per-run state and
+are single-use, like :class:`~repro.sim.engine.Simulator`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol
+from repro.protocols.ears import Ears
+from repro.protocols.flood import Flood
+from repro.protocols.adaptive import HedgedPushPull
+from repro.protocols.pull import PullOnly
+from repro.protocols.push import PushOnly
+from repro.protocols.push_pull import PushPull
+from repro.protocols.round_robin import RoundRobin
+from repro.protocols.sears import Sears
+from repro.protocols.structured import Coordinator, RecursiveDoubling
+
+__all__ = ["make_protocol", "available_protocols", "register_protocol"]
+
+_FACTORIES: dict[str, Callable[..., GossipProtocol]] = {
+    PushPull.name: PushPull,
+    Ears.name: Ears,
+    Sears.name: Sears,
+    RoundRobin.name: RoundRobin,
+    Flood.name: Flood,
+    PushOnly.name: PushOnly,
+    HedgedPushPull.name: HedgedPushPull,
+    PullOnly.name: PullOnly,
+    RecursiveDoubling.name: RecursiveDoubling,
+    Coordinator.name: Coordinator,
+}
+
+
+def register_protocol(name: str, factory: Callable[..., GossipProtocol]) -> None:
+    """Register a user-defined protocol factory under *name*.
+
+    Registering an existing name is an error — shadowing a built-in
+    silently would make experiment specs ambiguous.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"protocol name already registered: {name!r}")
+    _FACTORIES[name] = factory
+
+
+def available_protocols() -> list[str]:
+    """Sorted names of all registered protocols."""
+    return sorted(_FACTORIES)
+
+
+def make_protocol(name: str, **kwargs) -> GossipProtocol:
+    """Build a fresh protocol instance by registered name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None
+    return factory(**kwargs)

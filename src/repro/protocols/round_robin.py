@@ -1,0 +1,52 @@
+"""The deterministic protocol of the paper's Example 1.
+
+"Every process sorts the other processes and sends its gossip to one
+process per step during N-1 steps (following the order it created)."
+Its complexities are ``M(O) = Theta(N^2)`` and ``T(O) = Theta(N)`` for
+every outcome, which the paper uses to anchor what *inefficient* means;
+we use it to validate the complexity meters end-to-end
+(``benchmarks/bench_example1.py`` and the analysis tests).
+
+The sort order here is the rotation ``rho+1, rho+2, ..., rho-1``
+(mod N), which spreads load evenly across receivers; any fixed order
+satisfies Example 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+
+__all__ = ["RoundRobin"]
+
+
+class RoundRobin(GossipProtocol):
+    """Example 1: one own-gossip send per step, fixed order, N-1 steps."""
+
+    name = "round-robin"
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._sent_count = np.zeros(n, dtype=np.int64)
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+        for msg in ctx.inbox:
+            kn.merge(msg.payload)
+
+        k = int(self._sent_count[rho])
+        if k >= self.n - 1:
+            # Finished its schedule; any later wake-up just re-sleeps.
+            return True
+        target = (rho + 1 + k) % self.n
+        ctx.send(target, kn.snapshot())
+        self._sent_count[rho] = k + 1
+        return k + 1 >= self.n - 1
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

@@ -1,0 +1,108 @@
+"""SEARS — Spamming EARS (paper §V-A.2c, from [14]).
+
+Identical state to EARS, but instead of one message per step each
+process shares its ``(G, I)`` pair with ``ceil(c * N^eps * log N)``
+processes chosen at random (the paper uses ``c = 1`` and ``eps = 0.5``
+in its experiments; SEARS works for any ``eps`` in [0, 1]).
+
+SEARS's objective is *constant* time complexity, paid for with
+message complexity that is quadratic even without an adversary — the
+paper's §V-B.3 remark that SEARS "automatically places itself at one
+end of the interplay between time and message complexity". Its
+completion patience is therefore a constant (independent of N),
+unlike EARS's ``~ log N`` patience.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import RelationalKnowledge
+
+__all__ = ["Sears", "sears_fanout"]
+
+#: Constant completion patience (local steps without a delivery). A small
+#: constant suffices because one SEARS round already reaches ~N^eps*log N
+#: processes; it must not grow with N or SEARS would lose its constant
+#: time complexity.
+DEFAULT_PATIENCE = 3
+
+
+def sears_fanout(n: int, c: float = 1.0, eps: float = 0.5) -> int:
+    """Messages per local step: ``ceil(c * N^eps * ln N)``, capped at N-1."""
+    if n < 2:
+        raise ConfigurationError(f"need N >= 2, got N={n}")
+    if not 0.0 <= eps <= 1.0:
+        raise ConfigurationError(f"SEARS exponent must be in [0, 1], got eps={eps}")
+    if c <= 0:
+        raise ConfigurationError(f"SEARS constant must be positive, got c={c}")
+    return min(n - 1, max(1, math.ceil(c * n**eps * math.log(n))))
+
+
+class Sears(GossipProtocol):
+    """The SEARS protocol."""
+
+    name = "sears"
+
+    def __init__(
+        self, c: float = 1.0, eps: float = 0.5, patience: int = DEFAULT_PATIENCE
+    ) -> None:
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.c = c
+        self.eps = eps
+        self.patience = patience
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [RelationalKnowledge(n, rho) for rho in range(n)]
+        self._quiet_steps = np.zeros(n, dtype=np.int64)
+        self._fanout = sears_fanout(n, self.c, self.eps)
+        self._give_up = -(-n // self._fanout)  # ceil(N / fanout) local steps
+        self._has_sent = np.zeros(n, dtype=bool)
+
+    @property
+    def fanout(self) -> int:
+        """Number of targets per local step."""
+        return self._fanout
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        rk = self._knowledge[rho]
+
+        # Same novel-information reading of the countdown as EARS.
+        learned = False
+        for msg in ctx.inbox:
+            learned |= rk.merge(msg.payload)
+        if learned:
+            self._quiet_steps[rho] = 0
+        else:
+            self._quiet_steps[rho] += 1
+
+        quiet = int(self._quiet_steps[rho])
+        # Same first-send guard as EARS: no completion before having
+        # gossiped at least once.
+        if self._has_sent[rho] and quiet >= self.patience and rk.dissemination_complete():
+            return True
+        # Same crash-tolerance fallback as EARS (see ears.py): the
+        # I-condition can be made unsatisfiable by crashing a process
+        # whose gossip already circulates. SEARS moves fanout messages
+        # per step, so ~N messages of persistence take ceil(N/fanout)
+        # local steps — a constant-in-N number of *rounds*, preserving
+        # SEARS's constant time complexity.
+        if self._has_sent[rho] and quiet >= self.patience + self._give_up:
+            return True
+
+        snap = rk.snapshot()
+        for target in self.pick_others(rho, self._fanout):
+            ctx.send(int(target), snap)
+        self._has_sent[rho] = True
+        return False
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

@@ -1,0 +1,129 @@
+"""Structured deterministic protocols — efficient and fragile.
+
+The paper notes (§V-A.2) that Push-Pull, EARS and SEARS are "the only
+currently existing all-to-all gossip protocols functioning in partial
+synchrony even with process crashes". This module supplies the
+counterpoint: two classic structured schemes that are *more* efficient
+than the evaluated trio in the benign case and collapse under crashes
+*and* under delays (their relay schedules assume synchrony) — the
+reason the crash-tolerant partial-synchrony class is interesting at
+all, and a vivid target gallery for every UGF strategy.
+
+- :class:`RecursiveDoubling` — binary-jumping dissemination on a ring
+  (the recursive-doubling pattern of Even & Monien-style gossip):
+  round ``r`` sends everything known to ``(rho + 2^r) mod N``;
+  ``ceil(log2 N)`` rounds, ``N * ceil(log2 N)`` messages. A single
+  crash breaks the relay chains.
+- :class:`Coordinator` — gather-and-scatter through process 0:
+  everyone reports, the coordinator broadcasts; ~``2N`` messages in
+  ~2 rounds, and one crash (the right one) kills the dissemination.
+
+Both set :attr:`~repro.protocols.base.GossipProtocol.guarantees_gathering`
+to False: gathering is deterministic only in crash-free executions.
+Quiescence (Def. II.2) still always holds — a broken run goes quiet,
+it does not spin.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+
+__all__ = ["RecursiveDoubling", "Coordinator"]
+
+
+class RecursiveDoubling(GossipProtocol):
+    """Binary-jumping all-to-all dissemination on a ring."""
+
+    name = "recursive-doubling"
+
+    #: Gathering breaks if any relay crashes mid-schedule.
+    guarantees_gathering = False
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._step_idx = np.zeros(n, dtype=np.int64)
+        self._rounds_total = max(1, math.ceil(math.log2(n)))
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+        for msg in ctx.inbox:
+            kn.merge(msg.payload)
+
+        step_idx = int(self._step_idx[rho])
+        self._step_idx[rho] = step_idx + 1
+        # One dissemination round every second local step: a round-r
+        # message (emission t+1, arrival t+2 at baseline timings) must
+        # land before the round-(r+1) send that relays it.
+        if step_idx % 2 == 0:
+            r = step_idx // 2
+            if r < self._rounds_total:
+                target = (rho + (1 << r)) % self.n
+                if target != rho:
+                    ctx.send(target, kn.snapshot())
+        # Done one step after the last round's send; later stray
+        # deliveries wake us, get merged, and we sleep again.
+        return step_idx + 1 >= 2 * self._rounds_total
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()
+
+
+class Coordinator(GossipProtocol):
+    """Gather-and-scatter through a single coordinator (process 0)."""
+
+    name = "coordinator"
+
+    #: The coordinator is a single point of failure.
+    guarantees_gathering = False
+
+    def __init__(self, patience: int = 4) -> None:
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._reported = np.zeros(n, dtype=bool)
+        self._broadcasted = False
+        self._quiet = 0
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+        learned = False
+        for msg in ctx.inbox:
+            learned |= kn.merge(msg.payload)
+
+        if rho == 0:
+            if self._broadcasted:
+                return True
+            # Broadcast once everyone reported, or after a patience
+            # window with no new reports (some reporters may be dead).
+            self._quiet = 0 if learned else self._quiet + 1
+            if kn.gossips.is_full() or self._quiet >= self.patience:
+                snap = kn.snapshot()
+                for other in range(1, self.n):
+                    ctx.send(other, snap)
+                self._broadcasted = True
+                return True
+            return False
+
+        # Leaves: report once, then sleep; the broadcast wakes them to
+        # merge and they sleep again.
+        if not self._reported[rho]:
+            ctx.send(0, kn.snapshot())
+            self._reported[rho] = True
+        return True
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        return self._knowledge[rho].to_bool()

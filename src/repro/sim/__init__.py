@@ -1,0 +1,50 @@
+"""Partial-synchrony simulation kernel (substrate).
+
+This subpackage implements, from scratch, the execution model of
+paper §II-A:
+
+- time proceeds in discrete *global steps*;
+- each process takes *local steps* of per-process duration ``delta_rho``
+  (it acts at the end of each local step: first action at
+  ``t = delta_rho``, then every ``delta_rho`` steps while awake);
+- a message sent by ``rho`` at global step ``t`` arrives at
+  ``t + d_rho`` where ``d_rho`` is the per-*sender* delivery time;
+- processes may *fall asleep* (Def. IV.2) and are woken by deliveries;
+- an adversary may crash processes and retime ``delta_rho`` / ``d_rho``
+  online, observing the system state at every step.
+
+The kernel is deliberately synchronous-in-structure (one loop over
+global steps) because the adversary of the paper is a centralized
+algorithm interposed between steps; an asynchronous event queue would
+obscure that interposition point.
+"""
+
+from repro.sim.clock import GlobalClock
+from repro.sim.engine import Simulator, SimulationReport
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.observer import SystemView
+from repro.sim.outcome import Outcome
+from repro.sim.process import ProcessRuntime, ProcessStatus
+from repro.sim.rng import RandomSource
+from repro.sim.timing import TimingTable
+from repro.sim.trace import EventKind, TraceEvent, TraceRecorder
+
+__all__ = [
+    "GlobalClock",
+    "Simulator",
+    "SimulationReport",
+    "Mailbox",
+    "Message",
+    "Network",
+    "SystemView",
+    "Outcome",
+    "ProcessRuntime",
+    "ProcessStatus",
+    "RandomSource",
+    "TimingTable",
+    "EventKind",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,66 @@
+"""Global step clock.
+
+The execution model assumes "time proceeds in discrete global steps"
+(paper §II-A). The clock is a tiny guarded counter; keeping it a
+dedicated object (instead of a loose integer in the engine) lets every
+component share a single authoritative notion of *now* and lets tests
+assert monotonicity violations loudly.
+"""
+
+from __future__ import annotations
+
+from repro._typing import GlobalStep
+from repro.errors import SimulationError
+
+__all__ = ["GlobalClock"]
+
+
+class GlobalClock:
+    """Monotone counter of global steps.
+
+    Step 0 is the *setup* instant: the adversary configures timings and
+    initial crashes before any process has taken a local step. The
+    first global step at which anything can happen in the system is 1.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now: GlobalStep = 0
+
+    @property
+    def now(self) -> GlobalStep:
+        """The current global step (0 before the run starts)."""
+        return self._now
+
+    def advance(self) -> GlobalStep:
+        """Move to the next global step and return it."""
+        self._now += 1
+        return self._now
+
+    def advance_to(self, step: GlobalStep) -> GlobalStep:
+        """Jump forward to *step* (fast-forward over dead air).
+
+        Only forward jumps are legal; the engine uses this to skip
+        stretches of global steps in which nothing can happen.
+        """
+        if step <= self._now:
+            raise SimulationError(
+                f"clock can only move forward: at {self._now}, asked for {step}"
+            )
+        self._now = step
+        return self._now
+
+    def require(self, step: GlobalStep) -> None:
+        """Assert that *step* is the current step.
+
+        Components that cache the step they were last updated at use
+        this to detect being driven out of order.
+        """
+        if step != self._now:
+            raise SimulationError(
+                f"component expected global step {step} but clock is at {self._now}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalClock(now={self._now})"

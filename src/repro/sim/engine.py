@@ -1,0 +1,360 @@
+"""The simulation engine: one loop over global steps.
+
+Per global step the engine runs, in order:
+
+1. ``adversary.before_step`` — rarely used;
+2. **deliveries**: every message whose arrival step is *now* is moved
+   into its receiver's mailbox (or dropped if the receiver crashed);
+   deliveries wake sleeping receivers, which then act *this* step;
+3. **local steps**: every awake process whose next action is due
+   drains its mailbox, runs the protocol handler and emits sends.
+   A send decided at step ``t`` is emitted at ``t + delta_rho`` (the
+   end of the local step) and arrives at ``t + delta_rho + d_rho``;
+4. ``adversary.after_step`` — sees the sends decided this step, which
+   is the hook Strategy 2.k.0 needs to crash the isolated survivor's
+   receivers before their messages arrive.
+
+Local steps therefore follow the paper's §II-A.1 shape exactly:
+messages are delivered at the *beginning* of a local step and sends
+leave at its *end*, ``delta_rho`` later. The first local step of every
+process begins at global step 0 (after adversary setup), so the first
+message of a process retimed to ``delta_rho = tau^k`` leaves at
+``tau^k`` — the fact Lemma 1's indistinguishability argument rests on.
+
+**Fast-forward.** Unless the adversary demands otherwise, the engine
+jumps directly to the next step at which anything can happen (an
+action is scheduled, a message arrives, or the adversary asked to be
+woken). With UGF delays of order ``F^2`` this is the difference
+between simulating tens of steps and tens of thousands.
+
+**Termination.** The run is *quiescent* when no correct process is
+awake and no message is in flight toward a correct process; nothing
+can ever happen again (crash-bound messages are inert). The engine
+then computes ``T_end`` as the final-sleep step of the last correct
+process and checks rumor gathering. A run that exceeds ``max_steps``
+is returned flagged ``completed=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+from repro.core.adversary import Adversary, AdversaryControls
+from repro.core.budget import CrashBudget
+from repro.errors import ConfigurationError, SimulationError
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.sim.clock import GlobalClock
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.observer import SystemView
+from repro.sim.outcome import Outcome
+from repro.sim.process import ProcessRuntime, ProcessStatus
+from repro.sim.rng import RandomSource
+from repro.sim.timing import TimingTable
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Simulator", "SimulationReport", "simulate"]
+
+_NEVER: GlobalStep = 2**62  # sentinel: "no action scheduled"
+
+_AWAKE = int(ProcessStatus.AWAKE)
+_ASLEEP = int(ProcessStatus.ASLEEP)
+_CRASHED = int(ProcessStatus.CRASHED)
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationReport:
+    """Outcome plus the instrumentation of the run that produced it."""
+
+    outcome: Outcome
+    trace: TraceRecorder
+    runtimes: list[ProcessRuntime]
+
+
+class Simulator:
+    """One configured execution: protocol vs adversary on N processes."""
+
+    def __init__(
+        self,
+        protocol: GossipProtocol,
+        adversary: Adversary,
+        *,
+        n: int,
+        f: int,
+        seed: int = 0,
+        max_steps: int = 5_000_000,
+        record_events: bool = False,
+        environment=None,
+    ) -> None:
+        if n <= 1:
+            raise ConfigurationError(f"an all-to-all system needs N >= 2, got N={n}")
+        if not 0 <= f < n:
+            raise ConfigurationError(f"crash budget must satisfy 0 <= F < N, got F={f}, N={n}")
+        if max_steps <= 0:
+            raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+        self.n = n
+        self.f = f
+        self.seed = int(seed)
+        self.max_steps = max_steps
+
+        self.rng_source = RandomSource(seed)
+        self.clock = GlobalClock()
+        self.timing = TimingTable(n)
+        # Baseline heterogeneity (partial synchrony); applied before
+        # adversary setup from an independent RNG stream.
+        from repro.sim.environment import make_environment
+
+        make_environment(environment).apply(
+            self.timing, self.rng_source.stream("environment")
+        )
+        self.trace = TraceRecorder(n, record_events=record_events)
+        self.network = Network(n, self.timing, self.trace)
+        self.mailboxes = [Mailbox() for _ in range(n)]
+        self.runtimes = [ProcessRuntime(pid) for pid in range(n)]
+        self.budget = CrashBudget(f)
+
+        self.protocol = protocol
+        protocol.bind(n, f, self.rng_source.stream("protocol"))
+        self.adversary = adversary
+        seeder = getattr(adversary, "seed_with", None)
+        if seeder is not None:
+            seeder(self.rng_source.stream("adversary"))
+
+        # Dense scheduling state (mirrors ProcessRuntime.status).
+        self.status_codes = np.zeros(n, dtype=np.int8)  # all AWAKE
+        self._next_action = np.zeros(n, dtype=np.int64)  # first local step at t=0
+        self._awake_count = n
+
+        self.step_sends: list[Message] = []
+        self.view = SystemView(self)
+        self.controls = AdversaryControls(
+            crash=self._crash,
+            set_local_step_time=self._set_local_step_time,
+            set_delivery_time=self._set_delivery_time,
+            budget=self.budget,
+            set_omission=self._set_omission,
+        )
+        self._ctx = LocalStep()
+        self._steps_simulated = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------ controls
+
+    def _crash(self, rho: ProcessId) -> None:
+        if not 0 <= rho < self.n:
+            raise SimulationError(f"cannot crash unknown process {rho}")
+        if self.status_codes[rho] == _CRASHED:
+            return  # idempotent; does not draw budget twice
+        self.budget.draw()
+        if self.status_codes[rho] == _AWAKE:
+            self._awake_count -= 1
+        self.status_codes[rho] = _CRASHED
+        self._next_action[rho] = _NEVER
+        self.runtimes[rho].crash(self.clock.now)
+        self.network.on_crash(rho)
+        self.trace.on_crash(self.clock.now, rho)
+
+    def _set_local_step_time(self, rho: ProcessId, value: int) -> None:
+        self.timing.set_local_step_time(rho, value)
+        self.trace.on_retime_delta(self.clock.now, rho, value)
+
+    def _set_delivery_time(self, rho: ProcessId, value: int) -> None:
+        self.timing.set_delivery_time(rho, value)
+        self.trace.on_retime_d(self.clock.now, rho, value)
+
+    def _set_omission(self, rho: ProcessId, enabled: bool) -> None:
+        if not 0 <= rho < self.n:
+            raise SimulationError(f"cannot set omission for unknown process {rho}")
+        self.network.set_omission(rho, enabled)
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _send_sink(self, sender: ProcessId, receiver: ProcessId, payload: object) -> None:
+        emission = self.clock.now + self.timing.local_step_time(sender)
+        msg = self.network.send(sender, receiver, payload, now=emission)
+        self.step_sends.append(msg)
+
+    def _deposit(self, msg: Message) -> None:
+        rho = msg.receiver
+        self.mailboxes[rho].put(msg)
+        if self.status_codes[rho] == _ASLEEP:
+            # Wake: the new local step begins at the current step.
+            self.status_codes[rho] = _AWAKE
+            self._next_action[rho] = self.clock.now
+            self._awake_count += 1
+            self.runtimes[rho].wake(self.clock.now)
+            self.trace.on_wake(self.clock.now, rho)
+
+    def _run_local_steps(self, now: GlobalStep) -> None:
+        due = np.flatnonzero(
+            (self.status_codes == _AWAKE) & (self._next_action == now)
+        )
+        for rho in due:
+            rho = int(rho)
+            inbox = self.mailboxes[rho].drain()
+            self._ctx.rebind(rho, now, inbox, self._send_sink)
+            self.runtimes[rho].note_action()
+            wants_sleep = self.protocol.on_local_step(self._ctx)
+            if self.status_codes[rho] == _CRASHED:
+                # An adversary acting from inside a protocol callback is
+                # not part of the model; guard anyway.
+                continue
+            if wants_sleep:
+                self.status_codes[rho] = _ASLEEP
+                self._next_action[rho] = _NEVER
+                self._awake_count -= 1
+                self.runtimes[rho].fall_asleep(now)
+                self.trace.on_sleep(now, rho)
+            else:
+                self._next_action[rho] = now + self.timing.local_step_time(rho)
+
+    def _quiescent(self) -> bool:
+        return self._awake_count == 0 and self.network.inflight_to_correct == 0
+
+    def _next_interesting_step(self, now: GlobalStep) -> GlobalStep | None:
+        """Earliest future step at which anything can happen."""
+        if self.adversary.wants_every_step:
+            return now + 1
+        candidates: list[int] = []
+        if self._awake_count:
+            awake = self.status_codes == _AWAKE
+            candidates.append(int(self._next_action[awake].min()))
+        arrival = self.network.next_arrival_step()
+        if arrival is not None:
+            candidates.append(arrival)
+        wakeup = getattr(self.adversary, "next_wakeup", None)
+        if wakeup is not None:
+            w = wakeup(now)
+            if w is not None:
+                candidates.append(int(w))
+        if not candidates:
+            return None
+        nxt = min(candidates)
+        if nxt <= now:
+            raise SimulationError(
+                f"scheduling stalled: next interesting step {nxt} <= now {now}"
+            )
+        return nxt
+
+    # ------------------------------------------------------------------ the loop
+
+    def run(self) -> Outcome:
+        """Execute until quiescence or ``max_steps``; returns the outcome."""
+        if self._ran:
+            raise SimulationError("a Simulator instance is single-use; build a new one")
+        self._ran = True
+
+        # Global step 0: adversary setup, then the first local steps begin.
+        self.adversary.setup(self.view, self.controls)
+        self._next_action[self.status_codes == _CRASHED] = _NEVER
+        self.step_sends = []
+        self._run_local_steps(0)
+        self.adversary.after_step(self.view, self.controls)
+        self._steps_simulated += 1
+
+        completed = False
+        while True:
+            if self._quiescent():
+                completed = True
+                break
+            nxt = self._next_interesting_step(self.clock.now)
+            if nxt is None:
+                # No awake process, nothing in flight to anyone correct,
+                # no adversary wakeup: quiescent by construction.
+                completed = True
+                break
+            if nxt > self.max_steps:
+                break
+            self.clock.advance_to(nxt)
+            now = self.clock.now
+            self.step_sends = []
+            self.adversary.before_step(self.view, self.controls)
+            self.network.deliver_due(now, self._deposit)
+            self._run_local_steps(now)
+            self.adversary.after_step(self.view, self.controls)
+            self._steps_simulated += 1
+
+        return self._finalize(completed)
+
+    # ------------------------------------------------------------------ results
+
+    def _finalize(self, completed: bool) -> Outcome:
+        correct_ids = np.flatnonzero(self.status_codes != _CRASHED)
+        t_end = 0
+        if completed:
+            for rho in correct_ids:
+                ls = self.runtimes[int(rho)].last_sleep_step
+                if ls is None:
+                    raise SimulationError(
+                        f"quiescent run left correct process {int(rho)} without a sleep record"
+                    )
+                t_end = max(t_end, ls)
+        else:
+            t_end = self.clock.now
+
+        gather_ok = completed and self._rumor_gathering_ok(correct_ids)
+        crashed = tuple(
+            pid for pid in range(self.n) if self.status_codes[pid] == _CRASHED
+        )
+        crash_steps = {
+            pid: self.runtimes[pid].crash_step
+            for pid in crashed
+        }
+        return Outcome(
+            n=self.n,
+            f=self.f,
+            seed=self.seed,
+            protocol_name=self.protocol.name,
+            adversary_name=self.adversary.name,
+            completed=completed,
+            rumor_gathering_ok=gather_ok,
+            t_end=t_end,
+            max_local_step_time=self.timing.max_local_step_time,
+            max_delivery_time=self.timing.max_delivery_time,
+            sent=self.trace.sent.copy(),
+            received=self.trace.received.copy(),
+            bytes_sent=self.trace.bytes_sent.copy(),
+            crashed=crashed,
+            crash_steps=crash_steps,
+            sleep_counts=np.array([r.sleep_count for r in self.runtimes]),
+            wake_counts=np.array([r.wake_count for r in self.runtimes]),
+            steps_simulated=self._steps_simulated,
+        )
+
+    def _rumor_gathering_ok(self, correct_ids: np.ndarray) -> bool:
+        """Definition II.1: every correct process holds every correct gossip."""
+        for rho in correct_ids:
+            known = self.protocol.knowledge_of(int(rho))
+            if not known[correct_ids].all():
+                return False
+        return True
+
+
+def simulate(
+    protocol: GossipProtocol,
+    adversary: Adversary,
+    *,
+    n: int,
+    f: int,
+    seed: int = 0,
+    max_steps: int = 5_000_000,
+    record_events: bool = False,
+    environment=None,
+) -> SimulationReport:
+    """Convenience wrapper: build a :class:`Simulator`, run it, bundle results."""
+    sim = Simulator(
+        protocol,
+        adversary,
+        n=n,
+        f=f,
+        seed=seed,
+        max_steps=max_steps,
+        record_events=record_events,
+        environment=environment,
+    )
+    outcome = sim.run()
+    return SimulationReport(outcome=outcome, trace=sim.trace, runtimes=sim.runtimes)

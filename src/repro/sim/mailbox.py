@@ -1,0 +1,51 @@
+"""Per-process mailbox.
+
+"At the beginning of any local step, the process verifies if any
+messages were received from other processes and delivers them to its
+local memory" (paper §II-A.1). The mailbox is where the network parks
+messages between their arrival step and the receiver's next local
+step; :meth:`Mailbox.drain` is that beginning-of-step delivery.
+"""
+
+from __future__ import annotations
+
+from repro.sim.messages import Message
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """FIFO buffer of arrived-but-not-yet-processed messages."""
+
+    __slots__ = ("_pending", "_total_received")
+
+    def __init__(self) -> None:
+        self._pending: list[Message] = []
+        self._total_received = 0
+
+    def put(self, message: Message) -> None:
+        """Park *message*; called by the network at its arrival step."""
+        self._pending.append(message)
+        self._total_received += 1
+
+    def drain(self) -> list[Message]:
+        """Remove and return all pending messages, in arrival order.
+
+        Returns a fresh list; the caller owns it.
+        """
+        if not self._pending:
+            return []
+        out = self._pending
+        self._pending = []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def total_received(self) -> int:
+        """Messages ever delivered into this mailbox (drained or not)."""
+        return self._total_received

@@ -1,0 +1,69 @@
+"""Message records exchanged through the simulated network.
+
+A :class:`Message` is the unit of the paper's *message complexity*
+(Definition II.3): one send counts as one message regardless of its
+payload size ("a message can include several gossips at once").
+
+Payloads are opaque to the kernel. Protocols define their own payload
+classes (see :mod:`repro.protocols`); the kernel only moves them
+around, so any object works. Payload immutability is a *convention*
+enforced by the protocol layer (snapshot-on-send in
+:mod:`repro.protocols.knowledge`), not by the kernel, to keep the hot
+path allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro._typing import GlobalStep, ProcessId
+
+__all__ = ["Message", "payload_size"]
+
+
+def payload_size(payload: Any) -> int:
+    """Approximate wire size of a payload, in bytes.
+
+    Payload classes may expose ``nbytes`` (the knowledge snapshots
+    do); anything else — pull-request markers, test payloads — counts
+    as one byte. This feeds the *bandwidth* metric, a deliberate
+    extension: Definition II.3 counts messages "without taking into
+    account their size", and the bandwidth meter makes visible what
+    that definition hides (e.g. SEARS's sets-to-everyone firehose).
+    """
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is None:
+        return 1
+    return int(nbytes)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message in flight or delivered.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Process ids of the endpoints.
+    payload:
+        Protocol-defined content. Must be treated as immutable once
+        sent.
+    sent_at:
+        Global step of the send (the sender's local-step boundary).
+    arrives_at:
+        Global step of delivery: ``sent_at + d_sender`` where
+        ``d_sender`` is the sender's delivery time *at send time*
+        (later retimings do not affect messages already in flight;
+        see :class:`repro.sim.network.Network`).
+    """
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+    sent_at: GlobalStep
+    arrives_at: GlobalStep
+
+    def latency(self) -> int:
+        """Delivery time experienced by this message, in global steps."""
+        return self.arrives_at - self.sent_at

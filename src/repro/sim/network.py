@@ -1,0 +1,174 @@
+"""Fully-connected network with per-sender delivery delays.
+
+Messages sent at global step ``t`` by process ``rho`` arrive at
+``t + d_rho`` with ``d_rho`` read *at send time*: an adversary
+retiming ``d_rho`` afterwards affects only future sends, which matches
+how UGF uses delays (it configures them before the dissemination
+starts, at step 0).
+
+The in-flight store is a bucket dict keyed by arrival step. Arrival
+steps are bounded (``d`` is finite, Definition II.5 keeps it so), the
+engine consumes buckets strictly in step order, and a bucket is
+deleted once delivered — the structure is effectively a calendar
+queue, O(1) per send and per delivery, with no heap overhead.
+
+For quiescence detection the network maintains the count of in-flight
+messages addressed to *correct* processes: messages to crashed
+receivers can never cause any future event, so they must not keep the
+simulation alive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro._typing import GlobalStep, ProcessId
+from repro.errors import ProtocolViolation, SimulationError
+from repro.sim.messages import Message, payload_size
+from repro.sim.timing import TimingTable
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Network"]
+
+
+class Network:
+    """In-flight message store of the simulated fully-connected network."""
+
+    __slots__ = (
+        "_n",
+        "_timing",
+        "_trace",
+        "_buckets",
+        "_inflight_to_correct",
+        "_crashed",
+        "_omitted",
+        "_last_delivered_step",
+    )
+
+    def __init__(self, n: int, timing: TimingTable, trace: TraceRecorder) -> None:
+        self._n = n
+        self._timing = timing
+        self._trace = trace
+        self._buckets: dict[GlobalStep, list[Message]] = {}
+        self._inflight_to_correct = 0
+        self._crashed: set[ProcessId] = set()
+        self._omitted: set[ProcessId] = set()
+        self._last_delivered_step: GlobalStep = 0
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(
+        self, sender: ProcessId, receiver: ProcessId, payload: object, now: GlobalStep
+    ) -> Message:
+        """Enqueue one message; returns the in-flight record.
+
+        Sends to already-crashed receivers still *count* as sent
+        messages (the sender paid for them — that is precisely how
+        Strategy 2.k.0 inflates complexity) but are dropped at their
+        arrival step.
+        """
+        if not 0 <= receiver < self._n:
+            raise ProtocolViolation(
+                f"process {sender} addressed invalid receiver {receiver}"
+            )
+        if receiver == sender:
+            raise ProtocolViolation(f"process {sender} sent a message to itself")
+        arrives = now + self._timing.delivery_time(sender)
+        msg = Message(sender, receiver, payload, sent_at=now, arrives_at=arrives)
+        self._trace.on_send(now, sender, receiver, payload_size(payload))
+        if sender in self._omitted:
+            # An omission adversary silenced this sender: the message
+            # is paid for (it counts toward M_rho) but never travels.
+            self._trace.on_omit(now, sender, receiver)
+            return msg
+        self._buckets.setdefault(arrives, []).append(msg)
+        if receiver not in self._crashed:
+            self._inflight_to_correct += 1
+        return msg
+
+    # -- delivery -----------------------------------------------------------------
+
+    def deliver_due(
+        self, now: GlobalStep, deposit: Callable[[Message], None]
+    ) -> list[Message]:
+        """Deliver all messages whose arrival step is *now*.
+
+        ``deposit`` receives each message for a live receiver (the
+        engine routes it into the mailbox and handles wake-ups);
+        messages to crashed receivers are dropped here. Returns the
+        delivered messages.
+        """
+        if now < self._last_delivered_step:
+            raise SimulationError(
+                f"deliveries requested out of order: {now} after {self._last_delivered_step}"
+            )
+        self._last_delivered_step = now
+        bucket = self._buckets.pop(now, None)
+        if not bucket:
+            return []
+        delivered: list[Message] = []
+        for msg in bucket:
+            if msg.receiver in self._crashed:
+                # The in-flight-to-correct count was decremented when the
+                # receiver crashed (see on_crash), or never incremented if
+                # it was already crashed at send time.
+                self._trace.on_drop(now, msg.sender, msg.receiver)
+                continue
+            self._inflight_to_correct -= 1
+            deposit(msg)
+            delivered.append(msg)
+            self._trace.on_deliver(now, msg.sender, msg.receiver)
+        return delivered
+
+    # -- omission ---------------------------------------------------------------
+
+    def set_omission(self, rho: ProcessId, enabled: bool = True) -> None:
+        """Silence (or un-silence) future sends of *rho*.
+
+        Beyond the Definition II.5 powers — kernel support for the
+        paper's §VII omission-adversary question. Messages already in
+        flight are unaffected.
+        """
+        if enabled:
+            self._omitted.add(rho)
+        else:
+            self._omitted.discard(rho)
+
+    def is_omitted(self, rho: ProcessId) -> bool:
+        return rho in self._omitted
+
+    # -- crash bookkeeping -----------------------------------------------------
+
+    def on_crash(self, rho: ProcessId) -> None:
+        """Mark *rho* crashed; its pending inbound messages become inert."""
+        if rho in self._crashed:
+            return
+        self._crashed.add(rho)
+        for bucket in self._buckets.values():
+            for msg in bucket:
+                if msg.receiver == rho:
+                    self._inflight_to_correct -= 1
+
+    # -- quiescence support ------------------------------------------------------
+
+    @property
+    def inflight_to_correct(self) -> int:
+        """Messages in flight whose receiver is still correct."""
+        return self._inflight_to_correct
+
+    def next_arrival_step(self) -> GlobalStep | None:
+        """Earliest pending arrival step, or None when nothing is in flight.
+
+        Used by the engine to fast-forward through stretches of global
+        steps in which nothing can happen (crucial when UGF sets
+        delays of order F^2: simulating those steps one by one would
+        dominate the run time for zero information).
+        """
+        if not self._buckets:
+            return None
+        return min(self._buckets)
+
+    def pending(self) -> Iterator[Message]:
+        """Iterate over all in-flight messages (testing/diagnostics)."""
+        for step in sorted(self._buckets):
+            yield from self._buckets[step]

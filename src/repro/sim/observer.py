@@ -1,0 +1,112 @@
+"""The adversary's window into the system: ``P_t`` as an object.
+
+Definition II.5: "at each global step t, the adversary has access to
+the system state P_t and can decide accordingly which processes to
+crash and which messages to delay". :class:`SystemView` is that
+access — a read-only facade over the engine's live state. Mutation
+goes through :class:`repro.core.adversary.AdversaryControls` instead,
+so the capability split (observe vs. act) is explicit in the types.
+
+The view is *omniscient*: it exposes sends of the current step, sleep
+status, message counters and even protocol knowledge. UGF itself only
+uses a small part of this power (the send stream and the process set),
+which is one of the paper's points — a weak-looking observer already
+suffices for universal disruption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+from repro.sim.messages import Message
+from repro.sim.process import ProcessStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+__all__ = ["SystemView"]
+
+
+class SystemView:
+    """Read-only facade over a live :class:`~repro.sim.engine.Simulator`."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    # -- identity / dimensions ----------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total number of processes N."""
+        return self._sim.n
+
+    @property
+    def f(self) -> int:
+        """Crash budget F granted to the adversary."""
+        return self._sim.f
+
+    @property
+    def now(self) -> GlobalStep:
+        """The current global step t."""
+        return self._sim.clock.now
+
+    # -- process state --------------------------------------------------------
+
+    def status_of(self, rho: ProcessId) -> ProcessStatus:
+        return ProcessStatus(int(self._sim.status_codes[rho]))
+
+    def is_correct(self, rho: ProcessId) -> bool:
+        return self._sim.status_codes[rho] != int(ProcessStatus.CRASHED)
+
+    @property
+    def correct_mask(self) -> np.ndarray:
+        """Boolean vector: True where the process has not crashed."""
+        return self._sim.status_codes != int(ProcessStatus.CRASHED)
+
+    @property
+    def asleep_mask(self) -> np.ndarray:
+        """Boolean vector: True where the process is currently asleep."""
+        return self._sim.status_codes == int(ProcessStatus.ASLEEP)
+
+    @property
+    def crashed_count(self) -> int:
+        return int((self._sim.status_codes == int(ProcessStatus.CRASHED)).sum())
+
+    # -- traffic ------------------------------------------------------------------
+
+    @property
+    def sends_this_step(self) -> Sequence[Message]:
+        """Messages emitted by local steps executed at the current step.
+
+        This is what Strategy 2.k.0 consumes: it crashes the receivers
+        of the isolated survivor's sends at the step they are decided.
+        """
+        return self._sim.step_sends
+
+    @property
+    def sent_counts(self) -> np.ndarray:
+        """Per-process total messages sent so far (read-only copy)."""
+        return self._sim.trace.sent.copy()
+
+    @property
+    def inflight_to_correct(self) -> int:
+        return self._sim.network.inflight_to_correct
+
+    # -- timing -----------------------------------------------------------------
+
+    def local_step_time(self, rho: ProcessId) -> int:
+        return self._sim.timing.local_step_time(rho)
+
+    def delivery_time(self, rho: ProcessId) -> int:
+        return self._sim.timing.delivery_time(rho)
+
+    # -- protocol knowledge (full omniscience) ------------------------------------
+
+    def knowledge_of(self, rho: ProcessId) -> np.ndarray:
+        """Boolean vector of gossips currently known by *rho*."""
+        return self._sim.protocol.knowledge_of(rho)

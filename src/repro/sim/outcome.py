@@ -1,0 +1,121 @@
+"""Frozen result of one execution, with the paper's complexity measures.
+
+An :class:`Outcome` corresponds to the paper's outcome ``O`` — the full
+realisation of one run. It carries enough aggregate information to
+compute:
+
+- **Message complexity** ``M(O)`` (Definition II.3): the total number
+  of messages sent by all processes, crashed ones included up to their
+  crash, regardless of payload size.
+- **Time complexity** ``T(O) = T_end(O) / (delta + d)``
+  (Definition II.4): the completion step of the last correct process,
+  normalised by the maximum local-step time plus the maximum delivery
+  time in force during the outcome.
+
+Runs that hit ``max_steps`` before quiescence are flagged
+``completed=False``; complexity accessors then raise
+:class:`~repro.errors.IncompleteRunError` unless explicitly overridden,
+because a truncated ``T_end`` silently biases medians downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+from repro.errors import IncompleteRunError
+
+__all__ = ["Outcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class Outcome:
+    """Immutable record of one simulated execution."""
+
+    n: int
+    f: int
+    seed: int
+    protocol_name: str
+    adversary_name: str
+    completed: bool
+    rumor_gathering_ok: bool
+    t_end: GlobalStep
+    max_local_step_time: int
+    max_delivery_time: int
+    sent: np.ndarray
+    received: np.ndarray
+    bytes_sent: np.ndarray
+    crashed: tuple[ProcessId, ...]
+    crash_steps: dict[ProcessId, GlobalStep] = field(repr=False)
+    sleep_counts: np.ndarray = field(repr=False)
+    wake_counts: np.ndarray = field(repr=False)
+    steps_simulated: int = 0
+
+    # -- complexity measures --------------------------------------------------
+
+    def _require_complete(self, allow_truncated: bool) -> None:
+        if not self.completed and not allow_truncated:
+            raise IncompleteRunError(
+                f"run (N={self.n}, F={self.f}, protocol={self.protocol_name}, "
+                f"adversary={self.adversary_name}, seed={self.seed}) hit the "
+                "step limit before quiescence; pass allow_truncated=True to "
+                "measure anyway"
+            )
+
+    def message_complexity(self, *, allow_truncated: bool = False) -> int:
+        """``M(O)``: total messages sent by all processes."""
+        self._require_complete(allow_truncated)
+        return int(self.sent.sum())
+
+    def message_complexity_of(
+        self, rho: ProcessId, *, allow_truncated: bool = False
+    ) -> int:
+        """``M_rho(O)``: messages sent by one process."""
+        self._require_complete(allow_truncated)
+        return int(self.sent[rho])
+
+    def time_complexity(self, *, allow_truncated: bool = False) -> float:
+        """``T(O) = T_end / (delta + d)``."""
+        self._require_complete(allow_truncated)
+        return self.t_end / (self.max_local_step_time + self.max_delivery_time)
+
+    def bandwidth(self, *, allow_truncated: bool = False) -> int:
+        """Total payload bytes sent — the size Definition II.3 ignores.
+
+        An extension metric: the paper's M(O) counts messages
+        regardless of content; bandwidth shows the wire cost of the
+        several-gossips-per-message convention (most dramatic for
+        SEARS, whose every message carries full (G, I) snapshots).
+        """
+        self._require_complete(allow_truncated)
+        return int(self.bytes_sent.sum())
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def correct(self) -> np.ndarray:
+        """Ids of processes that never crashed."""
+        mask = np.ones(self.n, dtype=bool)
+        if self.crashed:
+            mask[list(self.crashed)] = False
+        return np.flatnonzero(mask)
+
+    @property
+    def crash_count(self) -> int:
+        return len(self.crashed)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if self.completed:
+            m = self.message_complexity()
+            t = self.time_complexity()
+            tail = f"M={m} T={t:.2f}"
+        else:
+            tail = "TRUNCATED"
+        return (
+            f"[{self.protocol_name} vs {self.adversary_name}] "
+            f"N={self.n} F={self.f} seed={self.seed} "
+            f"crashes={self.crash_count} gather={self.rumor_gathering_ok} {tail}"
+        )

@@ -1,0 +1,107 @@
+"""Per-process lifecycle bookkeeping.
+
+The scheduling hot path (who acts at which global step) lives in dense
+numpy arrays inside :class:`repro.sim.engine.Simulator`; this module
+holds the *history* side of a process's life: when it crashed, when it
+fell asleep or woke up (Definition IV.2), and — crucially for the time
+complexity measure — the step of its *final* sleep, which is its
+completion moment ("the moment it falls asleep is also the moment it
+completes").
+
+``T_end(O)`` of Definition II.4 is then simply the maximum
+``last_sleep_step`` over correct processes at quiescence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro._typing import GlobalStep, ProcessId
+from repro.errors import SimulationError
+
+__all__ = ["ProcessStatus", "ProcessRuntime"]
+
+
+class ProcessStatus(enum.IntEnum):
+    """Lifecycle state of a simulated process.
+
+    Integer-valued so the engine can mirror statuses in an ``int8``
+    array for vectorised scheduling scans.
+    """
+
+    AWAKE = 0
+    ASLEEP = 1
+    CRASHED = 2
+
+
+class ProcessRuntime:
+    """History record for one process across a run."""
+
+    __slots__ = (
+        "pid",
+        "status",
+        "crash_step",
+        "last_sleep_step",
+        "sleep_count",
+        "wake_count",
+        "action_count",
+    )
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.status = ProcessStatus.AWAKE
+        self.crash_step: GlobalStep | None = None
+        self.last_sleep_step: GlobalStep | None = None
+        self.sleep_count = 0
+        self.wake_count = 0
+        self.action_count = 0
+
+    # -- transitions (driven by the engine) ---------------------------------
+
+    def note_action(self) -> None:
+        self.action_count += 1
+
+    def fall_asleep(self, step: GlobalStep) -> None:
+        if self.status is ProcessStatus.CRASHED:
+            raise SimulationError(f"crashed process {self.pid} cannot sleep")
+        self.status = ProcessStatus.ASLEEP
+        self.last_sleep_step = step
+        self.sleep_count += 1
+
+    def wake(self, step: GlobalStep) -> None:
+        if self.status is not ProcessStatus.ASLEEP:
+            raise SimulationError(
+                f"process {self.pid} woken while {self.status.name}"
+            )
+        self.status = ProcessStatus.AWAKE
+        self.wake_count += 1
+
+    def crash(self, step: GlobalStep) -> None:
+        if self.status is ProcessStatus.CRASHED:
+            raise SimulationError(f"process {self.pid} crashed twice")
+        self.status = ProcessStatus.CRASHED
+        self.crash_step = step
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_correct(self) -> bool:
+        """A process is *correct* iff it never crashed (paper Def. II.1)."""
+        return self.status is not ProcessStatus.CRASHED
+
+    @property
+    def completed_at(self) -> GlobalStep | None:
+        """Completion step: the final sleep, if the process is asleep.
+
+        Meaningful only once the run reached quiescence (an asleep
+        process could still be woken while the run is live).
+        """
+        if self.status is ProcessStatus.ASLEEP:
+            return self.last_sleep_step
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessRuntime(pid={self.pid}, status={self.status.name}, "
+            f"actions={self.action_count}, sleeps={self.sleep_count})"
+        )

@@ -1,0 +1,90 @@
+"""Per-process timing table: local-step times and delivery times.
+
+The paper parameterises the system by ``delta_rho`` (local-step
+duration of process ``rho``) and ``d_rho`` (delivery time of messages
+*sent by* ``rho``), both of which the adaptive adversary may modify
+online (Definition II.5). Time complexity is normalised by the system
+maxima ``delta`` and ``d`` observed *during the outcome*
+(Definitions II.2/II.4), so the table tracks running maxima over both
+processes and time — a value that was ever in force counts toward the
+maximum even if the adversary later lowers it.
+
+Values are kept in dense numpy arrays; lookups on the hot path are
+plain integer indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import ProcessId
+from repro.errors import ConfigurationError
+
+__all__ = ["TimingTable"]
+
+
+class TimingTable:
+    """Mutable ``delta_rho`` / ``d_rho`` table with running maxima."""
+
+    __slots__ = ("_n", "_delta", "_d", "_max_delta", "_max_d")
+
+    def __init__(self, n: int, *, delta: int = 1, d: int = 1) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        if delta < 1 or d < 1:
+            raise ConfigurationError(
+                f"timings must be >= 1 global step, got delta={delta}, d={d}"
+            )
+        self._n = n
+        self._delta = np.full(n, delta, dtype=np.int64)
+        self._d = np.full(n, d, dtype=np.int64)
+        self._max_delta = int(delta)
+        self._max_d = int(d)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    # -- local step times -------------------------------------------------
+
+    def local_step_time(self, rho: ProcessId) -> int:
+        """``delta_rho``: duration of ``rho``'s local steps."""
+        return int(self._delta[rho])
+
+    def set_local_step_time(self, rho: ProcessId, value: int) -> None:
+        """Set ``delta_rho``. Takes effect when ``rho`` next schedules."""
+        if value < 1:
+            raise ConfigurationError(f"delta_rho must be >= 1, got {value}")
+        self._delta[rho] = value
+        if value > self._max_delta:
+            self._max_delta = int(value)
+
+    # -- delivery times ----------------------------------------------------
+
+    def delivery_time(self, rho: ProcessId) -> int:
+        """``d_rho``: delivery time of messages sent by ``rho``."""
+        return int(self._d[rho])
+
+    def set_delivery_time(self, rho: ProcessId, value: int) -> None:
+        """Set ``d_rho``. Affects messages sent from now on only."""
+        if value < 1:
+            raise ConfigurationError(f"d_rho must be >= 1, got {value}")
+        self._d[rho] = value
+        if value > self._max_d:
+            self._max_d = int(value)
+
+    # -- system maxima (the delta and d of Definition II.4) ----------------
+
+    @property
+    def max_local_step_time(self) -> int:
+        """``delta``: max ``delta_rho`` ever in force during the run."""
+        return self._max_delta
+
+    @property
+    def max_delivery_time(self) -> int:
+        """``d``: max ``d_rho`` ever in force during the run."""
+        return self._max_d
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the current ``(delta, d)`` vectors (for views/tests)."""
+        return self._delta.copy(), self._d.copy()

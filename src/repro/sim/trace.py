@@ -1,0 +1,145 @@
+"""Structured execution traces.
+
+Two levels of instrumentation:
+
+- **Counters** (always on, O(1) memory): per-process send counts,
+  receive counts, crash/sleep bookkeeping. These are what the
+  complexity measures (Definitions II.3/II.4) are computed from, so
+  they can never be disabled.
+- **Event log** (opt-in, O(#events) memory): a list of
+  :class:`TraceEvent` records for every send, delivery, drop, crash,
+  sleep, wake and retiming. Tests use the log to check the execution
+  model exactly (e.g. the Lemma 1 indistinguishability property is
+  asserted on traces); experiment sweeps leave it off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+
+__all__ = ["EventKind", "TraceEvent", "TraceRecorder"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of kernel events recorded in the opt-in event log."""
+
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP = "drop"  # message addressed to a crashed process discarded
+    OMIT = "omit"  # message suppressed at the sender by an omission adversary
+    CRASH = "crash"
+    SLEEP = "sleep"
+    WAKE = "wake"
+    RETIME_DELTA = "retime_delta"  # adversary changed delta_rho
+    RETIME_D = "retime_d"  # adversary changed d_rho
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One kernel event.
+
+    ``subject`` is the process the event is about (sender for SEND,
+    receiver for DELIVER/DROP, the crashed/sleeping/retimed process
+    otherwise). ``detail`` carries the counterpart id for message
+    events and the new value for retimings.
+    """
+
+    step: GlobalStep
+    kind: EventKind
+    subject: ProcessId
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Counters plus optional event log for one simulation run."""
+
+    __slots__ = (
+        "n",
+        "sent",
+        "received",
+        "dropped",
+        "omitted",
+        "bytes_sent",
+        "record_events",
+        "_events",
+    )
+
+    def __init__(self, n: int, *, record_events: bool = False) -> None:
+        self.n = n
+        # int64: SEARS at N=500 sends ~50k messages per global step.
+        self.sent = np.zeros(n, dtype=np.int64)
+        self.received = np.zeros(n, dtype=np.int64)
+        self.dropped = np.zeros(n, dtype=np.int64)
+        self.omitted = np.zeros(n, dtype=np.int64)
+        self.bytes_sent = np.zeros(n, dtype=np.int64)
+        self.record_events = record_events
+        self._events: list[TraceEvent] = []
+
+    # -- counter updates (hot path) -----------------------------------------
+
+    def on_send(
+        self, step: GlobalStep, sender: ProcessId, receiver: ProcessId, nbytes: int = 1
+    ) -> None:
+        self.sent[sender] += 1
+        self.bytes_sent[sender] += nbytes
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.SEND, sender, receiver))
+
+    def on_deliver(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
+        self.received[receiver] += 1
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.DELIVER, receiver, sender))
+
+    def on_drop(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
+        self.dropped[receiver] += 1
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.DROP, receiver, sender))
+
+    def on_omit(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
+        """An omission adversary suppressed a send (it still counts as sent)."""
+        self.omitted[sender] += 1
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.OMIT, sender, receiver))
+
+    # -- sparse events -------------------------------------------------------
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.CRASH, rho))
+
+    def on_sleep(self, step: GlobalStep, rho: ProcessId) -> None:
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.SLEEP, rho))
+
+    def on_wake(self, step: GlobalStep, rho: ProcessId) -> None:
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.WAKE, rho))
+
+    def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.RETIME_DELTA, rho, value))
+
+    def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        if self.record_events:
+            self._events.append(TraceEvent(step, EventKind.RETIME_D, rho, value))
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The event log (empty unless ``record_events=True``)."""
+        return self._events
+
+    def events_of(self, kind: EventKind) -> Iterator[TraceEvent]:
+        """Iterate events of one kind, in chronological order."""
+        return (e for e in self._events if e.kind is kind)
+
+    def total_sent(self) -> int:
+        """Total messages sent by all processes — M(O) of Def. II.3."""
+        return int(self.sent.sum())

@@ -1,0 +1,11 @@
+"""Terminal visualisation: ASCII charts for experiment series.
+
+The evaluation figures of the paper are line charts; this subpackage
+renders their regenerated series directly in the terminal so the
+reproduction is inspectable without a plotting stack (matplotlib is
+deliberately not a dependency).
+"""
+
+from repro.viz.ascii_chart import AsciiChart, render_panel, render_series
+
+__all__ = ["AsciiChart", "render_panel", "render_series"]

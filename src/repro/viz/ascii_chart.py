@@ -1,0 +1,163 @@
+"""ASCII line charts.
+
+A small, dependency-free plotter good enough to eyeball the shape of
+complexity curves: multiple named series over a shared x axis, linear
+or log-10 y scale, distinct glyphs per series and a legend.
+
+Example output (Figure 3d style)::
+
+    EARS message complexity (log10 y)
+    10^5 |                                              c
+         |                                    c
+    10^4 |                         c    b
+         |               c    b         a
+    10^3 |     c    b    a    a
+         | ab  a
+         +---------------------------------------------------
+           10   20   30   50   70   100
+    a = no-adversary   b = ugf   c = max-ugf
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AsciiChart", "render_series", "render_panel"]
+
+_GLYPHS = "abcdefghij"
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series ASCII line chart."""
+
+    title: str = ""
+    width: int = 64
+    height: int = 16
+    log_y: bool = False
+    _series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys) or not xs:
+            raise ConfigurationError(
+                f"series {name!r} needs matching non-empty x/y, got {len(xs)}/{len(ys)}"
+            )
+        if len(self._series) >= len(_GLYPHS):
+            raise ConfigurationError(f"at most {len(_GLYPHS)} series per chart")
+        self._series[name] = (list(map(float, xs)), list(map(float, ys)))
+
+    # -- rendering ---------------------------------------------------------
+
+    def _y_transform(self, y: float) -> float:
+        if not self.log_y:
+            return y
+        return math.log10(max(y, 1e-12))
+
+    def render(self) -> str:
+        if not self._series:
+            raise ConfigurationError("chart has no series")
+        all_x = sorted({x for xs, _ in self._series.values() for x in xs})
+        ys_t = [
+            self._y_transform(y) for _, ys in self._series.values() for y in ys
+        ]
+        y_lo, y_hi = min(ys_t), max(ys_t)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        x_lo, x_hi = all_x[0], all_x[-1]
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def col(x: float) -> int:
+            return round((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+
+        def row(y: float) -> int:
+            frac = (self._y_transform(y) - y_lo) / (y_hi - y_lo)
+            return (self.height - 1) - round(frac * (self.height - 1))
+
+        for idx, (name, (xs, ys)) in enumerate(self._series.items()):
+            glyph = _GLYPHS[idx]
+            for x, y in zip(xs, ys):
+                r, c = row(y), col(x)
+                # Collisions show the later series; the legend
+                # disambiguates trends, not individual points.
+                grid[r][c] = glyph
+
+        label_width = 9
+        lines = []
+        if self.title:
+            lines.append(self.title + ("  (log10 y)" if self.log_y else ""))
+        for r in range(self.height):
+            frac = 1.0 - r / (self.height - 1)
+            y_val = y_lo + frac * (y_hi - y_lo)
+            if self.log_y:
+                label = f"1e{y_val:+.1f}"
+            else:
+                label = f"{y_val:.4g}"
+            show = r % max(1, self.height // 5) == 0
+            prefix = (label.rjust(label_width) if show else " " * label_width) + " |"
+            lines.append(prefix + "".join(grid[r]))
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        # x tick labels: at most ~6 evenly spaced data x values, so
+        # dense series do not smear into unreadable digit soup.
+        ticks = [" "] * self.width
+        if len(all_x) <= 6:
+            tick_values = all_x
+        else:
+            idx = np.linspace(0, len(all_x) - 1, 6).round().astype(int)
+            tick_values = [all_x[i] for i in dict.fromkeys(idx.tolist())]
+        last_end = -2
+        for x in tick_values:
+            text = f"{x:g}"
+            c = col(x)
+            start = min(max(0, c - len(text) // 2), self.width - len(text))
+            if start <= last_end + 1:  # avoid overlapping labels
+                continue
+            for i, ch in enumerate(text):
+                ticks[start + i] = ch
+            last_end = start + len(text) - 1
+        lines.append(" " * (label_width + 2) + "".join(ticks))
+        legend = "   ".join(
+            f"{_GLYPHS[i]} = {name}" for i, name in enumerate(self._series)
+        )
+        lines.append(legend)
+        return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    log_y: bool = False,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """One-call rendering of named ``{name: (xs, ys)}`` series."""
+    chart = AsciiChart(title=title, width=width, height=height, log_y=log_y)
+    for name, (xs, ys) in series.items():
+        chart.add_series(name, xs, ys)
+    return chart.render()
+
+
+def render_panel(result, *, width: int = 64, height: int = 16) -> str:
+    """Render a :class:`~repro.experiments.figure3.PanelResult`.
+
+    Message panels are drawn with a log-10 y axis (the paper's message
+    plots span orders of magnitude); time panels linear.
+    """
+    spec = result.spec
+    series = {name: result.series(name) for name in result.curves}
+    return render_series(
+        f"Figure {spec.panel}: {spec.protocol} {spec.quantity} complexity",
+        series,
+        log_y=spec.quantity == "messages",
+        width=width,
+        height=height,
+    )

@@ -1,0 +1,44 @@
+"""Tests for median/quartile aggregation."""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_runs
+from repro.errors import ConfigurationError
+
+
+def test_single_value():
+    stats = aggregate_runs([5.0])
+    assert stats.median == 5.0
+    assert stats.q1 == 5.0
+    assert stats.q3 == 5.0
+    assert stats.n_runs == 1
+    assert stats.iqr == 0.0
+
+
+def test_odd_count_median():
+    stats = aggregate_runs([1, 2, 3, 4, 100])
+    assert stats.median == 3.0
+    assert stats.n_runs == 5
+
+
+def test_quartiles():
+    stats = aggregate_runs(list(range(1, 101)))
+    assert stats.q1 == pytest.approx(25.75)
+    assert stats.median == pytest.approx(50.5)
+    assert stats.q3 == pytest.approx(75.25)
+
+
+def test_median_robust_to_outlier():
+    clean = aggregate_runs([10, 11, 12, 13, 14])
+    dirty = aggregate_runs([10, 11, 12, 13, 10_000])
+    assert dirty.median == pytest.approx(clean.median)
+
+
+def test_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        aggregate_runs([])
+
+
+def test_str_rendering():
+    text = str(aggregate_runs([1.0, 2.0, 3.0]))
+    assert "2" in text and "x3" in text

@@ -1,0 +1,127 @@
+"""Tests for the closed-form lemma and theorem bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    ceil_log,
+    lemma4_probability,
+    lemma5_probability,
+    strategy_probabilities,
+    theorem1_lower_bounds,
+)
+from repro.core.distributions import basel_tail
+from repro.errors import ConfigurationError
+
+
+def test_strategy_probabilities_default_equiprobable():
+    probs = strategy_probabilities()
+    assert probs["1"] == pytest.approx(1 / 3)
+    assert probs["2.k.0"] == pytest.approx(1 / 3)
+    assert probs["2.k.l"] == pytest.approx(1 / 3)
+    assert sum(probs.values()) == pytest.approx(1.0)
+
+
+def test_strategy_probabilities_general():
+    probs = strategy_probabilities(0.5, 0.25)
+    assert probs["1"] == 0.5
+    assert probs["2.k.0"] == pytest.approx(0.125)
+    assert probs["2.k.l"] == pytest.approx(0.375)
+
+
+def test_strategy_probabilities_validation():
+    with pytest.raises(ConfigurationError):
+        strategy_probabilities(0.0, 0.5)
+    with pytest.raises(ConfigurationError):
+        strategy_probabilities(0.5, 1.0)
+
+
+def test_ceil_log_exact_powers():
+    assert ceil_log(8, 2) == 3
+    assert ceil_log(9, 2) == 4
+    assert ceil_log(150**2, 150) == 2  # no float round-off at powers
+    assert ceil_log(1, 7) == 1
+    assert ceil_log(0.5, 7) == 1
+
+
+def test_lemma4_is_a_valid_lower_bound_on_the_exact_tail():
+    # Lemma 4: P[2.k with tau^k >= t] >= (1-q1) 6/(pi^2 ceil(log_tau t)).
+    # The exact probability is (1-q1) * basel_tail(ceil(log_tau t)).
+    q1, tau = 1 / 3, 5
+    for t in (2, 5, 26, 125, 3000):
+        k_min = ceil_log(t, tau)
+        exact = (1 - q1) * basel_tail(k_min)
+        assert lemma4_probability(t, tau, q1) <= exact + 1e-12
+
+
+def test_lemma5_mirrors_lemma4_with_q2():
+    assert lemma5_probability(10, 3, q2=0.5) == pytest.approx(
+        lemma4_probability(10, 3, q1=0.5)
+    )
+
+
+def test_lemma_probabilities_decrease_in_t():
+    prev = 1.0
+    for t in (2, 10, 100, 1000, 10_000):
+        cur = lemma4_probability(t, 3)
+        assert cur <= prev
+        prev = cur
+
+
+def test_lemma_validation():
+    with pytest.raises(ConfigurationError):
+        lemma4_probability(10, 1.0)
+    with pytest.raises(ConfigurationError):
+        lemma5_probability(10, 3, q2=0.0)
+
+
+def test_theorem1_defaults():
+    bounds = theorem1_lower_bounds(100, 30)
+    assert bounds.tau == 30  # tau defaults to F
+    assert bounds.alpha == 1
+    # Part 1: q1/2 * alpha F = 1/6 * 30 = 5.
+    assert bounds.time_bound_case_i == pytest.approx(5.0)
+    # Part 2.a: 3(1-q1)q2/(4 pi^2) alpha F = 3*(2/3)*0.5/(4 pi^2)*30.
+    expected_iia = 3 * (2 / 3) * 0.5 / (4 * math.pi**2) * 30
+    assert bounds.time_bound_case_iia == pytest.approx(expected_iia)
+    assert bounds.time_bound == min(
+        bounds.time_bound_case_i, bounds.time_bound_case_iia
+    )
+
+
+def test_theorem1_message_bound_includes_n_floor():
+    # With a tiny F the F^2 term vanishes and N dominates.
+    bounds = theorem1_lower_bounds(1000, 2)
+    assert bounds.message_bound == 1000.0
+
+
+def test_theorem1_message_bound_f_squared_term():
+    n, f = 100, 30
+    bounds = theorem1_lower_bounds(n, f, alpha=1)
+    expected = f * f / 8 * 9 * (2 / 3) * 0.5 / (math.pi**4 * 1**2)
+    assert bounds.message_bound == pytest.approx(max(n, expected))
+
+
+def test_theorem1_alpha_scales_time_bound():
+    b1 = theorem1_lower_bounds(100, 30, alpha=1)
+    b4 = theorem1_lower_bounds(100, 30, alpha=4)
+    assert b4.time_bound == pytest.approx(4 * b1.time_bound)
+
+
+def test_theorem1_alpha_weakens_message_bound():
+    # Larger alpha grows the log term, shrinking F^2/log^2 — the trade-off.
+    b1 = theorem1_lower_bounds(100, 30, alpha=1, tau=2)
+    b32 = theorem1_lower_bounds(100, 30, alpha=64, tau=2)
+    assert b32.message_bound <= b1.message_bound
+
+
+def test_theorem1_validation():
+    with pytest.raises(ConfigurationError):
+        theorem1_lower_bounds(1, 0)
+    with pytest.raises(ConfigurationError):
+        theorem1_lower_bounds(10, 10)
+    with pytest.raises(ConfigurationError):
+        theorem1_lower_bounds(10, 3, alpha=0)
+    with pytest.raises(ConfigurationError):
+        theorem1_lower_bounds(10, 3, tau=1)

@@ -1,0 +1,111 @@
+"""Tests for growth-model fitting and selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import GROWTH_MODELS, best_growth_model, fit_growth
+from repro.errors import ConfigurationError
+
+N = np.array([10, 20, 30, 50, 70, 100, 200, 400], dtype=float)
+
+
+def test_fit_recovers_coefficient_linear():
+    fit = fit_growth(N, 3.5 * N, "linear")
+    assert fit.coefficient == pytest.approx(3.5)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_fit_recovers_coefficient_quadratic():
+    fit = fit_growth(N, 0.25 * N**2, "quadratic")
+    assert fit.coefficient == pytest.approx(0.25)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_selection_picks_right_family_clean_data():
+    for name, g in GROWTH_MODELS.items():
+        y = 2.0 * g(N)
+        best = best_growth_model(N, y)
+        # log-R^2 can tie between adjacent families only on degenerate
+        # data; clean synthetic data must pick its own family.
+        assert best.model == name, (name, best)
+
+
+def test_selection_robust_to_noise():
+    rng = np.random.default_rng(0)
+    y = 5.0 * N**2 * rng.uniform(0.8, 1.25, size=N.size)
+    best = best_growth_model(N, y)
+    assert best.model in ("quadratic", "n^1.5")
+    # quadratic must beat linear decisively
+    lin = fit_growth(N, y, "linear")
+    quad = fit_growth(N, y, "quadratic")
+    assert quad.r_squared > lin.r_squared
+
+
+def test_candidate_restriction():
+    y = 2.0 * N
+    best = best_growth_model(N, y, candidates=("log", "quadratic"))
+    assert best.model in ("log", "quadratic")
+
+
+def test_predict():
+    fit = fit_growth(N, 2.0 * N, "linear")
+    assert fit.predict(10.0) == pytest.approx(20.0)
+    out = fit.predict(np.array([1.0, 2.0]))
+    assert np.allclose(out, [2.0, 4.0])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        fit_growth(N, 2 * N, "cubic-ish")
+    with pytest.raises(ConfigurationError):
+        fit_growth([1.0], [2.0], "linear")  # too few points
+    with pytest.raises(ConfigurationError):
+        fit_growth([1.0, 2.0], [0.0, 1.0], "linear")  # non-positive y
+    with pytest.raises(ConfigurationError):
+        fit_growth([1.0, 2.0, 3.0], [1.0, 2.0], "linear")  # shape mismatch
+
+
+def test_flat_curve_prefers_constant():
+    y = np.full(N.size, 7.0)
+    best = best_growth_model(N, y)
+    assert best.model == "constant"
+
+
+# ---------------------------------------------------------------- affine fits
+
+
+def test_affine_recovers_offset_and_slope():
+    from repro.analysis.fitting import fit_affine
+
+    fit = fit_affine(N, 3.0 + 0.5 * N, "linear")
+    assert fit.offset == pytest.approx(3.0)
+    assert fit.coefficient == pytest.approx(0.5)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_affine_distinguishes_floor_plus_linear_from_log():
+    # The Figure 3a situation: a constant floor plus a gentle linear
+    # term, over a small N grid. Through-origin fits are ambiguous;
+    # affine fits are not.
+    from repro.analysis.fitting import fit_affine
+
+    y = 4.0 + 0.1 * N
+    assert (
+        fit_affine(N, y, "linear").r_squared > fit_affine(N, y, "log").r_squared
+    )
+
+
+def test_affine_predict():
+    from repro.analysis.fitting import fit_affine
+
+    fit = fit_affine(N, 1.0 + 2.0 * np.log1p(N), "log")
+    assert fit.predict(10.0) == pytest.approx(1.0 + 2.0 * np.log1p(10.0))
+
+
+def test_affine_validation():
+    from repro.analysis.fitting import fit_affine
+
+    with pytest.raises(ConfigurationError):
+        fit_affine([1.0, 2.0], [1.0, 2.0], "linear")  # needs >= 3 points
+    with pytest.raises(ConfigurationError):
+        fit_affine(N, 2 * N, "septic")

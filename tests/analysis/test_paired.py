@@ -1,0 +1,58 @@
+"""Tests for seed-paired damage statistics."""
+
+import pytest
+
+from repro.analysis.paired import paired_damage
+from repro.errors import ConfigurationError
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+
+
+def outcomes(adversary: str, seeds=range(4), n=24, f=7, protocol="ears"):
+    return [
+        run_trial(
+            TrialSpec(protocol=protocol, adversary=adversary, n=n, f=f, seed=s)
+        )
+        for s in seeds
+    ]
+
+
+def test_null_vs_null_is_unity():
+    base = outcomes("none")
+    summary = paired_damage(base, outcomes("none"))
+    assert summary.pairs == 4
+    assert summary.message_ratio.median == pytest.approx(1.0)
+    assert summary.time_ratio.median == pytest.approx(1.0)
+
+
+def test_attack_ratios_exceed_one():
+    base = outcomes("none")
+    attacked = outcomes("str-2.1.0")
+    summary = paired_damage(base, attacked)
+    assert summary.time_ratio.median > 1.5  # the EARS isolation wall
+    assert summary.message_ratio.median > 1.0
+
+
+def test_seed_mismatch_rejected():
+    base = outcomes("none", seeds=range(3))
+    attacked = outcomes("str-1", seeds=range(1, 4))
+    with pytest.raises(ConfigurationError, match="same seeds"):
+        paired_damage(base, attacked)
+
+
+def test_config_mismatch_rejected():
+    base = outcomes("none", n=24)
+    attacked = outcomes("none", n=26)
+    with pytest.raises(ConfigurationError, match="differ in N"):
+        paired_damage(base, attacked)
+
+
+def test_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        paired_damage([], [])
+
+
+def test_str_rendering():
+    base = outcomes("none", seeds=range(2))
+    text = str(paired_damage(base, outcomes("str-1", seeds=range(2))))
+    assert "seed pairs" in text and "messages x" in text

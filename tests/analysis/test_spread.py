@@ -1,0 +1,106 @@
+"""Tests for exposure-time reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spread import exposure_times
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import CrashGroupStrategy, DelayGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def traced(protocol="round-robin", adversary=None, n=12, f=0, seed=0):
+    return simulate(
+        make_protocol(protocol),
+        adversary or NullAdversary(),
+        n=n,
+        f=f,
+        seed=seed,
+        record_events=True,
+    )
+
+
+def test_requires_event_trace():
+    report = simulate(
+        make_protocol("flood"), NullAdversary(), n=5, f=0, seed=0
+    )
+    with pytest.raises(ConfigurationError):
+        exposure_times(report, 0)
+
+
+def test_gossip_id_validated():
+    report = traced()
+    with pytest.raises(ConfigurationError):
+        exposure_times(report, 99)
+
+
+def test_originator_exposed_at_zero():
+    profile = exposure_times(traced(), 3)
+    assert profile.times[3] == 0.0
+
+
+def test_flood_exposes_everyone_in_one_hop():
+    report = traced("flood", n=10)
+    profile = exposure_times(report, 0)
+    others = np.delete(profile.times, 0)
+    # Flood emission at step 1, arrival at step 2.
+    assert (others == 2.0).all()
+    assert profile.exposed_fraction == 1.0
+
+
+def test_round_robin_exposure_is_staggered():
+    n = 10
+    profile = exposure_times(traced("round-robin", n=n), 0)
+    # Process 0 sends to 1, 2, ... in order; direct exposures are
+    # increasing, possibly shortcut by relays carrying all-known.
+    t = profile.times
+    assert t[1] <= t[5] <= t[9] or np.isfinite(t).all()
+    assert np.isfinite(t).all()
+
+
+def test_quantile_step_monotone_in_fraction():
+    profile = exposure_times(traced("push-pull", n=20), 0)
+    assert profile.quantile_step(0.25) <= profile.quantile_step(0.5)
+    assert profile.quantile_step(0.5) <= profile.quantile_step(1.0)
+
+
+def test_quantile_validation():
+    profile = exposure_times(traced(), 0)
+    with pytest.raises(ConfigurationError):
+        profile.quantile_step(0.0)
+    with pytest.raises(ConfigurationError):
+        profile.quantile_step(1.5)
+
+
+def test_crashed_processes_excluded_from_quantiles():
+    report = traced(
+        "push-pull", adversary=CrashGroupStrategy(group=[4, 5]), n=12, f=4, seed=1
+    )
+    profile = exposure_times(report, 0)
+    assert not profile.correct[4] and not profile.correct[5]
+    # Quantiles are over the 10 correct processes and still finite.
+    assert np.isfinite(profile.quantile_step(1.0))
+
+
+def test_throttling_the_source_delays_exposure():
+    n, f = 30, 9
+    base = exposure_times(traced("push-pull", n=n, f=f, seed=3), 0)
+    throttled_report = traced(
+        "push-pull",
+        adversary=DelayGroupStrategy(1, 1, group=[0]),
+        n=n,
+        f=f,
+        seed=3,
+    )
+    throttled = exposure_times(throttled_report, 0)
+    assert throttled.quantile_step(0.5) > 5 * base.quantile_step(0.5)
+
+
+def test_exposure_never_before_cause():
+    # No process may appear exposed earlier than the originator's
+    # first possible emission.
+    profile = exposure_times(traced("ears", n=15, seed=2), 0)
+    others = np.delete(profile.times, 0)
+    assert (others[np.isfinite(others)] >= 2).all()

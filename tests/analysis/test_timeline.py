@@ -1,0 +1,94 @@
+"""Tests for per-step timeline reconstruction."""
+
+import pytest
+
+from repro.analysis.timeline import build_timeline
+from repro.core.adversary import NullAdversary
+from repro.core.registry import make_adversary
+from repro.core.strategies import CrashGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def traced(protocol="flood", adversary=None, n=10, f=0, seed=0):
+    return simulate(
+        make_protocol(protocol),
+        adversary or NullAdversary(),
+        n=n,
+        f=f,
+        seed=seed,
+        record_events=True,
+    )
+
+
+def test_requires_event_trace():
+    report = simulate(make_protocol("flood"), NullAdversary(), n=5, f=0, seed=0)
+    with pytest.raises(ConfigurationError):
+        build_timeline(report)
+
+
+def test_totals_match_counters():
+    report = traced("push-pull", n=20)
+    timeline = build_timeline(report)
+    assert sum(s.sends for s in timeline.steps) == report.trace.sent.sum()
+    assert sum(s.deliveries for s in timeline.steps) == report.trace.received.sum()
+    assert sum(s.crashes for s in timeline.steps) == report.outcome.crash_count
+
+
+def test_flood_timeline_shape():
+    n = 8
+    timeline = build_timeline(traced("flood", n=n))
+    by_step = {s.step: s for s in timeline.steps}
+    # Everyone sends at its first local step (emission stamped step 1),
+    # sleeps at step 0, deliveries land at step 2.
+    assert by_step[1].sends == n * (n - 1)
+    assert by_step[0].sleeps == n
+    assert by_step[2].deliveries == n * (n - 1)
+
+
+def test_awake_count_reaches_zero_at_quiescence():
+    timeline = build_timeline(traced("push-pull", n=15))
+    assert timeline.steps[-1].awake_after == 0
+    # And never negative anywhere.
+    assert all(s.awake_after >= 0 for s in timeline.steps)
+
+
+def test_crash_of_sleeping_process_keeps_awake_count_consistent():
+    report = traced(
+        "flood", adversary=CrashGroupStrategy(group=[1, 2]), n=10, f=4, seed=1
+    )
+    timeline = build_timeline(report)
+    assert all(0 <= s.awake_after <= 10 for s in timeline.steps)
+    assert timeline.steps[-1].awake_after == 0
+
+
+def test_quiet_gaps_under_delay_attack():
+    report = simulate(
+        make_protocol("ears"),
+        make_adversary("str-2.1.1"),
+        n=30,
+        f=9,
+        seed=0,
+        record_events=True,
+    )
+    timeline = build_timeline(report)
+    gaps = timeline.quiet_gaps
+    assert gaps, "a delay attack must produce fast-forwarded dead air"
+    longest = max(b - a for a, b in gaps)
+    assert longest >= 5  # gaps of order tau = F = 9 (C acts every tau steps)
+
+
+def test_series_accessor_and_validation():
+    timeline = build_timeline(traced("flood", n=6))
+    xs, ys = timeline.series("sends")
+    assert len(xs) == len(ys) == len(timeline.steps)
+    with pytest.raises(ConfigurationError):
+        timeline.series("step")
+    with pytest.raises(ConfigurationError):
+        timeline.series("bananas")
+
+
+def test_busiest_step():
+    timeline = build_timeline(traced("flood", n=8))
+    assert timeline.busiest_step.sends == 8 * 7

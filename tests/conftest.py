@@ -1,0 +1,39 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import SimulationReport, simulate
+
+
+def run(
+    protocol: str,
+    adversary: str = "none",
+    *,
+    n: int = 20,
+    f: int = 6,
+    seed: int = 0,
+    max_steps: int = 500_000,
+    record_events: bool = False,
+    protocol_kwargs: dict | None = None,
+    adversary_kwargs: dict | None = None,
+) -> SimulationReport:
+    """Build-and-run one small simulation from registry names."""
+    return simulate(
+        make_protocol(protocol, **(protocol_kwargs or {})),
+        make_adversary(adversary, **(adversary_kwargs or {})),
+        n=n,
+        f=f,
+        seed=seed,
+        max_steps=max_steps,
+        record_events=record_events,
+    )
+
+
+@pytest.fixture
+def null_adversary() -> NullAdversary:
+    return NullAdversary()

@@ -1,0 +1,42 @@
+"""Unit tests for crash budget enforcement."""
+
+import pytest
+
+from repro.core.budget import CrashBudget
+from repro.errors import ConfigurationError, CrashBudgetExceeded
+
+
+def test_initial_state():
+    budget = CrashBudget(3)
+    assert budget.limit == 3
+    assert budget.used == 0
+    assert budget.remaining == 3
+    assert budget.can_draw()
+
+
+def test_draw_consumes():
+    budget = CrashBudget(2)
+    budget.draw()
+    assert budget.used == 1
+    assert budget.remaining == 1
+    budget.draw()
+    assert not budget.can_draw()
+
+
+def test_overdraw_raises():
+    budget = CrashBudget(1)
+    budget.draw()
+    with pytest.raises(CrashBudgetExceeded):
+        budget.draw()
+
+
+def test_zero_budget():
+    budget = CrashBudget(0)
+    assert not budget.can_draw()
+    with pytest.raises(CrashBudgetExceeded):
+        budget.draw()
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ConfigurationError):
+        CrashBudget(-1)

@@ -1,0 +1,133 @@
+"""Tests for oblivious, scheduled and omission adversaries."""
+
+import pytest
+
+from repro.core.fixed import ObliviousAdversary, OmissionAdversary, ScheduledAdversary
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+# ---------------------------------------------------------------- Oblivious
+
+
+def test_oblivious_crashes_exactly_f_within_live_window():
+    # Round-robin runs for ~N steps, so a horizon-8 schedule fires in
+    # full. (Crashes scheduled after quiescence never fire — the run is
+    # over and could not be affected anyway.)
+    outcome = simulate(
+        make_protocol("round-robin"), ObliviousAdversary(horizon=8), n=20, f=6, seed=0
+    ).outcome
+    assert outcome.crash_count == 6
+
+
+def test_oblivious_late_schedule_may_not_fire():
+    outcome = simulate(
+        make_protocol("flood"), ObliviousAdversary(horizon=64), n=20, f=6, seed=0
+    ).outcome
+    # Flood quiesces after ~2 steps; crashes scheduled later are moot.
+    assert outcome.crash_count <= 6
+
+
+def test_oblivious_schedule_within_horizon():
+    outcome = simulate(
+        make_protocol("ears"), ObliviousAdversary(horizon=10), n=20, f=5, seed=1
+    ).outcome
+    assert all(step < 10 for step in outcome.crash_steps.values())
+
+
+def test_oblivious_is_deterministic_per_seed():
+    a = simulate(make_protocol("flood"), ObliviousAdversary(), n=15, f=4, seed=2).outcome
+    b = simulate(make_protocol("flood"), ObliviousAdversary(), n=15, f=4, seed=2).outcome
+    assert a.crashed == b.crashed
+    assert a.crash_steps == b.crash_steps
+
+
+def test_oblivious_validation():
+    with pytest.raises(ConfigurationError):
+        ObliviousAdversary(horizon=0)
+
+
+def test_oblivious_much_weaker_than_quadratic():
+    # §VI: oblivious adversaries cannot force quadratic messages on an
+    # efficient protocol.
+    n = 60
+    outcome = simulate(
+        make_protocol("push-pull"), ObliviousAdversary(), n=n, f=18, seed=3
+    ).outcome
+    assert outcome.completed
+    assert outcome.message_complexity(allow_truncated=True) < n * n
+
+
+# ---------------------------------------------------------------- Scheduled
+
+
+def test_scheduled_actions_apply_at_their_steps():
+    script = {0: [("delta", 0, 3)], 4: [("crash", 1)], 6: [("d", 2, 9)]}
+    outcome = simulate(
+        make_protocol("round-robin"), ScheduledAdversary(script), n=8, f=2, seed=0
+    ).outcome
+    assert outcome.crash_steps[1] == 4
+    assert outcome.max_local_step_time == 3
+    assert outcome.max_delivery_time == 9
+
+
+def test_scheduled_unknown_action_rejected():
+    with pytest.raises(ConfigurationError):
+        simulate(
+            make_protocol("flood"),
+            ScheduledAdversary({0: [("explode", 1)]}),
+            n=5,
+            f=1,
+            seed=0,
+        )
+
+
+def test_scheduled_next_wakeup():
+    adv = ScheduledAdversary({5: [("crash", 0)], 9: [("crash", 1)]})
+    assert adv.next_wakeup(0) == 5
+    assert adv.next_wakeup(5) == 9
+    assert adv.next_wakeup(9) is None
+
+
+# ---------------------------------------------------------------- Omission
+
+
+def test_omission_silences_group_but_sends_still_count():
+    adv = OmissionAdversary(group=[0, 1])
+    report = simulate(
+        make_protocol("round-robin"), adv, n=8, f=4, seed=0, max_steps=50_000
+    )
+    outcome = report.outcome
+    assert outcome.completed
+    assert outcome.crash_count == 0
+    # Round-robin members of C still send their full schedule; the
+    # messages are paid for but never travel.
+    assert outcome.sent[0] == 7 and outcome.sent[1] == 7
+    assert report.trace.omitted[0] == 7 and report.trace.omitted[1] == 7
+    assert report.trace.received.sum() == outcome.sent.sum() - 14
+
+
+def test_omission_defeats_rumor_gathering():
+    # The silenced processes are correct, so Def. II.1 demands their
+    # gossips arrive — omission makes that impossible: a correctness
+    # attack, not an efficiency attack.
+    adv = OmissionAdversary(group=[2, 3])
+    outcome = simulate(
+        make_protocol("push-pull"), adv, n=12, f=4, seed=0, max_steps=100_000
+    ).outcome
+    assert outcome.completed  # quiescence survives (coverage rule)
+    assert not outcome.rumor_gathering_ok
+
+
+def test_omission_can_be_lifted():
+    from repro.core.fixed import ScheduledAdversary
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(
+        make_protocol("round-robin"), ScheduledAdversary({}), n=6, f=0, seed=0
+    )
+    sim.controls.set_omission(2, True)
+    assert sim.network.is_omitted(2)
+    sim.controls.set_omission(2, False)
+    assert not sim.network.is_omitted(2)

@@ -1,0 +1,71 @@
+"""Tests for the greedy full-knowledge oracle baseline."""
+
+import pytest
+
+from repro.core.greedy import GreedyOracleAdversary
+from repro.core.registry import make_adversary
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        GreedyOracleAdversary(start_step=-1)
+    with pytest.raises(ConfigurationError):
+        GreedyOracleAdversary(crashes_per_step=0)
+
+
+def test_registry():
+    adv = make_adversary("greedy-oracle", start_step=3)
+    assert isinstance(adv, GreedyOracleAdversary)
+    assert adv.start_step == 3
+
+
+def test_budget_respected_and_run_completes():
+    for protocol in ("push-pull", "ears"):
+        outcome = simulate(
+            make_protocol(protocol), GreedyOracleAdversary(), n=30, f=9, seed=1
+        ).outcome
+        assert outcome.completed
+        assert outcome.crash_count <= 9
+
+
+def test_gathering_survives_for_tolerant_protocols():
+    outcome = simulate(
+        make_protocol("push-pull"), GreedyOracleAdversary(), n=30, f=9, seed=2
+    ).outcome
+    assert outcome.rumor_gathering_ok
+
+
+def test_crashes_spread_over_steps():
+    outcome = simulate(
+        make_protocol("ears"), GreedyOracleAdversary(), n=24, f=6, seed=0
+    ).outcome
+    # One crash per step starting at start_step: distinct steps.
+    steps = sorted(outcome.crash_steps.values())
+    assert len(set(steps)) == len(steps)
+    assert steps[0] >= 1
+
+
+def test_targets_the_most_informed():
+    # Against round-robin the knowledge leader early on is whoever
+    # received the most; the greedy oracle must crash *someone* with
+    # above-average knowledge at crash time — weak but meaningful:
+    # its victims were awake knowledge leaders, so the protocol slows.
+    base = simulate(
+        make_protocol("ears"), make_adversary("none"), n=30, f=9, seed=4
+    ).outcome
+    hit = simulate(
+        make_protocol("ears"), GreedyOracleAdversary(), n=30, f=9, seed=4
+    ).outcome
+    assert hit.crash_count == 9
+    # EARS under informed decimation takes at least as long to settle.
+    assert hit.time_complexity() >= base.time_complexity() * 0.8
+
+
+def test_start_step_delays_first_crash():
+    outcome = simulate(
+        make_protocol("ears"), GreedyOracleAdversary(start_step=10), n=20, f=4, seed=0
+    ).outcome
+    assert all(step >= 10 for step in outcome.crash_steps.values())

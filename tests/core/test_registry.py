@@ -1,0 +1,52 @@
+"""Tests for the adversary registry."""
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.fixed import ObliviousAdversary, OmissionAdversary
+from repro.core.registry import available_adversaries, make_adversary
+from repro.core.strategies import (
+    CrashGroupStrategy,
+    DelayGroupStrategy,
+    IsolateSurvivorStrategy,
+)
+from repro.core.ugf import UniversalGossipFighter
+from repro.errors import ConfigurationError
+
+
+def test_basic_names():
+    assert isinstance(make_adversary("none"), NullAdversary)
+    assert isinstance(make_adversary("ugf"), UniversalGossipFighter)
+    assert isinstance(make_adversary("oblivious"), ObliviousAdversary)
+    assert isinstance(make_adversary("omission"), OmissionAdversary)
+    assert isinstance(make_adversary("str-1"), CrashGroupStrategy)
+
+
+def test_strategy_pattern_parsing():
+    adv = make_adversary("str-2.3.0")
+    assert isinstance(adv, IsolateSurvivorStrategy)
+    assert adv.k == 3
+    adv = make_adversary("str-2.2.5")
+    assert isinstance(adv, DelayGroupStrategy)
+    assert adv.k == 2 and adv.l == 5
+
+
+def test_kwargs_forwarded():
+    ugf = make_adversary("ugf", q1=0.4, kl_mode="sampled")
+    assert ugf.q1 == 0.4
+    assert ugf.kl_mode == "sampled"
+    iso = make_adversary("str-2.1.0", tau=7)
+    assert iso._tau_param == 7
+
+
+def test_unknown_rejected():
+    with pytest.raises(ConfigurationError):
+        make_adversary("str-3.1.1")
+    with pytest.raises(ConfigurationError):
+        make_adversary("gremlin")
+
+
+def test_available_list_is_informative():
+    names = available_adversaries()
+    assert "ugf" in names
+    assert "none" in names

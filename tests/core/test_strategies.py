@@ -1,0 +1,163 @@
+"""Behavioural tests for UGF's three strategy families."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    CrashGroupStrategy,
+    DelayGroupStrategy,
+    IsolateSurvivorStrategy,
+    group_size,
+    sample_group,
+)
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator, simulate
+from repro.sim.trace import EventKind
+
+
+def test_group_size_floors_half_f():
+    assert group_size(0) == 0
+    assert group_size(1) == 0
+    assert group_size(2) == 1
+    assert group_size(15) == 7
+    assert group_size(30) == 15
+
+
+def test_sample_group_size_and_range():
+    rng = np.random.default_rng(0)
+    group = sample_group(rng, 50, 20)
+    assert group.size == 10
+    assert len(set(group.tolist())) == 10
+    assert group.min() >= 0 and group.max() < 50
+    assert np.all(np.diff(group) > 0)  # sorted
+
+
+def test_tau_validation():
+    with pytest.raises(ConfigurationError):
+        CrashGroupStrategy(tau=1)
+    with pytest.raises(ConfigurationError):
+        IsolateSurvivorStrategy(k=0)
+    with pytest.raises(ConfigurationError):
+        DelayGroupStrategy(k=1, l=0)
+
+
+def test_names():
+    assert CrashGroupStrategy().name == "str-1"
+    assert IsolateSurvivorStrategy(2).name == "str-2.2.0"
+    assert DelayGroupStrategy(1, 3).name == "str-2.1.3"
+
+
+# ---------------------------------------------------------------- Strategy 1
+
+
+def test_strategy1_crashes_exactly_the_group():
+    adv = CrashGroupStrategy(group=[1, 3, 5])
+    outcome = simulate(
+        make_protocol("round-robin"), adv, n=10, f=6, seed=0
+    ).outcome
+    assert set(outcome.crashed) == {1, 3, 5}
+    assert all(outcome.crash_steps[p] == 0 for p in outcome.crashed)
+
+
+def test_strategy1_samples_group_of_half_f():
+    adv = CrashGroupStrategy()
+    outcome = simulate(make_protocol("flood"), adv, n=20, f=8, seed=1).outcome
+    assert outcome.crash_count == 4
+
+
+# ---------------------------------------------------------------- Strategy 2.k.0
+
+
+def test_isolation_sets_slow_clock_and_crashes_rest_of_group():
+    adv = IsolateSurvivorStrategy(1, tau=5, group=[2, 4, 6])
+    sim = Simulator(make_protocol("round-robin"), adv, n=12, f=6, seed=0)
+    outcome = sim.run()
+    survivor = adv.survivor
+    assert survivor in (2, 4, 6)
+    crashed_group = {2, 4, 6} - {survivor}
+    assert crashed_group <= set(outcome.crashed)
+    # All group members were retimed to tau^k = 5.
+    assert outcome.max_local_step_time == 5
+
+
+def test_isolation_crashes_survivors_receivers_until_budget():
+    adv = IsolateSurvivorStrategy(1, tau=4, group=[0, 1])
+    report = simulate(
+        make_protocol("ears"), adv, n=16, f=4, seed=3, record_events=True
+    )
+    outcome = report.outcome
+    assert outcome.crash_count <= 4  # never exceeds F
+    survivor = adv.survivor
+    # Every crashed non-group process was a receiver of the survivor.
+    survivor_receivers = {
+        e.detail for e in report.trace.events_of(EventKind.SEND) if e.subject == survivor
+    }
+    for rho in outcome.crashed:
+        if rho in (0, 1):
+            continue
+        assert rho in survivor_receivers
+
+
+def test_isolation_no_group_message_delivered_before_wall():
+    """Lemma 3's mechanism: nothing from C gets out before the wall."""
+    adv = IsolateSurvivorStrategy(1, tau=6, group=[0, 1, 2])
+    report = simulate(
+        make_protocol("ears"), adv, n=18, f=6, seed=5, record_events=True
+    )
+    survivor = adv.survivor
+    first_delivery = None
+    for e in report.trace.events_of(EventKind.DELIVER):
+        if e.detail == survivor:  # delivery whose sender is the survivor
+            first_delivery = e.step
+            break
+    # Budget after group crashes: F - (|C|-1) = 4 receiver crashes;
+    # the survivor sends one EARS message per local step of length 6,
+    # so nothing can land before ~5 local steps have passed.
+    assert first_delivery is None or first_delivery > 4 * 6
+
+
+def test_isolation_degenerates_gracefully_with_tiny_f():
+    # F=1 -> |C|=0: the strategy is a no-op, the run just succeeds.
+    outcome = simulate(
+        make_protocol("push-pull"), IsolateSurvivorStrategy(1), n=10, f=1, seed=0
+    ).outcome
+    assert outcome.completed
+    assert outcome.crash_count == 0
+
+
+# ---------------------------------------------------------------- Strategy 2.k.l
+
+
+def test_delay_sets_both_timings_and_crashes_nobody():
+    adv = DelayGroupStrategy(1, 1, tau=3, group=[5, 6])
+    outcome = simulate(make_protocol("round-robin"), adv, n=10, f=4, seed=0).outcome
+    assert outcome.crash_count == 0
+    assert outcome.max_local_step_time == 3  # tau^k
+    assert outcome.max_delivery_time == 9  # tau^(k+l)
+
+
+def test_delay_exponents_multiply():
+    adv = DelayGroupStrategy(2, 3, tau=2, group=[1])
+    outcome = simulate(make_protocol("flood"), adv, n=6, f=2, seed=0).outcome
+    assert outcome.max_local_step_time == 4  # 2^2
+    assert outcome.max_delivery_time == 32  # 2^(2+3)
+
+
+def test_tau_defaults_to_f():
+    adv = DelayGroupStrategy(1, 1, group=[1])
+    simulate(make_protocol("flood"), adv, n=10, f=6, seed=0)
+    assert adv.tau == 6
+
+
+def test_tau_floor_of_two_for_tiny_f():
+    adv = DelayGroupStrategy(1, 1, group=[1])
+    simulate(make_protocol("flood"), adv, n=10, f=1, seed=0)
+    assert adv.tau == 2
+
+
+def test_strategies_need_rng_or_explicit_group():
+    adv = CrashGroupStrategy()
+    adv.rng = None
+    with pytest.raises(ConfigurationError):
+        adv._prepare(None)  # type: ignore[arg-type]

@@ -1,0 +1,129 @@
+"""Tests for the Universal Gossip Fighter (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import group_size
+from repro.core.ugf import ChosenStrategy, UniversalGossipFighter
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        UniversalGossipFighter(q1=0.0)
+    with pytest.raises(ConfigurationError):
+        UniversalGossipFighter(q1=1.0)
+    with pytest.raises(ConfigurationError):
+        UniversalGossipFighter(q2=-0.1)
+    with pytest.raises(ConfigurationError):
+        UniversalGossipFighter(tau=1)
+    with pytest.raises(ConfigurationError):
+        UniversalGossipFighter(kl_mode="weird")
+
+
+def test_requires_rng():
+    ugf = UniversalGossipFighter()
+    with pytest.raises(ConfigurationError):
+        ugf.setup(None, None)  # type: ignore[arg-type]
+
+
+def test_chosen_strategy_recorded():
+    ugf = UniversalGossipFighter()
+    simulate(make_protocol("flood"), ugf, n=12, f=4, seed=0)
+    assert isinstance(ugf.chosen, ChosenStrategy)
+    assert ugf.chosen.kind in ("1", "2.k.0", "2.k.l")
+    assert ugf.chosen.label.startswith("str-")
+
+
+def test_fixed_mode_pins_k_and_l_to_one():
+    for seed in range(12):
+        ugf = UniversalGossipFighter(kl_mode="fixed")
+        simulate(make_protocol("flood"), ugf, n=12, f=4, seed=seed)
+        if ugf.chosen.k is not None:
+            assert ugf.chosen.k == 1
+        if ugf.chosen.l is not None:
+            assert ugf.chosen.l == 1
+
+
+def test_sampled_mode_draws_varied_exponents():
+    ks = set()
+    for seed in range(60):
+        ugf = UniversalGossipFighter(kl_mode="sampled", max_k=4, tau=2)
+        simulate(make_protocol("flood"), ugf, n=12, f=4, seed=seed)
+        if ugf.chosen.k is not None:
+            ks.add(ugf.chosen.k)
+    assert len(ks) > 1  # the Basel draw actually varies
+
+
+def test_strategy_mixture_frequencies():
+    # With q1=1/3, q2=1/2 the three families are equiprobable (§V-A.3).
+    counts = {"1": 0, "2.k.0": 0, "2.k.l": 0}
+    runs = 150
+    for seed in range(runs):
+        ugf = UniversalGossipFighter()
+        simulate(make_protocol("flood"), ugf, n=10, f=4, seed=seed)
+        counts[ugf.chosen.kind] += 1
+    for kind, count in counts.items():
+        assert runs / 5 < count < runs / 2, (kind, counts)
+
+
+def test_mixture_respects_q_parameters():
+    # q1 ~ 1: almost always Strategy 1.
+    hits = 0
+    for seed in range(30):
+        ugf = UniversalGossipFighter(q1=0.99, q2=0.5)
+        simulate(make_protocol("flood"), ugf, n=10, f=4, seed=seed)
+        hits += ugf.chosen.kind == "1"
+    assert hits >= 27
+
+
+def test_crash_budget_respected_over_many_runs():
+    for seed in range(20):
+        outcome = simulate(
+            make_protocol("push-pull"), UniversalGossipFighter(), n=20, f=6, seed=seed
+        ).outcome
+        assert outcome.crash_count <= 6
+
+
+def test_group_size_is_half_f():
+    # Under Strategy 1 the crash count equals |C| = floor(F/2).
+    seen = False
+    for seed in range(30):
+        ugf = UniversalGossipFighter()
+        outcome = simulate(
+            make_protocol("flood"), ugf, n=20, f=7, seed=seed
+        ).outcome
+        if ugf.chosen.kind == "1":
+            assert outcome.crash_count == group_size(7)
+            seen = True
+    assert seen
+
+
+def test_deterministic_strategy_draw_per_seed():
+    a = UniversalGossipFighter()
+    simulate(make_protocol("flood"), a, n=12, f=4, seed=5)
+    b = UniversalGossipFighter()
+    simulate(make_protocol("flood"), b, n=12, f=4, seed=5)
+    assert a.chosen == b.chosen
+
+
+def test_protocol_rng_unaffected_by_adversary_choice():
+    # Swapping the adversary must not perturb the protocol's coins:
+    # the baseline and attacked runs share the protocol stream.
+    from repro.core.adversary import NullAdversary
+
+    base = simulate(make_protocol("round-robin"), NullAdversary(), n=10, f=2, seed=3)
+    attacked = simulate(
+        make_protocol("round-robin"), UniversalGossipFighter(), n=10, f=2, seed=3
+    )
+    # Round-robin is deterministic, so this checks the plumbing only:
+    # same sends from correct processes before any crash interference.
+    assert base.outcome.sent.sum() >= attacked.outcome.sent.sum()
+
+
+def test_chosen_label_format():
+    assert ChosenStrategy("1", None, None).label == "str-1"
+    assert ChosenStrategy("2.k.0", 3, None).label == "str-2.3.0"
+    assert ChosenStrategy("2.k.l", 2, 4).label == "str-2.2.4"

@@ -1,0 +1,45 @@
+"""Tests for the ablation harness (tiny settings)."""
+
+from repro.experiments.ablation import (
+    run_adversary_comparison,
+    run_f_sweep,
+    run_q_grid,
+)
+
+
+def test_f_sweep_cells():
+    cells = run_f_sweep(
+        "round-robin", n=12, fractions=(0.1, 0.3), seeds=(0, 1)
+    )
+    assert [c.label for c in cells] == ["F=0.1N", "F=0.3N"]
+    assert cells[0].f == 1
+    assert cells[1].f == 4
+    assert all(c.messages.n_runs == 2 for c in cells)
+
+
+def test_f_sweep_stronger_adversary_with_larger_f():
+    # §V-A.1: "the higher F, the stronger the adversary" — checked on
+    # EARS time (the clearest monotone signal).
+    cells = run_f_sweep(
+        "ears",
+        n=24,
+        fractions=(0.1, 0.5),
+        seeds=(0, 1, 2),
+        adversary="str-2.1.0",
+    )
+    assert cells[-1].time.median > cells[0].time.median
+
+
+def test_q_grid_shapes():
+    cells = run_q_grid(
+        "flood", n=10, f=3, q1_values=(0.3, 0.6), q2_values=(0.5,), seeds=(0,)
+    )
+    assert len(cells) == 2
+    assert cells[0].label == "q1=0.30,q2=0.50"
+
+
+def test_adversary_comparison_rows():
+    cells = run_adversary_comparison(
+        "push-pull", n=14, f=4, seeds=(0, 1), adversaries=("none", "ugf")
+    )
+    assert [c.label for c in cells] == ["none", "ugf"]

@@ -1,0 +1,62 @@
+"""Tests for experiment specs."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SweepSpec, TrialSpec, f_fraction
+
+
+def test_f_fraction_rounding():
+    assert f_fraction(100, 0.3) == 30
+    assert f_fraction(10, 0.1) == 1
+    assert f_fraction(10, 0.25) == 2  # banker's rounding of 2.5
+    assert f_fraction(50, 0.0) == 0
+
+
+def test_f_fraction_clamped_below_n():
+    assert f_fraction(2, 0.9) == 1
+
+
+def test_f_fraction_validation():
+    with pytest.raises(ConfigurationError):
+        f_fraction(10, 1.0)
+    with pytest.raises(ConfigurationError):
+        f_fraction(10, -0.1)
+
+
+def test_trial_spec_with_seed():
+    spec = TrialSpec(protocol="ears", adversary="ugf", n=10, f=3, seed=0)
+    other = spec.with_seed(9)
+    assert other.seed == 9
+    assert other.protocol == "ears"
+    assert spec.seed == 0
+
+
+def test_sweep_enumerates_grid():
+    sweep = SweepSpec(
+        protocol="ears",
+        adversary="none",
+        n_values=(10, 20),
+        f_of_n=0.3,
+        seeds=(0, 1, 2),
+    )
+    trials = list(sweep.trials())
+    assert len(trials) == 6 == sweep.n_trials
+    assert {(t.n, t.seed) for t in trials} == {
+        (n, s) for n in (10, 20) for s in (0, 1, 2)
+    }
+    assert all(t.f == f_fraction(t.n, 0.3) for t in trials)
+
+
+def test_specs_are_picklable():
+    sweep = SweepSpec(
+        protocol="sears",
+        adversary="str-2.1.1",
+        n_values=(10,),
+        protocol_kwargs=(("c", 2.0),),
+    )
+    for trial in sweep.trials():
+        assert pickle.loads(pickle.dumps(trial)) == trial
+    assert pickle.loads(pickle.dumps(sweep)) == sweep

@@ -1,0 +1,53 @@
+"""Tests for the UGF mixture decomposition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.decomposition import (
+    StrategyGroup,
+    dominant_strategy,
+    run_decomposition,
+)
+
+
+def test_groups_cover_all_seeds():
+    seeds = tuple(range(12))
+    groups = run_decomposition("flood", n=16, f=5, seeds=seeds)
+    assert sum(g.runs for g in groups) == len(seeds)
+    labels = {g.label for g in groups}
+    assert labels <= {"str-1", "str-2.1.0", "str-2.1.1"}
+    assert len(labels) >= 2  # 12 equiprobable draws hit >= 2 families
+
+
+def test_decomposition_recovers_ears_worst_cases():
+    # The paper's Figure 3b/3d finding, recovered from mixture runs.
+    groups = run_decomposition("ears", n=30, f=9, seeds=tuple(range(15)))
+    assert dominant_strategy(groups, "time").label == "str-2.1.0"
+    assert dominant_strategy(groups, "messages").label == "str-2.1.1"
+
+
+def test_dominant_strategy_validation():
+    with pytest.raises(ConfigurationError):
+        dominant_strategy([], "time")
+    groups = run_decomposition("flood", n=10, f=3, seeds=(0, 1, 2))
+    with pytest.raises(ConfigurationError):
+        dominant_strategy(groups, "bandwidth")
+
+
+def test_seeds_required():
+    with pytest.raises(ConfigurationError):
+        run_decomposition("flood", n=10, f=3, seeds=())
+
+
+def test_group_is_frozen_record():
+    groups = run_decomposition("flood", n=10, f=3, seeds=(0, 1))
+    assert all(isinstance(g, StrategyGroup) for g in groups)
+    assert all(g.messages.n_runs == g.runs for g in groups)
+
+
+def test_ugf_kwargs_forwarded():
+    # Pin q1 ~ 1: virtually every draw is Strategy 1.
+    groups = run_decomposition(
+        "flood", n=12, f=4, seeds=tuple(range(8)), q1=0.99
+    )
+    assert [g.label for g in groups] == ["str-1"]

@@ -1,0 +1,77 @@
+"""Tests for the one-command full-reproduction report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.full_report import (
+    SCALES,
+    ReproductionScale,
+    render_markdown,
+    run_full_reproduction,
+)
+
+TINY = ReproductionScale(
+    label="tiny-test",
+    n_values=(8, 12, 16),
+    seeds=(0, 1),
+    ablation_n=14,
+    ablation_seeds=(0, 1),
+    decomposition_seeds=(0, 1, 2, 3),
+    tradeoff={
+        "n": 10,
+        "f": 3,
+        "tau": 2,
+        "k_values": (1,),
+        "seeds": (0, 1),
+    },
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_full_reproduction(TINY, workers=1)
+
+
+def test_scales_registered():
+    assert set(SCALES) == {"smoke", "laptop", "paper"}
+    assert len(SCALES["paper"].n_values) == 10
+    assert len(SCALES["paper"].seeds) == 50
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ConfigurationError):
+        run_full_reproduction("galactic")
+
+
+def test_report_covers_everything(report):
+    assert set(report.panels) == {"3a", "3b", "3c", "3d", "3e"}
+    assert set(report.verdicts) == set(report.panels)
+    assert set(report.f_sweep) == {"push-pull", "ears"}
+    assert set(report.adversary_comparison) == {"push-pull", "ears"}
+    assert set(report.decomposition) == {"push-pull", "ears", "sears"}
+    assert len(report.tradeoff) == 1
+
+
+def test_markdown_rendering(report):
+    text = render_markdown(report)
+    assert text.startswith("# Reproduction report")
+    for heading in (
+        "## Figure 3",
+        "### Figure 3a",
+        "### Figure 3e",
+        "## F-fraction sweep",
+        "## Adversary comparison",
+        "## UGF mixture decomposition",
+        "## Theorem 1 trade-off",
+    ):
+        assert heading in text, heading
+    # Every adversary row made it into the comparison tables.
+    for adversary in ("oblivious", "greedy-oracle", "ugf"):
+        assert adversary in text
+
+
+def test_progress_callback_called():
+    messages = []
+    run_full_reproduction(TINY, workers=1, progress=messages.append)
+    assert any("Figure 3a" in m for m in messages)
+    assert any("trade-off" in m for m in messages)

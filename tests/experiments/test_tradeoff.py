@@ -1,0 +1,33 @@
+"""Tests for the Theorem 1 trade-off experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def test_tradeoff_points_structure():
+    points = run_tradeoff(
+        "round-robin", n=12, f=4, tau=2, k_values=(1, 2), seeds=(0, 1)
+    )
+    assert [p.k for p in points] == [1, 2]
+    for p in points:
+        assert p.alpha >= 1
+        assert p.bounds.message_bound >= 12  # at least N
+        assert p.messages_under_delay.n_runs == 2
+
+
+def test_tradeoff_wall_grows_with_k():
+    # The raw T_end under isolation grows with the exponent.
+    points = run_tradeoff(
+        "ears", n=16, f=6, tau=2, k_values=(1, 3), seeds=(0, 1)
+    )
+    assert (
+        points[1].steps_under_isolation.median
+        > points[0].steps_under_isolation.median
+    )
+
+
+def test_tradeoff_validation():
+    with pytest.raises(ConfigurationError):
+        run_tradeoff("ears", n=10, f=3, tau=1)

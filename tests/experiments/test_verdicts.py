@@ -1,0 +1,123 @@
+"""Tests for the shape-verdict machinery (synthetic panels)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import RunStatistics
+from repro.errors import ConfigurationError
+from repro.experiments.config import SweepSpec
+from repro.experiments.figure3 import PANELS, PanelResult
+from repro.experiments.runner import SeriesPoint, SweepResult
+from repro.experiments.verdicts import check_panel
+
+NS = (10, 20, 30, 50, 70, 100)
+
+
+def stats(value: float) -> RunStatistics:
+    return RunStatistics(median=value, q1=value, q3=value, n_runs=5)
+
+
+def sweep(adversary: str, values) -> SweepResult:
+    spec = SweepSpec(
+        protocol="x", adversary=adversary, n_values=NS, seeds=(0,)
+    )
+    points = tuple(
+        SeriesPoint(
+            n=n,
+            f=int(0.3 * n),
+            messages=stats(v),
+            time=stats(v),
+            truncated_runs=0,
+            gather_failures=0,
+        )
+        for n, v in zip(NS, values)
+    )
+    return SweepResult(spec=spec, points=points)
+
+
+def panel(panel_id: str, base, ugf, worst) -> PanelResult:
+    return PanelResult(
+        spec=PANELS[panel_id],
+        curves={
+            "no-adversary": sweep("none", base),
+            "ugf": sweep("ugf", ugf),
+            "max-ugf": sweep("max", worst),
+        },
+    )
+
+
+N = np.array(NS, dtype=float)
+
+
+def test_clean_time_panel_passes():
+    base = 1.5 * np.log(N) + 2
+    worst = 4.0 + 0.15 * N
+    verdict = check_panel(panel("3a", base, worst, worst))
+    assert verdict.passed, verdict.summary()
+    assert verdict.quantity == "time"
+    assert not verdict.failures()
+
+
+def test_flat_attack_fails_time_panel():
+    base = 1.5 * np.log(N) + 2
+    worst = 1.6 * np.log(N) + 2.1  # attack barely above baseline, log shape
+    verdict = check_panel(panel("3a", base, worst, worst))
+    assert not verdict.passed
+    assert "attacked closer to linear than log" in verdict.failures()
+
+
+def test_inverted_ordering_fails():
+    base = 4.0 + 0.15 * N
+    worst = 1.5 * np.log(N)
+    verdict = check_panel(panel("3b", base, worst, worst))
+    assert not verdict.passed
+    assert "attack dominates baseline at max N" in verdict.failures()
+
+
+def test_clean_message_panel_passes():
+    base = 6.0 * N * np.log(N)
+    worst = 3.0 * N**2
+    verdict = check_panel(panel("3d", base, worst, worst))
+    assert verdict.passed, verdict.summary()
+
+
+def test_linear_attack_fails_message_panel():
+    base = 6.0 * N * np.log(N)
+    worst = 100.0 * N  # dominates at small N but wrong family
+    verdict = check_panel(panel("3c", base, worst, worst))
+    assert not verdict.passed
+
+
+def test_sears_panel_requires_quadratic_baseline():
+    base = 6.0 * N * np.log(N)  # not quadratic
+    worst = 20.0 * N**2
+    verdict = check_panel(panel("3e", base, worst, worst))
+    assert not verdict.passed
+    assert "baseline quadratic even unattacked" in verdict.failures()
+    good = check_panel(panel("3e", 5.0 * N**2, worst, worst))
+    assert good.passed
+
+
+def test_summary_format():
+    base = 1.5 * np.log(N) + 2
+    worst = 4.0 + 0.15 * N
+    text = check_panel(panel("3a", base, worst, worst)).summary()
+    assert "REPRODUCED" in text
+    assert "[ok]" in text
+
+
+def test_needs_three_points():
+    short = panel("3a", [1.0] * len(NS), [1.0] * len(NS), [1.0] * len(NS))
+    tiny = PanelResult(
+        spec=short.spec,
+        curves={
+            "no-adversary": SweepResult(
+                spec=short.curves["no-adversary"].spec,
+                points=short.curves["no-adversary"].points[:2],
+            ),
+            "ugf": short.curves["ugf"],
+            "max-ugf": short.curves["max-ugf"],
+        },
+    )
+    with pytest.raises(ConfigurationError):
+        check_panel(tiny)

@@ -1,0 +1,81 @@
+"""Tests for the hedged (adaptive) Push-Pull variant."""
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.registry import make_adversary
+from repro.core.strategies import CrashGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.adaptive import HedgedPushPull
+from repro.protocols.push_pull import PushPull
+from repro.sim.engine import simulate
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HedgedPushPull(escalate_every=0)
+    with pytest.raises(ConfigurationError):
+        HedgedPushPull(max_width=0)
+    with pytest.raises(ConfigurationError):
+        HedgedPushPull(rtt_allowance=-1)
+
+
+def test_benign_runs_match_push_pull():
+    # With the RTT allowance the hedge stays silent in benign runs —
+    # same coins, same per-process streams, so identical outcomes.
+    for seed in range(3):
+        plain = simulate(PushPull(), NullAdversary(), n=40, f=12, seed=seed).outcome
+        hedged = simulate(
+            HedgedPushPull(), NullAdversary(), n=40, f=12, seed=seed
+        ).outcome
+        assert hedged.message_complexity() == plain.message_complexity()
+        assert hedged.t_end == plain.t_end
+
+
+def test_gathers_and_completes_under_every_strategy():
+    for adversary in ("str-1", "str-2.1.0", "str-2.1.1", "ugf"):
+        outcome = simulate(
+            HedgedPushPull(), make_adversary(adversary), n=30, f=9, seed=1
+        ).outcome
+        assert outcome.completed, adversary
+        assert outcome.rumor_gathering_ok, adversary
+
+
+def test_hedging_recovers_time_under_crash_attack():
+    n, f = 100, 30
+    plain_t, hedged_t = [], []
+    for seed in range(5):
+        plain = simulate(PushPull(), CrashGroupStrategy(), n=n, f=f, seed=seed).outcome
+        hedged = simulate(
+            HedgedPushPull(), CrashGroupStrategy(), n=n, f=f, seed=seed
+        ).outcome
+        plain_t.append(plain.time_complexity())
+        hedged_t.append(hedged.time_complexity())
+    plain_t.sort()
+    hedged_t.sort()
+    assert hedged_t[len(hedged_t) // 2] < plain_t[len(plain_t) // 2]
+
+
+def test_delay_attack_message_damage_persists():
+    # The axis hedging cannot buy back: Strategy 2.1.1 still extracts
+    # a growing message tax relative to baseline.
+    n, f = 60, 18
+    base = simulate(HedgedPushPull(), NullAdversary(), n=n, f=f, seed=2).outcome
+    hit = simulate(
+        HedgedPushPull(), make_adversary("str-2.1.1"), n=n, f=f, seed=2
+    ).outcome
+    assert hit.message_complexity() > 1.3 * base.message_complexity()
+
+
+def test_width_escalates_with_backlog():
+    import numpy as np
+
+    proto = HedgedPushPull(rtt_allowance=2, escalate_every=1, max_width=5)
+    proto.bind(10, 3, np.random.default_rng(0))
+    unknown = np.ones(10, dtype=bool)
+    # No outstanding pulls: width 1.
+    assert proto._pull_width(0, unknown) == 1
+    # Mark 6 outstanding pulls (pulled and still unknown).
+    for target in range(1, 7):
+        proto._pulled[0, target] = True
+    assert proto._pull_width(0, unknown) == 5  # 1 + (6-2)/1, capped at 5

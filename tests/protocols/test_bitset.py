@@ -1,0 +1,243 @@
+"""Unit and property tests for the packed bitset primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocols.bitset import PackedBits, PackedMatrix, packed_size
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def random_mask(rng, n):
+    return rng.random(n) < 0.4
+
+
+# ---------------------------------------------------------------- PackedBits
+
+
+def test_packed_size():
+    assert packed_size(1) == 1
+    assert packed_size(8) == 1
+    assert packed_size(9) == 2
+    assert packed_size(64) == 8
+    assert packed_size(65) == 9
+
+
+def test_empty_bitset():
+    bits = PackedBits(13)
+    assert bits.count() == 0
+    assert not bits.is_full()
+    assert bits.to_indices().size == 0
+
+
+def test_set_get_single_bits():
+    bits = PackedBits(20)
+    for i in (0, 7, 8, 13, 19):
+        assert not bits.get(i)
+        bits.set(i)
+        assert bits.get(i)
+    assert bits.count() == 5
+    assert bits.to_indices().tolist() == [0, 7, 8, 13, 19]
+
+
+def test_from_bool_round_trip():
+    mask = np.array([True, False, True, True, False, False, True, False, True])
+    bits = PackedBits.from_bool(mask)
+    assert np.array_equal(bits.to_bool(), mask)
+    assert bits.count() == 5
+
+
+def test_from_indices():
+    bits = PackedBits.from_indices(10, [2, 5, 9])
+    assert bits.to_indices().tolist() == [2, 5, 9]
+
+
+def test_or_inplace_is_union():
+    a = PackedBits.from_indices(16, [1, 3])
+    b = PackedBits.from_indices(16, [3, 8, 15])
+    a.or_inplace(b)
+    assert a.to_indices().tolist() == [1, 3, 8, 15]
+    # b unchanged
+    assert b.to_indices().tolist() == [3, 8, 15]
+
+
+def test_contains_all():
+    a = PackedBits.from_indices(16, [1, 3, 8])
+    b = PackedBits.from_indices(16, [1, 8])
+    assert a.contains_all(b)
+    assert not b.contains_all(a)
+    assert a.contains_all(a)
+
+
+def test_is_full():
+    bits = PackedBits(9)
+    for i in range(9):
+        bits.set(i)
+    assert bits.is_full()
+    # The padding bits beyond nbits must not be required.
+    assert bits.count() == 9
+
+
+def test_copy_is_independent():
+    a = PackedBits.from_indices(8, [1])
+    b = a.copy()
+    b.set(2)
+    assert not a.get(2)
+    assert b.get(2)
+
+
+def test_equals():
+    a = PackedBits.from_indices(12, [0, 11])
+    b = PackedBits.from_indices(12, [0, 11])
+    assert a.equals(b)
+    b.set(5)
+    assert not a.equals(b)
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ConfigurationError):
+        PackedBits(0)
+    with pytest.raises(ConfigurationError):
+        PackedBits(8, words=np.zeros(2, dtype=np.uint8))
+    with pytest.raises(ConfigurationError):
+        PackedBits(8, words=np.zeros(1, dtype=np.int64))
+
+
+@settings(max_examples=80)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_pack_unpack_round_trip(n, seed):
+    rng = np.random.default_rng(seed)
+    mask = random_mask(rng, n)
+    assert np.array_equal(PackedBits.from_bool(mask).to_bool(), mask)
+
+
+@settings(max_examples=80)
+@given(
+    n=st.integers(1, 150),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_or_matches_numpy_or(n, seed):
+    rng = np.random.default_rng(seed)
+    m1, m2 = random_mask(rng, n), random_mask(rng, n)
+    a, b = PackedBits.from_bool(m1), PackedBits.from_bool(m2)
+    a.or_inplace(b)
+    assert np.array_equal(a.to_bool(), m1 | m2)
+
+
+@settings(max_examples=80)
+@given(
+    n=st.integers(1, 150),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_contains_all_matches_subset(n, seed):
+    rng = np.random.default_rng(seed)
+    m1, m2 = random_mask(rng, n), random_mask(rng, n)
+    a, b = PackedBits.from_bool(m1), PackedBits.from_bool(m2)
+    assert a.contains_all(b) == bool((~m2 | m1).all())
+
+
+@settings(max_examples=50)
+@given(
+    n=st.integers(1, 150),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_count_matches_sum(n, seed):
+    rng = np.random.default_rng(seed)
+    mask = random_mask(rng, n)
+    assert PackedBits.from_bool(mask).count() == int(mask.sum())
+
+
+# ---------------------------------------------------------------- PackedMatrix
+
+
+def test_matrix_set_get():
+    mat = PackedMatrix(4, 11)
+    mat.set(2, 10)
+    assert mat.get(2, 10)
+    assert not mat.get(2, 9)
+    assert not mat.get(1, 10)
+
+
+def test_matrix_or_inplace():
+    a = PackedMatrix(3, 9)
+    b = PackedMatrix(3, 9)
+    a.set(0, 1)
+    b.set(0, 8)
+    b.set(2, 3)
+    a.or_inplace(b)
+    assert a.get(0, 1) and a.get(0, 8) and a.get(2, 3)
+
+
+def test_matrix_or_row_bits():
+    mat = PackedMatrix(3, 9)
+    bits = PackedBits.from_indices(9, [0, 4])
+    mat.or_row_bits(1, bits)
+    assert mat.get(1, 0) and mat.get(1, 4)
+    assert not mat.get(0, 0)
+
+
+def test_rows_contain():
+    mat = PackedMatrix(4, 8)
+    need = PackedBits.from_indices(8, [1, 2])
+    for r in (0, 2):
+        mat.set(r, 1)
+        mat.set(r, 2)
+    selector = np.array([True, False, True, False])
+    assert mat.rows_contain(selector, need)
+    selector = np.array([True, True, False, False])
+    assert not mat.rows_contain(selector, need)
+
+
+def test_rows_contain_empty_selector_is_vacuously_true():
+    mat = PackedMatrix(3, 8)
+    need = PackedBits.from_indices(8, [0])
+    assert mat.rows_contain(np.zeros(3, dtype=bool), need)
+
+
+def test_matrix_to_bool():
+    mat = PackedMatrix(2, 10)
+    mat.set(0, 0)
+    mat.set(1, 9)
+    dense = mat.to_bool()
+    assert dense.shape == (2, 10)
+    assert dense[0, 0] and dense[1, 9]
+    assert dense.sum() == 2
+
+
+def test_matrix_copy_independent():
+    a = PackedMatrix(2, 8)
+    b = a.copy()
+    b.set(0, 0)
+    assert not a.get(0, 0)
+
+
+def test_matrix_rejects_bad_dimensions():
+    with pytest.raises(ConfigurationError):
+        PackedMatrix(0, 5)
+    with pytest.raises(ConfigurationError):
+        PackedMatrix(5, 0)
+    with pytest.raises(ConfigurationError):
+        PackedMatrix(2, 8, words=np.zeros((2, 2), dtype=np.uint8))
+
+
+@settings(max_examples=40)
+@given(
+    rows=st.integers(1, 20),
+    cols=st.integers(1, 60),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_matrix_or_matches_dense(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    d1 = rng.random((rows, cols)) < 0.3
+    d2 = rng.random((rows, cols)) < 0.3
+    a = PackedMatrix(rows, cols, np.packbits(d1, axis=1))
+    b = PackedMatrix(rows, cols, np.packbits(d2, axis=1))
+    a.or_inplace(b)
+    assert np.array_equal(a.to_bool(), d1 | d2)

@@ -1,0 +1,111 @@
+"""Behavioural tests for the EARS protocol."""
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import CrashGroupStrategy, IsolateSurvivorStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.ears import Ears, ears_timeout
+from repro.sim.engine import simulate
+
+
+def test_timeout_formula():
+    # ceil(N/(N-F) * ln N)
+    assert ears_timeout(50, 15) == 6
+    assert ears_timeout(100, 30) == 7
+    assert ears_timeout(10, 0) == 3
+
+
+def test_timeout_rejects_bad_f():
+    with pytest.raises(ConfigurationError):
+        ears_timeout(10, 10)
+    with pytest.raises(ConfigurationError):
+        ears_timeout(10, -1)
+
+
+def test_baseline_gathers_and_completes():
+    outcome = simulate(Ears(), NullAdversary(), n=30, f=9, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_baseline_time_includes_patience_but_stays_sublinear():
+    outcome = simulate(Ears(), NullAdversary(), n=100, f=30, seed=1).outcome
+    assert outcome.time_complexity() < 100 / 2
+
+
+def test_one_message_per_step_while_awake():
+    proto = Ears()
+    report = simulate(proto, NullAdversary(), n=20, f=6, seed=2, record_events=True)
+    # EARS sends exactly one message per local step while not complete;
+    # per-process sends equal per-process actions minus silent steps.
+    for rho in range(20):
+        actions = report.runtimes[rho].action_count
+        assert report.outcome.sent[rho] <= actions
+
+
+def test_crash_at_start_leaves_known_universe_satisfiable():
+    # Strategy 1 crashes C before it ever speaks: the I-condition over
+    # the known universe completes without the fallback, keeping time
+    # logarithmic (the paper's Fig. 3b shows Str. 1 is mild for EARS).
+    n, f = 60, 18
+    baseline = simulate(Ears(), NullAdversary(), n=n, f=f, seed=3).outcome
+    attacked = simulate(Ears(), CrashGroupStrategy(), n=n, f=f, seed=3).outcome
+    assert attacked.completed and attacked.rumor_gathering_ok
+    assert attacked.time_complexity() < 3 * baseline.time_complexity()
+
+
+def test_isolation_forces_linear_time():
+    # Strategy 2.1.0: the survivor's wall gives T ~ Theta(F).
+    n, f = 60, 18
+    baseline = simulate(Ears(), NullAdversary(), n=n, f=f, seed=4).outcome
+    attacked = simulate(Ears(), IsolateSurvivorStrategy(1), n=n, f=f, seed=4).outcome
+    assert attacked.completed and attacked.rumor_gathering_ok
+    assert attacked.time_complexity() > 2 * baseline.time_complexity()
+    # T_end must at least span the survivor's crash wall:
+    # (budget after group crashes) x tau local steps, tau = F.
+    assert attacked.t_end > (f // 2) * f / 2
+
+
+def test_patience_property_exposed():
+    proto = Ears()
+    simulate(proto, NullAdversary(), n=30, f=9, seed=0)
+    assert proto.patience == ears_timeout(30, 9)
+
+
+def test_relation_accessor():
+    proto = Ears()
+    simulate(proto, NullAdversary(), n=10, f=0, seed=0)
+    rel = proto.relation_of(0)
+    assert rel.shape == (10, 10)
+    assert rel.all()  # complete dissemination: everyone knows everyone knows
+
+
+def test_deterministic_under_seed():
+    a = simulate(Ears(), NullAdversary(), n=25, f=7, seed=5).outcome
+    b = simulate(Ears(), NullAdversary(), n=25, f=7, seed=5).outcome
+    assert a.message_complexity() == b.message_complexity()
+    assert a.t_end == b.t_end
+
+
+def test_no_completion_before_first_send():
+    # The degenerate N=2 case: patience is 1 step and the known
+    # universe is initially just oneself — without the first-send
+    # guard a process would "complete" without ever gossiping.
+    outcome = simulate(Ears(), NullAdversary(), n=2, f=0, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    assert (outcome.sent >= 1).all()
+
+
+def test_survivor_persistence_scales_with_n():
+    # The give-up fallback is ~N newsless local steps: the isolated
+    # survivor of Strategy 2.k.0 keeps knocking roughly that long, so
+    # doubling N (at fixed F) stretches the raw wall.
+    small = simulate(
+        Ears(), IsolateSurvivorStrategy(1, tau=4, group=(0, 1, 2)), n=20, f=6, seed=1
+    ).outcome
+    large = simulate(
+        Ears(), IsolateSurvivorStrategy(1, tau=4, group=(0, 1, 2)), n=60, f=6, seed=1
+    ).outcome
+    assert large.t_end > small.t_end

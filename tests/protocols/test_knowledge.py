@@ -1,0 +1,179 @@
+"""Unit and property tests for knowledge state and snapshotting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.knowledge import GossipKnowledge, RelationalKnowledge
+
+
+# ---------------------------------------------------------------- GossipKnowledge
+
+
+def test_starts_with_own_gossip():
+    kn = GossipKnowledge(8, owner=3)
+    assert kn.knows(3)
+    assert kn.known_count() == 1
+    assert kn.unknown_mask().sum() == 7
+
+
+def test_learn_returns_novelty():
+    kn = GossipKnowledge(8, owner=0)
+    assert kn.learn(4)
+    assert not kn.learn(4)
+    assert kn.knows(4)
+
+
+def test_merge_is_union_and_reports_novelty():
+    a = GossipKnowledge(8, owner=0)
+    b = GossipKnowledge(8, owner=5)
+    b.learn(6)
+    assert a.merge(b.snapshot())
+    assert a.knows(5) and a.knows(6)
+    assert not a.merge(b.snapshot())  # nothing new the second time
+
+
+def test_snapshot_is_cached_until_mutation():
+    kn = GossipKnowledge(8, owner=0)
+    s1 = kn.snapshot()
+    s2 = kn.snapshot()
+    assert s1 is s2  # the fan-out optimization
+    kn.learn(1)
+    s3 = kn.snapshot()
+    assert s3 is not s1
+
+
+def test_snapshot_immune_to_later_mutation():
+    kn = GossipKnowledge(8, owner=0)
+    snap = kn.snapshot()
+    kn.learn(5)
+    assert not snap.gossips.get(5)  # the snapshot stayed frozen
+    assert kn.knows(5)
+
+
+def test_knows_all_of():
+    kn = GossipKnowledge(8, owner=0)
+    kn.learn(1)
+    kn.learn(2)
+    from repro.protocols.bitset import PackedBits
+
+    assert kn.knows_all_of(PackedBits.from_indices(8, [0, 2]))
+    assert not kn.knows_all_of(PackedBits.from_indices(8, [0, 3]))
+
+
+# ---------------------------------------------------------------- RelationalKnowledge
+
+
+def test_relational_initial_state():
+    rk = RelationalKnowledge(6, owner=2)
+    assert rk.knows(2)
+    assert rk.relation.get(2, 2)
+    assert not rk.relation.get(2, 3)
+
+
+def test_relational_merge_unions_both_sets():
+    a = RelationalKnowledge(6, owner=0)
+    b = RelationalKnowledge(6, owner=1)
+    assert a.merge(b.snapshot())
+    assert a.knows(1)
+    assert a.relation.get(1, 1)  # learned that 1 knows its own gossip
+    # invariant: own row covers own G
+    assert a.relation.get(0, 1)
+
+
+def test_relational_merge_novelty_detection():
+    a = RelationalKnowledge(6, owner=0)
+    b = RelationalKnowledge(6, owner=1)
+    snap = b.snapshot()
+    assert a.merge(snap)
+    assert not a.merge(snap)
+
+
+def test_relation_only_novelty_still_counts():
+    # A payload that teaches no new gossip but new relation facts is
+    # still novel (it advances the completion condition).
+    a = RelationalKnowledge(4, owner=0)
+    b = RelationalKnowledge(4, owner=1)
+    a.merge(b.snapshot())
+    # b now learns about 0 from someone else (simulate via direct set).
+    b.gossips.set(0)
+    b.relation.set(1, 0)
+    b._snapshot = None
+    assert a.merge(b.snapshot())
+
+
+def test_dissemination_complete_small_system():
+    # Two processes that exchanged everything and know they did.
+    a = RelationalKnowledge(2, owner=0)
+    b = RelationalKnowledge(2, owner=1)
+    a.merge(b.snapshot())
+    b.merge(a.snapshot())
+    # a does not yet know that b knows 0.
+    assert not a.dissemination_complete()
+    a.merge(b.snapshot())
+    assert a.dissemination_complete()
+
+
+def test_dissemination_complete_over_known_universe_only():
+    # A third process that never spoke is invisible to the condition.
+    a = RelationalKnowledge(3, owner=0)
+    b = RelationalKnowledge(3, owner=1)
+    a.merge(b.snapshot())
+    b.merge(a.snapshot())
+    a.merge(b.snapshot())
+    assert a.dissemination_complete()  # process 2 is not in a's universe
+
+
+def test_relational_snapshot_frozen():
+    a = RelationalKnowledge(4, owner=0)
+    snap = a.snapshot()
+    a.gossips.set(2)
+    a.relation.set(0, 2)
+    assert not snap.gossips.get(2)
+    assert not snap.relation.get(0, 2)
+
+
+# ---------------------------------------------------------------- properties
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(2, 40),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_merge_monotone(n, seed):
+    """Merging never loses knowledge (G and I are monotone)."""
+    rng = np.random.default_rng(seed)
+    states = [RelationalKnowledge(n, owner=i) for i in range(min(n, 5))]
+    for _ in range(10):
+        i, j = rng.integers(len(states), size=2)
+        if i == j:
+            continue
+        before_g = states[j].gossips.to_bool()
+        before_i = states[j].relation.to_bool()
+        states[j].merge(states[i].snapshot())
+        after_g = states[j].gossips.to_bool()
+        after_i = states[j].relation.to_bool()
+        assert (after_g | ~before_g).all()
+        assert (after_i | ~before_i).all()
+        # Invariant: own row of I covers G.
+        own_row = states[j].relation.to_bool()[states[j].owner]
+        assert (own_row | ~after_g).all()
+
+
+@settings(max_examples=30)
+@given(
+    n=st.integers(2, 30),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_full_exchange_reaches_completion(n, seed):
+    """After enough all-pairs exchanges everyone believes completion."""
+    k = min(n, 4)
+    states = [RelationalKnowledge(n, owner=i) for i in range(k)]
+    for _ in range(3):
+        for i in range(k):
+            for j in range(k):
+                if i != j:
+                    states[j].merge(states[i].snapshot())
+    for s in states:
+        assert s.dissemination_complete()

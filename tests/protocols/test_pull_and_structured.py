@@ -1,0 +1,150 @@
+"""Tests for PullOnly and the structured foils.
+
+The structured protocols exist to reproduce the paper's §V-A remark:
+message-efficient deterministic schemes exist but do not survive
+crashes, which is why the crash-tolerant all-to-all class (the
+evaluated trio plus pull-based schemes) is the interesting one.
+"""
+
+import math
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import CrashGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.pull import PullOnly
+from repro.protocols.structured import Coordinator, RecursiveDoubling
+from repro.sim.engine import simulate
+
+
+# ---------------------------------------------------------------- PullOnly
+
+
+def test_pull_only_gathers_baseline():
+    outcome = simulate(PullOnly(), NullAdversary(), n=30, f=9, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_pull_only_gathers_under_crashes():
+    # The coverage sleep rule makes gathering deterministic even when
+    # the controlled group is crashed — the defining property that
+    # earns PullOnly a place in the strict integration matrix.
+    for seed in range(4):
+        outcome = simulate(
+            PullOnly(), CrashGroupStrategy(), n=30, f=9, seed=seed
+        ).outcome
+        assert outcome.completed
+        assert outcome.rumor_gathering_ok
+
+
+def test_pull_only_messages_subquadratic_baseline():
+    # Pull-only pays ~2 messages per pull and keeps pulling during the
+    # 4-step round trip, so its constant is large — but the *growth*
+    # is far below quadratic (doubling N must not quadruple M).
+    m40 = simulate(PullOnly(), NullAdversary(), n=40, f=0, seed=1).outcome
+    m80 = simulate(PullOnly(), NullAdversary(), n=80, f=0, seed=1).outcome
+    ratio = m80.message_complexity() / m40.message_complexity()
+    assert ratio < 3.0
+    assert m80.message_complexity() < 80 * 80
+
+
+def test_pull_only_guarantee_flag():
+    assert PullOnly.guarantees_gathering is True
+
+
+# ---------------------------------------------------------------- RecursiveDoubling
+
+
+def test_recursive_doubling_gathers_crash_free():
+    for n in (2, 8, 13, 32, 50):
+        outcome = simulate(RecursiveDoubling(), NullAdversary(), n=n, f=0, seed=0).outcome
+        assert outcome.completed, n
+        assert outcome.rumor_gathering_ok, n
+
+
+def test_recursive_doubling_message_count_exact():
+    # One send per process per round (the wrap target never equals
+    # self for N >= 2): M = N * ceil(log2 N).
+    for n in (8, 16, 50):
+        outcome = simulate(RecursiveDoubling(), NullAdversary(), n=n, f=0, seed=0).outcome
+        assert outcome.message_complexity() == n * math.ceil(math.log2(n))
+
+
+def test_recursive_doubling_time_logarithmic():
+    t64 = simulate(RecursiveDoubling(), NullAdversary(), n=64, f=0, seed=0).outcome
+    t8 = simulate(RecursiveDoubling(), NullAdversary(), n=8, f=0, seed=0).outcome
+    # 2 rounds ratio: log2(64)/log2(8) = 2; time follows, not N/N = 8.
+    assert t64.time_complexity() < 3 * t8.time_complexity()
+
+
+def test_recursive_doubling_breaks_under_crashes():
+    # The fragility that motivates the paper's protocol class: crash
+    # the controlled group at step 0 and gathering fails (relay chains
+    # sever), while quiescence still holds.
+    broke = 0
+    for seed in range(5):
+        outcome = simulate(
+            RecursiveDoubling(), CrashGroupStrategy(), n=32, f=10, seed=seed
+        ).outcome
+        assert outcome.completed
+        broke += not outcome.rumor_gathering_ok
+    assert broke >= 4  # virtually always
+
+
+def test_recursive_doubling_flagged_fragile():
+    assert RecursiveDoubling.guarantees_gathering is False
+
+
+# ---------------------------------------------------------------- Coordinator
+
+
+def test_coordinator_gathers_crash_free():
+    outcome = simulate(Coordinator(), NullAdversary(), n=25, f=0, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_coordinator_message_count_near_2n():
+    n = 40
+    outcome = simulate(Coordinator(), NullAdversary(), n=n, f=0, seed=0).outcome
+    # N-1 reports + N-1 broadcast sends.
+    assert outcome.message_complexity() == 2 * (n - 1)
+
+
+def test_coordinator_time_constant():
+    t_small = simulate(Coordinator(), NullAdversary(), n=10, f=0, seed=0).outcome
+    t_large = simulate(Coordinator(), NullAdversary(), n=200, f=0, seed=0).outcome
+    assert t_large.time_complexity() <= t_small.time_complexity() + 2
+
+
+def test_coordinator_dies_with_its_hub():
+    outcome = simulate(
+        Coordinator(),
+        CrashGroupStrategy(group=[0]),  # kill exactly the coordinator
+        n=20,
+        f=2,
+        seed=0,
+    ).outcome
+    assert outcome.completed  # quiescence survives
+    assert not outcome.rumor_gathering_ok  # dissemination does not
+
+
+def test_coordinator_tolerates_leaf_crashes():
+    # Dead leaves only cost the patience window; the correct ones
+    # still gather through the broadcast.
+    outcome = simulate(
+        Coordinator(),
+        CrashGroupStrategy(group=[5, 6, 7]),
+        n=20,
+        f=6,
+        seed=0,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_coordinator_patience_validation():
+    with pytest.raises(ConfigurationError):
+        Coordinator(patience=0)

@@ -1,0 +1,99 @@
+"""Behavioural tests for the Push-Pull protocol."""
+
+import numpy as np
+
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import CrashGroupStrategy
+from repro.protocols.push_pull import PullRequest, PushPull
+from repro.sim.engine import simulate
+from repro.sim.trace import EventKind
+
+
+def test_pull_request_is_a_singleton():
+    assert PullRequest() is PullRequest()
+
+
+def test_baseline_gathers_and_completes():
+    outcome = simulate(PushPull(), NullAdversary(), n=30, f=9, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_baseline_time_is_sublinear():
+    # ~log N rounds; even a loose bound separates it from Theta(N).
+    outcome = simulate(PushPull(), NullAdversary(), n=64, f=19, seed=1).outcome
+    assert outcome.time_complexity() < 64 / 4
+
+
+def test_baseline_messages_well_below_quadratic():
+    n = 64
+    outcome = simulate(PushPull(), NullAdversary(), n=n, f=19, seed=1).outcome
+    assert outcome.message_complexity() < n * n / 2
+
+
+def test_no_self_sends_and_valid_receivers():
+    report = simulate(
+        PushPull(), NullAdversary(), n=16, f=4, seed=3, record_events=True
+    )
+    for event in report.trace.events_of(EventKind.SEND):
+        assert event.subject != event.detail
+        assert 0 <= event.detail < 16
+
+
+def test_each_process_pulls_each_target_at_most_once():
+    proto = PushPull()
+    simulate(proto, NullAdversary(), n=20, f=6, seed=2)
+    # The pulled matrix never exceeds one pull per (rho, target); the
+    # diagonal is pre-marked.
+    assert proto._pulled.dtype == bool
+    assert proto._pulled.diagonal().all()
+
+
+def test_pushes_own_gossip_at_most_once_per_target():
+    proto = PushPull()
+    report = simulate(proto, NullAdversary(), n=20, f=6, seed=2, record_events=True)
+    # Total pushes are bounded by N(N-1) by the pushed-set rule; with
+    # pulls and answers, total sends stay under ~3 N^2.
+    assert report.outcome.message_complexity() < 3 * 20 * 20
+
+
+def test_crashed_targets_force_extra_pull_rounds():
+    """Strategy 1's mechanism: a corpse must still be pulled once."""
+    n, f = 40, 12
+    baseline = simulate(PushPull(), NullAdversary(), n=n, f=f, seed=5).outcome
+    attacked = simulate(PushPull(), CrashGroupStrategy(), n=n, f=f, seed=5).outcome
+    assert attacked.completed
+    assert attacked.rumor_gathering_ok
+    # The crashed group adds ~|C| pull steps to everyone's schedule.
+    assert attacked.time_complexity() > baseline.time_complexity()
+
+
+def test_knowledge_of_reports_bool_vector():
+    proto = PushPull()
+    simulate(proto, NullAdversary(), n=10, f=0, seed=0)
+    known = proto.knowledge_of(0)
+    assert known.dtype == bool
+    assert known.shape == (10,)
+    assert known.all()  # gathering done
+
+
+def test_deterministic_under_seed():
+    a = simulate(PushPull(), NullAdversary(), n=25, f=7, seed=11).outcome
+    b = simulate(PushPull(), NullAdversary(), n=25, f=7, seed=11).outcome
+    assert a.message_complexity() == b.message_complexity()
+    assert a.t_end == b.t_end
+
+
+def test_different_seeds_differ():
+    a = simulate(PushPull(), NullAdversary(), n=25, f=7, seed=1).outcome
+    b = simulate(PushPull(), NullAdversary(), n=25, f=7, seed=2).outcome
+    # Aggregates can coincide by chance; the per-process send vectors
+    # of a randomized protocol virtually never do.
+    assert a.sent.tolist() != b.sent.tolist()
+
+
+def test_smallest_system():
+    outcome = simulate(PushPull(), NullAdversary(), n=2, f=0, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    assert np.all(outcome.sent >= 1)

@@ -1,0 +1,64 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import GossipProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+
+
+def test_all_paper_protocols_available():
+    names = available_protocols()
+    for expected in ("push-pull", "ears", "sears", "round-robin", "flood", "push"):
+        assert expected in names
+
+
+def test_make_returns_fresh_instances():
+    a = make_protocol("push-pull")
+    b = make_protocol("push-pull")
+    assert a is not b
+    assert isinstance(a, GossipProtocol)
+
+
+def test_make_forwards_kwargs():
+    sears = make_protocol("sears", c=2.0, eps=0.25)
+    assert sears.c == 2.0
+    assert sears.eps == 0.25
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(ConfigurationError, match="push-pull"):
+        make_protocol("nope")
+
+
+def test_register_custom_protocol():
+    class Custom(GossipProtocol):
+        name = "custom-test-proto"
+
+        def _allocate(self):
+            pass
+
+        def on_local_step(self, ctx):
+            return True
+
+        def knowledge_of(self, rho):
+            raise NotImplementedError
+
+    register_protocol("custom-test-proto", Custom)
+    try:
+        assert isinstance(make_protocol("custom-test-proto"), Custom)
+        with pytest.raises(ConfigurationError):
+            register_protocol("custom-test-proto", Custom)  # no shadowing
+    finally:
+        from repro.protocols import registry
+
+        registry._FACTORIES.pop("custom-test-proto", None)
+
+
+def test_cannot_shadow_builtin():
+    with pytest.raises(ConfigurationError):
+        register_protocol("ears", lambda: None)

@@ -1,0 +1,101 @@
+"""Behavioural tests for the SEARS protocol."""
+
+import math
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import DelayGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.sears import Sears, sears_fanout
+from repro.sim.engine import simulate
+
+
+def test_fanout_formula():
+    # ceil(c * N^0.5 * ln N), capped at N-1.
+    assert sears_fanout(100) == math.ceil(10 * math.log(100))
+    assert sears_fanout(4) == 3  # cap at N-1
+    assert sears_fanout(2) == 1
+
+
+def test_fanout_respects_c_and_eps():
+    assert sears_fanout(100, c=2.0) == min(99, math.ceil(20 * math.log(100)))
+    assert sears_fanout(100, eps=0.0) == math.ceil(math.log(100))
+
+
+def test_fanout_validation():
+    with pytest.raises(ConfigurationError):
+        sears_fanout(1)
+    with pytest.raises(ConfigurationError):
+        sears_fanout(10, eps=1.5)
+    with pytest.raises(ConfigurationError):
+        sears_fanout(10, c=0)
+
+
+def test_patience_validation():
+    with pytest.raises(ConfigurationError):
+        Sears(patience=0)
+
+
+def test_baseline_gathers_and_completes():
+    outcome = simulate(Sears(), NullAdversary(), n=30, f=9, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_time_complexity_roughly_constant_in_n():
+    # SEARS's design goal: constant time complexity (paper §V-A.2c).
+    times = []
+    for n in (20, 60, 120):
+        outcome = simulate(Sears(), NullAdversary(), n=n, f=int(0.3 * n), seed=1).outcome
+        times.append(outcome.time_complexity())
+    assert max(times) <= times[0] * 3  # flat up to small constants
+
+
+def test_messages_quadratic_even_without_adversary():
+    # §V-B.3: SEARS sacrifices message complexity by construction.
+    n = 80
+    outcome = simulate(Sears(), NullAdversary(), n=n, f=24, seed=2).outcome
+    assert outcome.message_complexity() > n * n / 2
+
+
+def test_fanout_used_per_step():
+    proto = Sears()
+    report = simulate(proto, NullAdversary(), n=40, f=12, seed=0)
+    # Sends per process per action are (almost) always the fanout.
+    for rho in range(40):
+        actions = report.runtimes[rho].action_count
+        assert report.outcome.sent[rho] <= actions * proto.fanout
+
+
+def test_delay_attack_inflates_messages():
+    n, f = 50, 15
+    baseline = simulate(Sears(), NullAdversary(), n=n, f=f, seed=3).outcome
+    attacked = simulate(Sears(), DelayGroupStrategy(1, 1), n=n, f=f, seed=3).outcome
+    assert attacked.completed
+    assert attacked.message_complexity() > 1.5 * baseline.message_complexity()
+
+
+def test_no_completion_before_first_send():
+    outcome = simulate(Sears(), NullAdversary(), n=2, f=0, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    assert (outcome.sent >= 1).all()
+
+
+def test_give_up_is_constant_rounds():
+    # ceil(N / fanout): a constant number of rounds, preserving the
+    # constant-time design even when the I-condition is unsatisfiable.
+    a = Sears()
+    simulate(a, NullAdversary(), n=50, f=15, seed=0)
+    b = Sears()
+    simulate(b, NullAdversary(), n=200, f=60, seed=0)
+    assert a._give_up <= 6 and b._give_up <= 6
+
+
+def test_time_stays_constant_under_delay_attack():
+    # §V-B.3: "an adversary can only influence the message complexity
+    # of SEARS" — normalised time stays bounded.
+    n, f = 50, 15
+    attacked = simulate(Sears(), DelayGroupStrategy(1, 1), n=n, f=f, seed=3).outcome
+    assert attacked.time_complexity() < 20

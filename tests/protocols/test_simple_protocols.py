@@ -1,0 +1,96 @@
+"""Tests for RoundRobin (Example 1), Flood and PushOnly."""
+
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.core.strategies import CrashGroupStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.flood import Flood
+from repro.protocols.push import PushOnly
+from repro.protocols.round_robin import RoundRobin
+from repro.sim.engine import simulate
+
+
+# ---------------------------------------------------------------- RoundRobin
+
+
+def test_round_robin_message_complexity_is_exactly_n_squared_minus_n():
+    # Example 1: M(O) = Theta(N^2); with this schedule it is exact.
+    for n in (5, 12, 30):
+        outcome = simulate(RoundRobin(), NullAdversary(), n=n, f=0, seed=0).outcome
+        assert outcome.message_complexity() == n * (n - 1)
+
+
+def test_round_robin_time_is_linear():
+    # T_end = (N-1) local steps + delivery; T = T_end / 2 ~ N/2.
+    for n in (10, 20, 40):
+        outcome = simulate(RoundRobin(), NullAdversary(), n=n, f=0, seed=0).outcome
+        assert n / 2 - 2 <= outcome.time_complexity() <= n / 2 + 2
+
+
+def test_round_robin_gathers():
+    outcome = simulate(RoundRobin(), NullAdversary(), n=15, f=0, seed=0).outcome
+    assert outcome.rumor_gathering_ok
+
+
+def test_round_robin_gathers_under_crashes():
+    outcome = simulate(RoundRobin(), CrashGroupStrategy(), n=20, f=6, seed=1).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_round_robin_deterministic():
+    a = simulate(RoundRobin(), NullAdversary(), n=10, f=0, seed=0).outcome
+    b = simulate(RoundRobin(), NullAdversary(), n=10, f=0, seed=99).outcome
+    # The protocol is deterministic: seeds cannot change it.
+    assert a.message_complexity() == b.message_complexity()
+    assert a.t_end == b.t_end
+
+
+# ---------------------------------------------------------------- Flood
+
+
+def test_flood_one_round_n_squared():
+    for n in (5, 20):
+        outcome = simulate(Flood(), NullAdversary(), n=n, f=0, seed=0).outcome
+        assert outcome.message_complexity() == n * (n - 1)
+        assert outcome.time_complexity() <= 1.5
+        assert outcome.rumor_gathering_ok
+
+
+def test_flood_survives_crashes():
+    outcome = simulate(Flood(), CrashGroupStrategy(), n=20, f=8, seed=0).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+# ---------------------------------------------------------------- PushOnly
+
+
+def test_push_only_completes():
+    outcome = simulate(PushOnly(), NullAdversary(), n=30, f=9, seed=0).outcome
+    assert outcome.completed
+
+
+def test_push_only_gathers_with_high_probability():
+    # Gathering is probabilistic for push-only; assert over seeds.
+    ok = sum(
+        simulate(PushOnly(), NullAdversary(), n=25, f=0, seed=s).outcome.rumor_gathering_ok
+        for s in range(5)
+    )
+    assert ok >= 4
+
+
+def test_push_only_flags_probabilistic_gathering():
+    assert PushOnly.guarantees_gathering is False
+
+
+def test_push_only_patience_validation():
+    with pytest.raises(ConfigurationError):
+        PushOnly(extra_patience=-1)
+
+
+def test_push_only_messages_near_n_log_n():
+    n = 60
+    outcome = simulate(PushOnly(), NullAdversary(), n=n, f=0, seed=1).outcome
+    assert outcome.message_complexity() < n * n / 2

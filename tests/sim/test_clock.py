@@ -1,0 +1,49 @@
+"""Unit tests for the global step clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import GlobalClock
+
+
+def test_starts_at_zero():
+    assert GlobalClock().now == 0
+
+
+def test_advance_increments():
+    clock = GlobalClock()
+    assert clock.advance() == 1
+    assert clock.advance() == 2
+    assert clock.now == 2
+
+
+def test_advance_to_jumps_forward():
+    clock = GlobalClock()
+    assert clock.advance_to(17) == 17
+    assert clock.now == 17
+
+
+def test_advance_to_rejects_backward_jump():
+    clock = GlobalClock()
+    clock.advance_to(5)
+    with pytest.raises(SimulationError):
+        clock.advance_to(3)
+
+
+def test_advance_to_rejects_same_step():
+    clock = GlobalClock()
+    clock.advance_to(5)
+    with pytest.raises(SimulationError):
+        clock.advance_to(5)
+
+
+def test_require_passes_on_current_step():
+    clock = GlobalClock()
+    clock.advance()
+    clock.require(1)  # no raise
+
+
+def test_require_raises_on_mismatch():
+    clock = GlobalClock()
+    with pytest.raises(SimulationError):
+        clock.require(1)

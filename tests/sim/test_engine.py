@@ -1,0 +1,303 @@
+"""Semantics tests for the simulation engine.
+
+These pin down the execution model decisions documented in DESIGN.md:
+local-step timing, delivery ordering, wake-ups, crash-drop ordering,
+fast-forward equivalence, termination and the complexity measures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adversary import Adversary, NullAdversary
+from repro.core.fixed import ScheduledAdversary
+from repro.errors import (
+    ConfigurationError,
+    CrashBudgetExceeded,
+    IncompleteRunError,
+    SimulationError,
+)
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.sim.engine import Simulator, simulate
+from repro.sim.trace import EventKind
+
+
+class OneShot(GossipProtocol):
+    """Process 0 sends one message to process 1 at its first step."""
+
+    name = "one-shot"
+
+    def _allocate(self):
+        self.fired = False
+        self.deliveries = []  # (receiver, step, payload)
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        for msg in ctx.inbox:
+            self.deliveries.append((ctx.rho, ctx.now, msg.payload))
+        if ctx.rho == 0 and not self.fired:
+            ctx.send(1, "ping")
+            self.fired = True
+        return True
+
+    def knowledge_of(self, rho):
+        return np.ones(self.n, dtype=bool)
+
+
+class PingPong(GossipProtocol):
+    """0 and 1 bounce a counter until it reaches a limit."""
+
+    name = "ping-pong"
+
+    def __init__(self, limit: int = 4):
+        self.limit = limit
+
+    def _allocate(self):
+        self.started = False
+        self.bounce_steps = []
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        if ctx.rho == 0 and not self.started:
+            self.started = True
+            ctx.send(1, 0)
+            return True
+        for msg in ctx.inbox:
+            count = msg.payload + 1
+            self.bounce_steps.append((ctx.rho, ctx.now, count))
+            if count < self.limit:
+                ctx.send(msg.sender, count)
+        return True
+
+    def knowledge_of(self, rho):
+        return np.ones(self.n, dtype=bool)
+
+
+class Idle(GossipProtocol):
+    """Everyone sleeps immediately without sending."""
+
+    name = "idle"
+
+    def _allocate(self):
+        pass
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        return True
+
+    def knowledge_of(self, rho):
+        return np.ones(self.n, dtype=bool)
+
+
+class Insomniac(GossipProtocol):
+    """Never sleeps, never sends: must hit max_steps."""
+
+    name = "insomniac"
+
+    def _allocate(self):
+        pass
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        return False
+
+    def knowledge_of(self, rho):
+        return np.ones(self.n, dtype=bool)
+
+
+# ---------------------------------------------------------------- timing
+
+
+def test_first_emission_at_delta_and_arrival_at_delta_plus_d():
+    proto = OneShot()
+    adversary = ScheduledAdversary({0: [("delta", 0, 5), ("d", 0, 3)]})
+    report = simulate(proto, adversary, n=2, f=0, seed=0, record_events=True)
+    sends = list(report.trace.events_of(EventKind.SEND))
+    delivers = list(report.trace.events_of(EventKind.DELIVER))
+    # First local step begins at t=0, ends (emits) at delta=5.
+    assert sends[0].step == 5
+    # Arrival d=3 steps later; receiver (asleep) wakes and acts there.
+    assert delivers[0].step == 8
+    assert proto.deliveries == [(1, 8, "ping")]
+
+
+def test_default_round_trip_takes_delta_plus_d_per_hop():
+    proto = PingPong(limit=3)
+    simulate(proto, NullAdversary(), n=2, f=0, seed=0)
+    # 0 emits at 1 (end of first local step), arrival at 2; reply
+    # emitted at 3, arrives 4; etc. Each hop costs delta + d = 2.
+    assert proto.bounce_steps == [(1, 2, 1), (0, 4, 2), (1, 6, 3)]
+
+
+def test_sleeping_receiver_wakes_and_acts_at_arrival_step():
+    proto = OneShot()
+    report = simulate(proto, NullAdversary(), n=2, f=0, seed=0, record_events=True)
+    wakes = list(report.trace.events_of(EventKind.WAKE))
+    assert len(wakes) == 1
+    assert wakes[0].subject == 1
+    deliver = next(report.trace.events_of(EventKind.DELIVER))
+    assert wakes[0].step == deliver.step
+
+
+# ---------------------------------------------------------------- crashes
+
+
+def test_crash_in_after_step_drops_messages_sent_that_step():
+    # The adversary crashes process 1 the moment process 0's send is
+    # observed (Strategy 2.k.0's move): the message must never arrive.
+    class CrashReceiver(Adversary):
+        name = "crash-receiver"
+
+        def setup(self, view, controls):
+            pass
+
+        def after_step(self, view, controls):
+            for msg in view.sends_this_step:
+                if view.is_correct(msg.receiver):
+                    controls.crash(msg.receiver)
+
+    proto = OneShot()
+    report = simulate(proto, CrashReceiver(), n=2, f=1, seed=0, record_events=True)
+    assert proto.deliveries == []
+    assert report.trace.received[1] == 0
+    assert report.trace.sent[0] == 1  # the send still counts (M_rho)
+    assert report.outcome.crashed == (1,)
+    # The run quiesces with the message still in flight toward the
+    # corpse — inert messages must not keep the simulation alive.
+    assert report.outcome.completed
+
+
+def test_scheduled_crash_at_step_zero_prevents_everything():
+    proto = OneShot()
+    adversary = ScheduledAdversary({0: [("crash", 0)]})
+    report = simulate(proto, adversary, n=2, f=1, seed=0)
+    assert not proto.fired
+    assert report.outcome.sent.sum() == 0
+
+
+def test_crash_budget_enforced_by_kernel():
+    adversary = ScheduledAdversary({0: [("crash", 0), ("crash", 1)]})
+    with pytest.raises(CrashBudgetExceeded):
+        simulate(Idle(), adversary, n=3, f=1, seed=0)
+
+
+def test_crash_is_idempotent_and_does_not_double_draw():
+    adversary = ScheduledAdversary({0: [("crash", 0), ("crash", 0), ("crash", 1)]})
+    report = simulate(Idle(), adversary, n=3, f=2, seed=0)
+    assert set(report.outcome.crashed) == {0, 1}
+
+
+def test_crash_of_unknown_process_rejected():
+    adversary = ScheduledAdversary({0: [("crash", 99)]})
+    with pytest.raises(SimulationError):
+        simulate(Idle(), adversary, n=3, f=2, seed=0)
+
+
+# ---------------------------------------------------------------- termination
+
+
+def test_idle_run_completes_immediately():
+    report = simulate(Idle(), NullAdversary(), n=5, f=0, seed=0)
+    o = report.outcome
+    assert o.completed
+    assert o.t_end == 0  # everyone slept at their first step (t=0)
+    assert o.time_complexity() == 0.0
+    assert o.message_complexity() == 0
+
+
+def test_insomniac_truncates_at_max_steps():
+    report = simulate(Insomniac(), NullAdversary(), n=3, f=0, seed=0, max_steps=50)
+    o = report.outcome
+    assert not o.completed
+    with pytest.raises(IncompleteRunError):
+        o.message_complexity()
+    with pytest.raises(IncompleteRunError):
+        o.time_complexity()
+    assert o.message_complexity(allow_truncated=True) == 0
+
+
+def test_t_end_is_last_final_sleep():
+    proto = PingPong(limit=3)
+    report = simulate(proto, NullAdversary(), n=2, f=0, seed=0)
+    # Last bounce processed at step 6 (see round-trip test); the actor
+    # sleeps then, and that is T_end.
+    assert report.outcome.t_end == 6
+
+
+def test_time_normalisation_uses_maxima():
+    proto = OneShot()
+    adversary = ScheduledAdversary({0: [("delta", 1, 4), ("d", 1, 7)]})
+    outcome = simulate(proto, adversary, n=2, f=0, seed=0).outcome
+    assert outcome.max_local_step_time == 4
+    assert outcome.max_delivery_time == 7
+    assert outcome.time_complexity() == outcome.t_end / 11
+
+
+# ---------------------------------------------------------------- fast-forward
+
+
+def test_fast_forward_equivalent_to_every_step():
+    # Same protocol/adversary, once with fast-forward (default), once
+    # with an adversary that demands every step: identical outcomes.
+    class EveryStepNull(NullAdversary):
+        wants_every_step = True
+
+    adversary = ScheduledAdversary({0: [("delta", 0, 50), ("d", 0, 30)]})
+    fast = simulate(OneShot(), adversary, n=2, f=0, seed=1, record_events=True)
+
+    class EveryStepScheduled(ScheduledAdversary):
+        wants_every_step = True
+
+    slow_adv = EveryStepScheduled({0: [("delta", 0, 50), ("d", 0, 30)]})
+    slow = simulate(OneShot(), slow_adv, n=2, f=0, seed=1, record_events=True)
+
+    assert fast.outcome.t_end == slow.outcome.t_end
+    assert fast.outcome.sent.tolist() == slow.outcome.sent.tolist()
+    fast_events = [(e.step, e.kind, e.subject) for e in fast.trace.events]
+    slow_events = [(e.step, e.kind, e.subject) for e in slow.trace.events]
+    assert fast_events == slow_events
+    # ... but the fast run visited far fewer steps.
+    assert fast.outcome.steps_simulated < slow.outcome.steps_simulated
+
+
+def test_adversary_wakeup_steps_are_visited():
+    # A scheduled retiming at a quiet step must still be applied.
+    proto = PingPong(limit=2)
+    adversary = ScheduledAdversary({3: [("delta", 1, 2)]})
+    outcome = simulate(proto, adversary, n=2, f=0, seed=0).outcome
+    assert outcome.max_local_step_time == 2
+
+
+# ---------------------------------------------------------------- misc
+
+
+def test_simulator_is_single_use():
+    sim = Simulator(Idle(), NullAdversary(), n=3, f=0, seed=0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        Simulator(Idle(), NullAdversary(), n=1, f=0)
+    with pytest.raises(ConfigurationError):
+        Simulator(Idle(), NullAdversary(), n=5, f=5)
+    with pytest.raises(ConfigurationError):
+        Simulator(Idle(), NullAdversary(), n=5, f=-1)
+    with pytest.raises(ConfigurationError):
+        Simulator(Idle(), NullAdversary(), n=5, f=0, max_steps=0)
+
+
+def test_determinism_same_seed_same_outcome():
+    a = simulate(OneShot(), NullAdversary(), n=2, f=0, seed=9).outcome
+    b = simulate(OneShot(), NullAdversary(), n=2, f=0, seed=9).outcome
+    assert a.t_end == b.t_end
+    assert a.sent.tolist() == b.sent.tolist()
+
+
+def test_rumor_gathering_flag_reflects_protocol_knowledge():
+    class NeverLearns(Idle):
+        def knowledge_of(self, rho):
+            known = np.zeros(self.n, dtype=bool)
+            known[rho] = True
+            return known
+
+    outcome = simulate(NeverLearns(), NullAdversary(), n=3, f=0, seed=0).outcome
+    assert outcome.completed
+    assert not outcome.rumor_gathering_ok

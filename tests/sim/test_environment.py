@@ -1,0 +1,110 @@
+"""Tests for baseline timing environments."""
+
+import numpy as np
+import pytest
+
+from repro.core.adversary import NullAdversary
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator, simulate
+from repro.sim.environment import UniformTimingJitter, homogeneous, make_environment
+from repro.sim.timing import TimingTable
+
+
+def test_homogeneous_is_identity():
+    table = TimingTable(5)
+    homogeneous().apply(table, np.random.default_rng(0))
+    assert table.max_local_step_time == 1
+    assert table.max_delivery_time == 1
+
+
+def test_jitter_sets_values_in_range():
+    table = TimingTable(50)
+    UniformTimingJitter(max_delta=4, max_d=6).apply(table, np.random.default_rng(1))
+    deltas, ds = table.snapshot()
+    assert deltas.min() >= 1 and deltas.max() <= 4
+    assert ds.min() >= 1 and ds.max() <= 6
+    # With 50 draws the jitter is virtually never degenerate.
+    assert len(set(deltas.tolist())) > 1
+
+
+def test_jitter_validation():
+    with pytest.raises(ConfigurationError):
+        UniformTimingJitter(max_delta=0)
+    with pytest.raises(ConfigurationError):
+        UniformTimingJitter(max_d=0)
+
+
+def test_make_environment_specs():
+    assert make_environment(None).__class__.__name__ == "_Homogeneous"
+    assert make_environment("homogeneous").__class__.__name__ == "_Homogeneous"
+    env = make_environment("jitter")
+    assert isinstance(env, UniformTimingJitter)
+    env = make_environment("jitter:5,7")
+    assert env.max_delta == 5 and env.max_d == 7
+    custom = UniformTimingJitter(2, 2)
+    assert make_environment(custom) is custom
+    with pytest.raises(ConfigurationError):
+        make_environment("chaos")
+    with pytest.raises(ConfigurationError):
+        make_environment("jitter:a,b")
+
+
+def test_simulator_applies_environment_before_run():
+    sim = Simulator(
+        make_protocol("flood"),
+        NullAdversary(),
+        n=20,
+        f=0,
+        seed=3,
+        environment="jitter:3,3",
+    )
+    deltas, ds = sim.timing.snapshot()
+    assert deltas.max() > 1 or ds.max() > 1
+
+
+def test_jittered_run_completes_and_gathers():
+    outcome = simulate(
+        make_protocol("push-pull"),
+        NullAdversary(),
+        n=30,
+        f=9,
+        seed=4,
+        environment="jitter:3,4",
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    # The normaliser picked up the jittered maxima.
+    assert outcome.max_local_step_time >= 2 or outcome.max_delivery_time >= 2
+
+
+def test_environment_deterministic_per_seed():
+    def snap(seed):
+        sim = Simulator(
+            make_protocol("flood"),
+            NullAdversary(),
+            n=16,
+            f=0,
+            seed=seed,
+            environment="jitter:4,4",
+        )
+        return sim.timing.snapshot()
+
+    (d1, t1), (d2, t2) = snap(9), snap(9)
+    assert np.array_equal(d1, d2) and np.array_equal(t1, t2)
+    (d3, _), _ = snap(10), None
+    assert not np.array_equal(d1, d3)
+
+
+def test_environment_independent_of_protocol_coins():
+    # The environment draws from its own stream: protocols behave the
+    # same whether or not their own RNG consumption changes.
+    a = Simulator(
+        make_protocol("flood"), NullAdversary(), n=12, f=0, seed=5,
+        environment="jitter:3,3",
+    )
+    b = Simulator(
+        make_protocol("ears"), NullAdversary(), n=12, f=0, seed=5,
+        environment="jitter:3,3",
+    )
+    assert np.array_equal(a.timing.snapshot()[0], b.timing.snapshot()[0])

@@ -1,0 +1,59 @@
+"""Unit tests for the per-process mailbox."""
+
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+
+
+def _msg(i: int) -> Message:
+    return Message(sender=0, receiver=1, payload=i, sent_at=i, arrives_at=i + 1)
+
+
+def test_empty_mailbox():
+    box = Mailbox()
+    assert len(box) == 0
+    assert not box
+    assert box.drain() == []
+    assert box.total_received == 0
+
+
+def test_put_then_drain_preserves_order():
+    box = Mailbox()
+    messages = [_msg(i) for i in range(5)]
+    for m in messages:
+        box.put(m)
+    assert len(box) == 5
+    assert box.drain() == messages
+
+
+def test_drain_empties_the_box():
+    box = Mailbox()
+    box.put(_msg(0))
+    box.drain()
+    assert len(box) == 0
+    assert box.drain() == []
+
+
+def test_total_received_counts_across_drains():
+    box = Mailbox()
+    box.put(_msg(0))
+    box.drain()
+    box.put(_msg(1))
+    box.put(_msg(2))
+    assert box.total_received == 3
+
+
+def test_bool_reflects_pending():
+    box = Mailbox()
+    assert not box
+    box.put(_msg(0))
+    assert box
+
+
+def test_drain_returns_fresh_list():
+    box = Mailbox()
+    box.put(_msg(0))
+    first = box.drain()
+    box.put(_msg(1))
+    second = box.drain()
+    assert first is not second
+    assert len(first) == 1 and len(second) == 1

@@ -1,0 +1,27 @@
+"""Unit tests for the Message record."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.messages import Message
+
+
+def test_latency():
+    msg = Message(sender=0, receiver=1, payload="x", sent_at=3, arrives_at=10)
+    assert msg.latency() == 7
+
+
+def test_frozen():
+    msg = Message(sender=0, receiver=1, payload="x", sent_at=0, arrives_at=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        msg.sender = 2
+
+
+def test_fields_round_trip():
+    msg = Message(sender=4, receiver=2, payload=[1, 2], sent_at=5, arrives_at=6)
+    assert msg.sender == 4
+    assert msg.receiver == 2
+    assert msg.payload == [1, 2]
+    assert msg.sent_at == 5
+    assert msg.arrives_at == 6

@@ -1,0 +1,115 @@
+"""Unit tests for the in-flight network."""
+
+import pytest
+
+from repro.errors import ProtocolViolation, SimulationError
+from repro.sim.network import Network
+from repro.sim.timing import TimingTable
+from repro.sim.trace import TraceRecorder
+
+
+def make_network(n: int = 4):
+    timing = TimingTable(n)
+    trace = TraceRecorder(n)
+    return Network(n, timing, trace), timing, trace
+
+
+def collect(net: Network, now: int):
+    got = []
+    net.deliver_due(now, got.append)
+    return got
+
+
+def test_send_arrives_after_delivery_time():
+    net, timing, _ = make_network()
+    timing.set_delivery_time(0, 3)
+    msg = net.send(0, 1, "hello", now=5)
+    assert msg.arrives_at == 8
+    assert msg.latency() == 3
+    assert collect(net, 7) == []
+    assert [m.payload for m in collect(net, 8)] == ["hello"]
+
+
+def test_delivery_time_read_at_send_time():
+    net, timing, _ = make_network()
+    msg = net.send(0, 1, "a", now=1)  # d=1 -> arrives 2
+    timing.set_delivery_time(0, 100)
+    later = net.send(0, 1, "b", now=1)
+    assert msg.arrives_at == 2
+    assert later.arrives_at == 101
+
+
+def test_rejects_self_send():
+    net, _, _ = make_network()
+    with pytest.raises(ProtocolViolation):
+        net.send(2, 2, "x", now=0)
+
+
+def test_rejects_out_of_range_receiver():
+    net, _, _ = make_network()
+    with pytest.raises(ProtocolViolation):
+        net.send(0, 9, "x", now=0)
+    with pytest.raises(ProtocolViolation):
+        net.send(0, -1, "x", now=0)
+
+
+def test_messages_to_crashed_receiver_are_dropped():
+    net, _, trace = make_network()
+    net.send(0, 1, "x", now=0)  # arrives 1
+    net.on_crash(1)
+    assert collect(net, 1) == []
+    assert trace.dropped[1] == 1
+
+
+def test_sends_to_already_crashed_receiver_still_count():
+    net, _, trace = make_network()
+    net.on_crash(1)
+    net.send(0, 1, "x", now=0)
+    assert trace.sent[0] == 1
+    assert net.inflight_to_correct == 0
+
+
+def test_inflight_to_correct_bookkeeping():
+    net, _, _ = make_network()
+    net.send(0, 1, "x", now=0)
+    net.send(0, 2, "y", now=0)
+    assert net.inflight_to_correct == 2
+    net.on_crash(1)
+    assert net.inflight_to_correct == 1
+    collect(net, 1)
+    assert net.inflight_to_correct == 0
+
+
+def test_double_crash_does_not_double_discount():
+    net, _, _ = make_network()
+    net.send(0, 1, "x", now=0)
+    net.on_crash(1)
+    net.on_crash(1)
+    assert net.inflight_to_correct == 0
+
+
+def test_next_arrival_step():
+    net, timing, _ = make_network()
+    assert net.next_arrival_step() is None
+    timing.set_delivery_time(0, 5)
+    net.send(0, 1, "x", now=0)
+    timing.set_delivery_time(0, 2)
+    net.send(0, 2, "y", now=0)
+    assert net.next_arrival_step() == 2
+
+
+def test_deliveries_must_be_in_order():
+    net, _, _ = make_network()
+    net.send(0, 1, "x", now=0)
+    collect(net, 5)
+    with pytest.raises(SimulationError):
+        collect(net, 4)
+
+
+def test_pending_iterates_in_arrival_order():
+    net, timing, _ = make_network()
+    timing.set_delivery_time(0, 9)
+    net.send(0, 1, "late", now=0)
+    timing.set_delivery_time(0, 1)
+    net.send(0, 2, "early", now=0)
+    assert [m.payload for m in net.pending()] == ["early", "late"]

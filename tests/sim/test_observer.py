@@ -1,0 +1,77 @@
+"""Unit tests for the adversary's SystemView."""
+
+import numpy as np
+
+from repro.core.adversary import Adversary, NullAdversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator
+
+
+def make_sim(n=6, f=2):
+    return Simulator(make_protocol("round-robin"), NullAdversary(), n=n, f=f, seed=0)
+
+
+def test_dimensions_and_clock():
+    sim = make_sim()
+    view = sim.view
+    assert view.n == 6
+    assert view.f == 2
+    assert view.now == 0
+
+
+def test_status_masks_before_run():
+    view = make_sim().view
+    assert view.correct_mask.all()
+    assert not view.asleep_mask.any()
+    assert view.crashed_count == 0
+
+
+def test_crash_reflected_in_view():
+    sim = make_sim()
+    sim.controls.crash(3)
+    view = sim.view
+    assert not view.is_correct(3)
+    assert view.is_correct(2)
+    assert view.crashed_count == 1
+    assert view.correct_mask.sum() == 5
+
+
+def test_timing_accessors():
+    sim = make_sim()
+    sim.controls.set_local_step_time(1, 4)
+    sim.controls.set_delivery_time(1, 9)
+    assert sim.view.local_step_time(1) == 4
+    assert sim.view.delivery_time(1) == 9
+    assert sim.view.local_step_time(0) == 1
+
+
+def test_sent_counts_is_a_copy():
+    sim = make_sim()
+    counts = sim.view.sent_counts
+    counts[0] = 999
+    assert sim.trace.sent[0] == 0
+
+
+def test_knowledge_exposed_to_adversary():
+    sim = make_sim()
+    known = sim.view.knowledge_of(2)
+    assert known.dtype == bool
+    assert known[2] and known.sum() == 1  # only its own gossip initially
+
+
+def test_sends_this_step_visible_in_after_step():
+    seen = []
+
+    class Spy(Adversary):
+        name = "spy"
+
+        def setup(self, view, controls):
+            pass
+
+        def after_step(self, view, controls):
+            seen.extend((m.sender, m.receiver) for m in view.sends_this_step)
+
+    sim = Simulator(make_protocol("flood"), Spy(), n=3, f=0, seed=0)
+    sim.run()
+    # Flood: every process sends to both others at its first step.
+    assert set(seen) == {(a, b) for a in range(3) for b in range(3) if a != b}

@@ -1,0 +1,80 @@
+"""Unit tests for the Outcome record and complexity measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompleteRunError
+from repro.sim.outcome import Outcome
+
+
+def make_outcome(**overrides) -> Outcome:
+    base = dict(
+        n=4,
+        f=2,
+        seed=0,
+        protocol_name="p",
+        adversary_name="a",
+        completed=True,
+        rumor_gathering_ok=True,
+        t_end=30,
+        max_local_step_time=2,
+        max_delivery_time=3,
+        sent=np.array([5, 0, 7, 1]),
+        received=np.array([1, 2, 3, 4]),
+        bytes_sent=np.array([50, 0, 70, 10]),
+        crashed=(1,),
+        crash_steps={1: 0},
+        sleep_counts=np.array([1, 0, 1, 1]),
+        wake_counts=np.array([0, 0, 0, 0]),
+        steps_simulated=12,
+    )
+    base.update(overrides)
+    return Outcome(**base)
+
+
+def test_message_complexity_sums_all_processes():
+    # Definition II.3: crashed processes' sends count too.
+    assert make_outcome().message_complexity() == 13
+
+
+def test_per_process_message_complexity():
+    o = make_outcome()
+    assert o.message_complexity_of(2) == 7
+    assert o.message_complexity_of(1) == 0
+
+
+def test_time_complexity_normalisation():
+    # T(O) = T_end / (delta + d) = 30 / 5.
+    assert make_outcome().time_complexity() == 6.0
+
+
+def test_truncated_run_guards_measures():
+    o = make_outcome(completed=False)
+    with pytest.raises(IncompleteRunError):
+        o.message_complexity()
+    with pytest.raises(IncompleteRunError):
+        o.time_complexity()
+    with pytest.raises(IncompleteRunError):
+        o.message_complexity_of(0)
+    assert o.message_complexity(allow_truncated=True) == 13
+
+
+def test_correct_excludes_crashed():
+    assert make_outcome().correct.tolist() == [0, 2, 3]
+
+
+def test_crash_count():
+    assert make_outcome().crash_count == 1
+    assert make_outcome(crashed=(), crash_steps={}).crash_count == 0
+
+
+def test_bandwidth_sums_bytes():
+    o = make_outcome()
+    assert o.bandwidth() == 130
+    with pytest.raises(IncompleteRunError):
+        make_outcome(completed=False).bandwidth()
+
+
+def test_summary_mentions_truncation():
+    assert "TRUNCATED" in make_outcome(completed=False).summary()
+    assert "M=13" in make_outcome().summary()

@@ -1,0 +1,84 @@
+"""Unit tests for process lifecycle bookkeeping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import ProcessRuntime, ProcessStatus
+
+
+def test_initial_state():
+    rt = ProcessRuntime(3)
+    assert rt.pid == 3
+    assert rt.status is ProcessStatus.AWAKE
+    assert rt.is_correct
+    assert rt.completed_at is None
+    assert rt.crash_step is None
+
+
+def test_sleep_records_step_and_count():
+    rt = ProcessRuntime(0)
+    rt.fall_asleep(12)
+    assert rt.status is ProcessStatus.ASLEEP
+    assert rt.last_sleep_step == 12
+    assert rt.sleep_count == 1
+    assert rt.completed_at == 12
+
+
+def test_wake_from_sleep():
+    rt = ProcessRuntime(0)
+    rt.fall_asleep(12)
+    rt.wake(15)
+    assert rt.status is ProcessStatus.AWAKE
+    assert rt.wake_count == 1
+    assert rt.completed_at is None  # awake means not completed
+
+
+def test_final_sleep_overwrites_earlier_sleep():
+    rt = ProcessRuntime(0)
+    rt.fall_asleep(10)
+    rt.wake(11)
+    rt.fall_asleep(20)
+    assert rt.last_sleep_step == 20
+    assert rt.sleep_count == 2
+
+
+def test_wake_requires_sleeping():
+    rt = ProcessRuntime(0)
+    with pytest.raises(SimulationError):
+        rt.wake(1)
+
+
+def test_crash_marks_incorrect():
+    rt = ProcessRuntime(0)
+    rt.crash(7)
+    assert rt.status is ProcessStatus.CRASHED
+    assert not rt.is_correct
+    assert rt.crash_step == 7
+
+
+def test_crash_twice_is_an_error():
+    rt = ProcessRuntime(0)
+    rt.crash(1)
+    with pytest.raises(SimulationError):
+        rt.crash(2)
+
+
+def test_crashed_cannot_sleep():
+    rt = ProcessRuntime(0)
+    rt.crash(1)
+    with pytest.raises(SimulationError):
+        rt.fall_asleep(2)
+
+
+def test_note_action_counts():
+    rt = ProcessRuntime(0)
+    rt.note_action()
+    rt.note_action()
+    assert rt.action_count == 2
+
+
+def test_status_enum_is_int_compatible():
+    # The engine mirrors statuses in an int8 array.
+    assert int(ProcessStatus.AWAKE) == 0
+    assert int(ProcessStatus.ASLEEP) == 1
+    assert int(ProcessStatus.CRASHED) == 2

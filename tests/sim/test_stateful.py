@@ -1,0 +1,170 @@
+"""Hypothesis stateful tests of kernel components.
+
+Model-based testing: drive `Network` + `TimingTable` (and `Mailbox`)
+through random operation sequences while maintaining a trivial Python
+model, asserting the component and the model never disagree. This
+catches interaction bugs (e.g. crash-vs-inflight accounting) that
+example-based tests tend to miss.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.timing import TimingTable
+from repro.sim.trace import TraceRecorder
+
+N = 6
+
+
+class NetworkMachine(RuleBasedStateMachine):
+    """Network + timing vs. a dict-of-lists reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.timing = TimingTable(N)
+        self.trace = TraceRecorder(N)
+        self.net = Network(N, self.timing, self.trace)
+        self.now = 0
+        self.crashed: set[int] = set()
+        # model: arrival step -> list of (sender, receiver)
+        self.model: dict[int, list[tuple[int, int]]] = {}
+        self.model_sent = 0
+        self.model_delivered = 0
+
+    # ---------------------------------------------------------------- rules
+
+    @rule(
+        sender=st.integers(0, N - 1),
+        receiver=st.integers(0, N - 1),
+        d=st.integers(1, 5),
+    )
+    def send(self, sender, receiver, d):
+        if sender == receiver:
+            return
+        self.timing.set_delivery_time(sender, d)
+        self.net.send(sender, receiver, payload=None, now=self.now)
+        self.model.setdefault(self.now + d, []).append((sender, receiver))
+        self.model_sent += 1
+
+    @rule()
+    def advance_and_deliver(self):
+        self.now += 1
+        got: list[Message] = []
+        self.net.deliver_due(self.now, got.append)
+        expected = [
+            (s, r)
+            for (s, r) in self.model.pop(self.now, [])
+            if r not in self.crashed
+        ]
+        assert sorted((m.sender, m.receiver) for m in got) == sorted(expected)
+        self.model_delivered += len(expected)
+
+    @rule(rho=st.integers(0, N - 1))
+    def crash(self, rho):
+        self.net.on_crash(rho)
+        self.crashed.add(rho)
+
+    # ---------------------------------------------------------------- invariants
+
+    @invariant()
+    def inflight_matches_model(self):
+        pending_to_correct = sum(
+            1
+            for step, msgs in self.model.items()
+            for (_, r) in msgs
+            if r not in self.crashed
+        )
+        assert self.net.inflight_to_correct == pending_to_correct
+
+    @invariant()
+    def counters_match(self):
+        assert self.trace.sent.sum() == self.model_sent
+        assert self.trace.received.sum() == self.model_delivered
+
+    @invariant()
+    def next_arrival_is_min_pending(self):
+        arrival = self.net.next_arrival_step()
+        future = [s for s, msgs in self.model.items() if msgs]
+        if not future:
+            assert arrival is None
+        else:
+            assert arrival == min(future)
+
+
+TestNetworkMachine = NetworkMachine.TestCase
+TestNetworkMachine.settings = settings(max_examples=40, stateful_step_count=40, deadline=None)
+
+
+class MailboxMachine(RuleBasedStateMachine):
+    """Mailbox vs. a plain list."""
+
+    def __init__(self):
+        super().__init__()
+        self.box = Mailbox()
+        self.model: list[int] = []
+        self.counter = 0
+        self.total = 0
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        msg = Message(0, 1, self.counter, sent_at=0, arrives_at=1)
+        self.box.put(msg)
+        self.model.append(self.counter)
+        self.total += 1
+
+    @rule()
+    def drain(self):
+        got = [m.payload for m in self.box.drain()]
+        assert got == self.model
+        self.model = []
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.box) == len(self.model)
+        assert bool(self.box) == bool(self.model)
+        assert self.box.total_received == self.total
+
+
+TestMailboxMachine = MailboxMachine.TestCase
+TestMailboxMachine.settings = settings(max_examples=30, stateful_step_count=30, deadline=None)
+
+
+class TimingMachine(RuleBasedStateMachine):
+    """TimingTable maxima vs. running Python maxima."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = TimingTable(N)
+        self.max_delta = 1
+        self.max_d = 1
+
+    @rule(rho=st.integers(0, N - 1), value=st.integers(1, 100))
+    def set_delta(self, rho, value):
+        self.table.set_local_step_time(rho, value)
+        self.max_delta = max(self.max_delta, value)
+
+    @rule(rho=st.integers(0, N - 1), value=st.integers(1, 100))
+    def set_d(self, rho, value):
+        self.table.set_delivery_time(rho, value)
+        self.max_d = max(self.max_d, value)
+
+    @invariant()
+    def maxima_agree(self):
+        assert self.table.max_local_step_time == self.max_delta
+        assert self.table.max_delivery_time == self.max_d
+
+    @invariant()
+    def currents_in_bounds(self):
+        deltas, ds = self.table.snapshot()
+        assert deltas.max() <= self.max_delta
+        assert ds.max() <= self.max_d
+        assert deltas.min() >= 1 and ds.min() >= 1
+
+
+TestTimingMachine = TimingMachine.TestCase
+TestTimingMachine.settings = settings(max_examples=30, stateful_step_count=50, deadline=None)

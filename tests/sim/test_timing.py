@@ -1,0 +1,69 @@
+"""Unit tests for the per-process timing table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.timing import TimingTable
+
+
+def test_defaults_are_one():
+    table = TimingTable(4)
+    for rho in range(4):
+        assert table.local_step_time(rho) == 1
+        assert table.delivery_time(rho) == 1
+    assert table.max_local_step_time == 1
+    assert table.max_delivery_time == 1
+
+
+def test_set_local_step_time():
+    table = TimingTable(4)
+    table.set_local_step_time(2, 9)
+    assert table.local_step_time(2) == 9
+    assert table.local_step_time(1) == 1
+
+
+def test_set_delivery_time():
+    table = TimingTable(4)
+    table.set_delivery_time(0, 81)
+    assert table.delivery_time(0) == 81
+
+
+def test_maxima_track_history_not_current_values():
+    # Definition II.4 normalises by the maxima *during* the outcome:
+    # lowering a value later must not lower the recorded maximum.
+    table = TimingTable(3)
+    table.set_local_step_time(1, 50)
+    table.set_local_step_time(1, 2)
+    assert table.local_step_time(1) == 2
+    assert table.max_local_step_time == 50
+    table.set_delivery_time(2, 7)
+    table.set_delivery_time(2, 1)
+    assert table.max_delivery_time == 7
+
+
+def test_rejects_non_positive_values():
+    table = TimingTable(2)
+    with pytest.raises(ConfigurationError):
+        table.set_local_step_time(0, 0)
+    with pytest.raises(ConfigurationError):
+        table.set_delivery_time(0, -1)
+
+
+def test_rejects_empty_system():
+    with pytest.raises(ConfigurationError):
+        TimingTable(0)
+
+
+def test_rejects_bad_initial_values():
+    with pytest.raises(ConfigurationError):
+        TimingTable(2, delta=0)
+    with pytest.raises(ConfigurationError):
+        TimingTable(2, d=0)
+
+
+def test_snapshot_is_a_copy():
+    table = TimingTable(3)
+    delta, d = table.snapshot()
+    delta[0] = 99
+    assert table.local_step_time(0) == 1
+    assert d.shape == (3,)

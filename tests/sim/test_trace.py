@@ -1,0 +1,62 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import EventKind, TraceRecorder
+
+
+def test_counters_always_on():
+    trace = TraceRecorder(3, record_events=False)
+    trace.on_send(1, 0, 1)
+    trace.on_send(2, 0, 2)
+    trace.on_deliver(3, 0, 1)
+    trace.on_drop(3, 0, 2)
+    assert trace.sent[0] == 2
+    assert trace.received[1] == 1
+    assert trace.dropped[2] == 1
+    assert trace.total_sent() == 2
+    assert trace.events == []  # log off
+
+
+def test_event_log_records_in_order():
+    trace = TraceRecorder(3, record_events=True)
+    trace.on_send(1, 0, 1)
+    trace.on_deliver(2, 0, 1)
+    trace.on_crash(2, 2)
+    trace.on_sleep(3, 1)
+    trace.on_wake(4, 1)
+    trace.on_retime_delta(0, 0, 7)
+    trace.on_retime_d(0, 0, 49)
+    kinds = [e.kind for e in trace.events]
+    assert kinds == [
+        EventKind.SEND,
+        EventKind.DELIVER,
+        EventKind.CRASH,
+        EventKind.SLEEP,
+        EventKind.WAKE,
+        EventKind.RETIME_DELTA,
+        EventKind.RETIME_D,
+    ]
+
+
+def test_send_event_subject_is_sender_deliver_subject_is_receiver():
+    trace = TraceRecorder(3, record_events=True)
+    trace.on_send(5, 1, 2)
+    trace.on_deliver(6, 1, 2)
+    send, deliver = trace.events
+    assert send.subject == 1 and send.detail == 2 and send.step == 5
+    assert deliver.subject == 2 and deliver.detail == 1 and deliver.step == 6
+
+
+def test_events_of_filters_by_kind():
+    trace = TraceRecorder(2, record_events=True)
+    trace.on_send(1, 0, 1)
+    trace.on_crash(1, 1)
+    trace.on_send(2, 0, 1)
+    sends = list(trace.events_of(EventKind.SEND))
+    assert len(sends) == 2
+    assert all(e.kind is EventKind.SEND for e in sends)
+
+
+def test_retime_events_carry_new_value():
+    trace = TraceRecorder(2, record_events=True)
+    trace.on_retime_delta(0, 1, 100)
+    assert trace.events[0].detail == 100

@@ -1,0 +1,304 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "push-pull" in out
+    assert "ugf" in out
+
+
+def test_run_command(capsys):
+    code = main(
+        ["run", "--protocol", "round-robin", "--adversary", "none", "-n", "10", "-f", "0"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "M(O) = 90" in out
+    assert "T(O)" in out
+
+
+def test_run_with_ugf(capsys):
+    assert (
+        main(["run", "--protocol", "flood", "--adversary", "ugf", "-n", "12", "-f", "4"])
+        == 0
+    )
+    assert "flood vs ugf" in capsys.readouterr().out
+
+
+def test_figure_command_tiny(capsys, monkeypatch):
+    import repro.experiments.figure3 as figure3
+
+    monkeypatch.setattr(figure3, "DEFAULT_N_GRID", (8, 12))
+    monkeypatch.setattr(figure3, "DEFAULT_SEEDS", (0, 1))
+    assert main(["figure", "3a", "--seeds", "2", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3a" in out
+    assert "Growth-model fits" in out
+
+
+def test_figure_writes_csv(tmp_path, capsys, monkeypatch):
+    import repro.experiments.figure3 as figure3
+
+    monkeypatch.setattr(figure3, "DEFAULT_N_GRID", (8,))
+    assert (
+        main(
+            [
+                "figure",
+                "3c",
+                "--seeds",
+                "2",
+                "--workers",
+                "1",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == [
+        "figure3c_max-ugf.csv",
+        "figure3c_no-adversary.csv",
+        "figure3c_ugf.csv",
+    ]
+
+
+def test_sweep_outputs_csv(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--protocol",
+                "flood",
+                "--adversary",
+                "none",
+                "--n",
+                "6",
+                "10",
+                "--seeds",
+                "2",
+                "--workers",
+                "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.startswith("protocol,")
+    assert out.count("\n") == 3  # header + two N rows
+
+
+def test_tradeoff_command(capsys):
+    assert (
+        main(
+            [
+                "tradeoff",
+                "--protocol",
+                "round-robin",
+                "-n",
+                "10",
+                "-f",
+                "4",
+                "--tau",
+                "2",
+                "--k",
+                "1",
+                "--seeds",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert "alpha" in capsys.readouterr().out
+
+
+def test_ablate_adversaries(capsys):
+    assert (
+        main(
+            [
+                "ablate",
+                "adversaries",
+                "--protocol",
+                "flood",
+                "-n",
+                "10",
+                "--seeds",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "oblivious" in out and "ugf" in out
+
+
+def test_figure_json_then_plot(tmp_path, capsys, monkeypatch):
+    import repro.experiments.figure3 as figure3
+
+    monkeypatch.setattr(figure3, "DEFAULT_N_GRID", (8, 12))
+    json_path = tmp_path / "fig.json"
+    assert (
+        main(
+            [
+                "figure",
+                "3a",
+                "--seeds",
+                "2",
+                "--workers",
+                "1",
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert json_path.exists()
+    assert main(["plot", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3a" in out
+    assert "max-ugf" in out
+
+
+def test_figure_plot_inline(capsys, monkeypatch):
+    import repro.experiments.figure3 as figure3
+
+    monkeypatch.setattr(figure3, "DEFAULT_N_GRID", (8, 12))
+    assert main(["figure", "3c", "--seeds", "2", "--workers", "1", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "log10 y" in out  # message panels plot on a log axis
+
+
+def test_plot_sweep_json(tmp_path, capsys):
+    from repro.experiments.config import SweepSpec
+    from repro.experiments.runner import run_sweep
+    from repro.experiments.serialization import dumps
+
+    result = run_sweep(
+        SweepSpec(protocol="flood", adversary="none", n_values=(6, 10, 14), seeds=(0,)),
+        workers=1,
+    )
+    path = tmp_path / "sweep.json"
+    path.write_text(dumps(result))
+    assert main(["plot", str(path), "--width", "40", "--height", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "flood vs none: messages" in out
+    assert "flood vs none: time" in out
+
+
+def test_run_with_environment(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--protocol",
+                "flood",
+                "--adversary",
+                "none",
+                "-n",
+                "10",
+                "-f",
+                "0",
+                "--environment",
+                "jitter:3,3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "delta" in out
+
+
+def test_inspect_command(capsys):
+    assert (
+        main(
+            [
+                "inspect",
+                "--protocol",
+                "push-pull",
+                "--adversary",
+                "str-2.1.1",
+                "-n",
+                "20",
+                "-f",
+                "6",
+                "--rows",
+                "8",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "awake" in out
+    assert "quiet gap" in out  # the delay attack fast-forwards dead air
+
+
+def test_decompose_command(capsys):
+    assert (
+        main(["decompose", "--protocol", "flood", "-n", "12", "--seeds", "6"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "max-UGF for time" in out
+    assert "str-" in out
+
+
+def test_report_command_tiny(tmp_path, capsys, monkeypatch):
+    import repro.experiments.full_report as full_report
+
+    tiny = full_report.ReproductionScale(
+        label="tiny",
+        n_values=(8, 12, 16),
+        seeds=(0,),
+        ablation_n=10,
+        ablation_seeds=(0,),
+        decomposition_seeds=(0, 1, 2),
+        tradeoff={"n": 8, "f": 2, "tau": 2, "k_values": (1,), "seeds": (0,)},
+    )
+    monkeypatch.setitem(full_report.SCALES, "smoke", tiny)
+    out_path = tmp_path / "report.md"
+    code = main(["report", "--scale", "smoke", "--out", str(out_path), "--workers", "1"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)  # verdict-dependent on a 2-point grid
+    assert out_path.exists()
+    assert "# Reproduction report" in out_path.read_text()
+    assert "wrote" in out
+
+
+def test_sweep_with_environment(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--protocol",
+                "flood",
+                "--adversary",
+                "none",
+                "--n",
+                "6",
+                "--seeds",
+                "2",
+                "--workers",
+                "1",
+                "--environment",
+                "jitter:2,2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.startswith("protocol,")
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "bogus", "-n", "5", "-f", "1"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

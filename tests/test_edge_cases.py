@@ -1,0 +1,140 @@
+"""Boundary-configuration battery.
+
+Systematic sweeps of the model's corners: minimal systems, maximal
+crash budgets, extreme timings, degenerate strategy parameters — each
+must either work or fail with a :class:`ConfigurationError`, never
+hang or corrupt state.
+"""
+
+import pytest
+
+from repro.core.registry import make_adversary
+from repro.core.strategies import DelayGroupStrategy, IsolateSurvivorStrategy
+from repro.errors import ConfigurationError
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.sim.engine import simulate
+
+
+# ---------------------------------------------------------------- minimal N
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_n_equals_two(protocol):
+    outcome = simulate(
+        make_protocol(protocol), make_adversary("none"), n=2, f=0, seed=0
+    ).outcome
+    assert outcome.completed
+    if make_protocol(protocol).guarantees_gathering:
+        assert outcome.rumor_gathering_ok
+
+
+@pytest.mark.parametrize("protocol", ["push-pull", "ears", "sears"])
+def test_n_equals_three_with_f_two(protocol):
+    # F = N-1: the adversary may crash all but one process.
+    outcome = simulate(
+        make_protocol(protocol), make_adversary("ugf"), n=3, f=2, seed=1
+    ).outcome
+    assert outcome.completed
+    assert outcome.crash_count <= 2
+
+
+# ---------------------------------------------------------------- maximal F
+
+
+@pytest.mark.parametrize("adversary", ["str-1", "str-2.1.0", "str-2.1.1", "ugf"])
+def test_f_is_n_minus_one(adversary):
+    outcome = simulate(
+        make_protocol("push-pull"), make_adversary(adversary), n=12, f=11, seed=0
+    ).outcome
+    assert outcome.completed
+    assert outcome.crash_count <= 11
+    # At least one correct process always remains (F < N).
+    assert outcome.correct.size >= 1
+    assert outcome.rumor_gathering_ok
+
+
+def test_strategy1_with_f_one_is_noop():
+    # floor(F/2) = 0: no group, nothing to crash.
+    outcome = simulate(
+        make_protocol("ears"), make_adversary("str-1"), n=10, f=1, seed=0
+    ).outcome
+    assert outcome.crash_count == 0
+    assert outcome.rumor_gathering_ok
+
+
+# ---------------------------------------------------------------- extreme timings
+
+
+def test_huge_delay_exponents_still_terminate():
+    # tau^(k+l) = 2^12 = 4096-step delays; fast-forward must keep the
+    # visited-step count near the event count, not the horizon.
+    outcome = simulate(
+        make_protocol("push-pull"),
+        DelayGroupStrategy(6, 6, tau=2, group=(0, 1)),
+        n=12,
+        f=4,
+        seed=0,
+        max_steps=1_000_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.max_delivery_time == 2**12
+    assert outcome.steps_simulated < 10_000
+
+
+def test_isolation_with_group_of_one():
+    # |C| = 1: nobody to crash at setup, the survivor is the group.
+    adv = IsolateSurvivorStrategy(1, tau=3, group=(4,))
+    outcome = simulate(
+        make_protocol("ears"), adv, n=10, f=3, seed=0
+    ).outcome
+    assert adv.survivor == 4
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_group_covering_almost_everyone():
+    # C = all but one process, delayed: the lone outsider still
+    # completes and gathering eventually succeeds.
+    n = 8
+    adv = DelayGroupStrategy(1, 1, tau=2, group=tuple(range(n - 1)))
+    outcome = simulate(
+        make_protocol("push-pull"), adv, n=n, f=n - 1, seed=2, max_steps=500_000
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+# ---------------------------------------------------------------- bad configs
+
+
+def test_invalid_system_sizes():
+    with pytest.raises(ConfigurationError):
+        simulate(make_protocol("flood"), make_adversary("none"), n=0, f=0)
+    with pytest.raises(ConfigurationError):
+        simulate(make_protocol("flood"), make_adversary("none"), n=1, f=0)
+    with pytest.raises(ConfigurationError):
+        simulate(make_protocol("flood"), make_adversary("none"), n=5, f=5)
+
+
+def test_seed_extremes():
+    for seed in (0, 2**31 - 1, 2**63 - 1):
+        outcome = simulate(
+            make_protocol("flood"), make_adversary("none"), n=5, f=0, seed=seed
+        ).outcome
+        assert outcome.completed
+
+
+def test_environment_with_adversary_composition():
+    # Jittered baseline + every strategy: still terminates + gathers.
+    for adversary in ("str-1", "str-2.1.0", "str-2.1.1"):
+        outcome = simulate(
+            make_protocol("ears"),
+            make_adversary(adversary),
+            n=20,
+            f=6,
+            seed=3,
+            environment="jitter:3,3",
+            max_steps=500_000,
+        ).outcome
+        assert outcome.completed, adversary
+        assert outcome.rumor_gathering_ok, adversary

@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs end-to-end.
+
+Each example is executed in-process (monkeypatched ``sys.argv`` with
+tiny parameters) so a broken public API surfaces here, not in a
+user's terminal.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str]):
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", ["24", "7"])
+    assert "push-pull" in out
+    assert "this run drew: str-" in out
+
+
+def test_fake_news(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "fake_news_containment.py", ["30", "9"])
+    assert "targeted throttle" in out
+    assert "hands-off" in out
+
+
+def test_protocol_comparison(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "protocol_comparison.py", ["16", "5", "2"])
+    assert "push-pull" in out and "ugf" in out
+
+
+def test_tradeoff_exploration(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "tradeoff_exploration.py", ["16", "5", "2"])
+    assert "T_end" in out
+
+
+def test_custom_protocol(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_protocol.py", ["24", "7"])
+    assert "universality in action" in out
+
+
+def test_reproduce_figure3(monkeypatch, capsys, tmp_path):
+    import repro.experiments.figure3 as figure3
+
+    monkeypatch.setattr(figure3, "DEFAULT_N_GRID", (8, 12))
+    monkeypatch.setattr(figure3, "DEFAULT_SEEDS", (0, 1))
+    out = run_example(
+        monkeypatch, capsys, "reproduce_figure3.py", [str(tmp_path), "--seeds", "2"]
+    )
+    assert "panel 3e" in out
+    written = {p.name for p in tmp_path.iterdir()}
+    assert "figure3a.json" in written
+    assert "figure3e_max-ugf.csv" in written

@@ -1,0 +1,150 @@
+"""Failure injection: crashes and retimings at adversarially bad times.
+
+Beyond UGF's structured strategies, these tests inject failures at
+pathological moments — mid-dissemination, during wake cascades, right
+after a process was woken — and assert the kernel's invariants and the
+protocols' fault tolerance hold regardless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fixed import ScheduledAdversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+PROTOCOLS = ["push-pull", "ears", "round-robin", "flood"]
+
+
+def random_crash_script(rng, n, f, horizon):
+    victims = rng.choice(n, size=f, replace=False)
+    steps = rng.integers(0, horizon, size=f)
+    script: dict[int, list[tuple]] = {}
+    for v, s in zip(victims, steps):
+        script.setdefault(int(s), []).append(("crash", int(v)))
+    return script
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", range(4))
+def test_random_mid_run_crashes(protocol, seed):
+    rng = np.random.default_rng(seed)
+    n, f = 30, 9
+    script = random_crash_script(rng, n, f, horizon=25)
+    outcome = simulate(
+        make_protocol(protocol),
+        ScheduledAdversary(script),
+        n=n,
+        f=f,
+        seed=seed,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed, protocol
+    assert outcome.rumor_gathering_ok, protocol
+    assert outcome.crash_count <= f
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_staggered_one_crash_per_step(protocol):
+    # One crash per step during the hottest dissemination phase.
+    n, f = 24, 8
+    script = {t: [("crash", t)] for t in range(1, f + 1)}
+    outcome = simulate(
+        make_protocol(protocol),
+        ScheduledAdversary(script),
+        n=n,
+        f=f,
+        seed=0,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    # Crashes scheduled after quiescence never fire (flood is done in
+    # ~2 steps); those that fired are exactly the scheduled ones.
+    assert set(outcome.crashed) <= set(range(1, f + 1))
+    if protocol != "flood":
+        assert set(outcome.crashed) == set(range(1, f + 1))
+
+
+@pytest.mark.parametrize("protocol", ["push-pull", "ears"])
+def test_retime_storm(protocol):
+    # Aggressive scattered retimings of random processes mid-run.
+    rng = np.random.default_rng(7)
+    n = 24
+    script: dict[int, list[tuple]] = {}
+    for _ in range(20):
+        step = int(rng.integers(0, 30))
+        rho = int(rng.integers(0, n))
+        if rng.random() < 0.5:
+            script.setdefault(step, []).append(("delta", rho, int(rng.integers(1, 9))))
+        else:
+            script.setdefault(step, []).append(("d", rho, int(rng.integers(1, 17))))
+    outcome = simulate(
+        make_protocol(protocol),
+        ScheduledAdversary(script),
+        n=n,
+        f=0,
+        seed=1,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    # Normaliser picked up the storm's maxima.
+    assert outcome.max_local_step_time >= 1
+    assert outcome.max_delivery_time >= 1
+
+
+def test_crash_entire_budget_at_once_mid_run():
+    n, f = 20, 10
+    script = {8: [("crash", rho) for rho in range(f)]}
+    outcome = simulate(
+        make_protocol("ears"),
+        ScheduledAdversary(script),
+        n=n,
+        f=f,
+        seed=2,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    assert outcome.crash_count == f
+
+
+def test_crash_just_after_wake():
+    # Crash a process the step after it is first likely to wake; the
+    # kernel must handle asleep->crashed transitions cleanly.
+    n, f = 12, 3
+    script = {6: [("crash", 3)], 7: [("crash", 5)], 9: [("crash", 7)]}
+    outcome = simulate(
+        make_protocol("flood"),
+        ScheduledAdversary(script),
+        n=n,
+        f=f,
+        seed=0,
+        max_steps=100_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+@pytest.mark.parametrize("protocol", ["push-pull", "ears"])
+def test_combined_crash_and_delay_injection(protocol):
+    n, f = 24, 6
+    script = {
+        0: [("delta", 0, 5), ("d", 1, 12)],
+        4: [("crash", 2), ("crash", 3)],
+        10: [("d", 0, 20)],
+        15: [("crash", 4)],
+    }
+    outcome = simulate(
+        make_protocol(protocol),
+        ScheduledAdversary(script),
+        n=n,
+        f=f,
+        seed=3,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+    assert outcome.max_delivery_time == 20
+    assert outcome.max_local_step_time == 5

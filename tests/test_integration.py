@@ -1,0 +1,91 @@
+"""Integration matrix: every protocol vs every adversary.
+
+The coarse contract of the whole system: any registered protocol under
+any registered adversary terminates, respects the model, and (for the
+deterministic-gathering protocols) achieves rumor gathering.
+"""
+
+import pytest
+
+from repro.core.registry import make_adversary
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.sim.engine import simulate
+
+PROTOCOLS = available_protocols()
+ADVERSARIES = ["none", "ugf", "oblivious", "str-1", "str-2.1.0", "str-2.1.1"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_matrix_terminates_and_respects_model(protocol, adversary):
+    report = simulate(
+        make_protocol(protocol),
+        make_adversary(adversary),
+        n=30,
+        f=9,
+        seed=1,
+        max_steps=400_000,
+    )
+    outcome = report.outcome
+    assert outcome.completed, (protocol, adversary)
+    assert outcome.crash_count <= 9
+    assert outcome.message_complexity() == report.trace.total_sent()
+    if make_protocol(protocol).guarantees_gathering:
+        # Deterministic gathering must hold under every adversary.
+        assert outcome.rumor_gathering_ok, (protocol, adversary)
+    elif protocol != "push" and adversary == "none":
+        # The structured foils gather only in benign runs — both
+        # crashes *and* delays break their fixed schedules, which is
+        # precisely why the paper's crash-tolerant partial-synchrony
+        # class is the interesting one.
+        assert outcome.rumor_gathering_ok, (protocol, adversary)
+
+
+@pytest.mark.parametrize("protocol", ["push-pull", "ears", "sears"])
+def test_ugf_sampled_mode_terminates(protocol):
+    # Algorithm-1-faithful Basel draws with a small tau so tau^k stays
+    # simulable even for the truncation's largest k.
+    outcome = simulate(
+        make_protocol(protocol),
+        make_adversary("ugf", kl_mode="sampled", max_k=3, tau=3),
+        n=24,
+        f=8,
+        seed=3,
+        max_steps=400_000,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_ugf_many_seeds_on_push_pull(seed):
+    outcome = simulate(
+        make_protocol("push-pull"),
+        make_adversary("ugf"),
+        n=40,
+        f=12,
+        seed=seed,
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_large_system_smoke():
+    outcome = simulate(
+        make_protocol("push-pull"), make_adversary("ugf"), n=200, f=60, seed=0
+    ).outcome
+    assert outcome.completed
+    assert outcome.rumor_gathering_ok
+
+
+def test_f_zero_only_null_like_behaviour():
+    # With F=0 no strategy can crash or pick a group: UGF degenerates
+    # to (at most) retimings of an empty set — the run matches baseline.
+    base = simulate(
+        make_protocol("round-robin"), make_adversary("none"), n=12, f=0, seed=0
+    ).outcome
+    attacked = simulate(
+        make_protocol("round-robin"), make_adversary("ugf"), n=12, f=0, seed=0
+    ).outcome
+    assert attacked.message_complexity() == base.message_complexity()
+    assert attacked.t_end == base.t_end

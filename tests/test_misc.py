@@ -1,0 +1,84 @@
+"""Small cross-cutting tests: error hierarchy, payload sizing, controls."""
+
+import pytest
+
+from repro.core.adversary import AdversaryControls
+from repro.core.budget import CrashBudget
+from repro.errors import (
+    ConfigurationError,
+    CrashBudgetExceeded,
+    IncompleteRunError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
+from repro.protocols.knowledge import GossipKnowledge, RelationalKnowledge
+from repro.sim.messages import payload_size
+
+
+def test_error_hierarchy():
+    # Every library error is a ReproError; configuration errors are
+    # also ValueErrors and runtime errors also RuntimeErrors, so
+    # generic handlers behave as users expect.
+    assert issubclass(ConfigurationError, ReproError)
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(CrashBudgetExceeded, SimulationError)
+    assert issubclass(ProtocolViolation, SimulationError)
+    assert issubclass(IncompleteRunError, ReproError)
+
+
+def test_payload_size_defaults_to_one():
+    assert payload_size(object()) == 1
+    assert payload_size(None) == 1
+    assert payload_size("x") == 1
+
+
+def test_payload_size_uses_nbytes():
+    kn = GossipKnowledge(64, owner=0)
+    assert payload_size(kn.snapshot()) == 8  # 64 bits packed
+    rk = RelationalKnowledge(16, owner=0)
+    assert payload_size(rk.snapshot()) == 2 + 16 * 2  # G + I rows
+
+
+def test_controls_without_omission_capability():
+    controls = AdversaryControls(
+        crash=lambda rho: None,
+        set_local_step_time=lambda rho, v: None,
+        set_delivery_time=lambda rho, v: None,
+        budget=CrashBudget(1),
+    )
+    with pytest.raises(NotImplementedError):
+        controls.set_omission(0)
+
+
+def test_controls_delegate_to_callables():
+    calls = []
+    controls = AdversaryControls(
+        crash=lambda rho: calls.append(("crash", rho)),
+        set_local_step_time=lambda rho, v: calls.append(("delta", rho, v)),
+        set_delivery_time=lambda rho, v: calls.append(("d", rho, v)),
+        budget=CrashBudget(1),
+        set_omission=lambda rho, on: calls.append(("omit", rho, on)),
+    )
+    controls.crash(3)
+    controls.set_local_step_time(1, 5)
+    controls.set_delivery_time(2, 9)
+    controls.set_omission(4, True)
+    assert calls == [("crash", 3), ("delta", 1, 5), ("d", 2, 9), ("omit", 4, True)]
+
+
+def test_public_api_importable():
+    # The README's import surface must exist.
+    from repro import (  # noqa: F401
+        Ears,
+        NullAdversary,
+        PushPull,
+        Sears,
+        UniversalGossipFighter,
+        simulate,
+    )
+    import repro
+
+    assert repro.__version__

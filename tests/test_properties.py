@@ -1,0 +1,176 @@
+"""End-to-end property-based tests (hypothesis).
+
+Random (protocol, adversary, N, F, seed) configurations must uphold
+the kernel's invariants: message accounting, crash budgets, completion
+bookkeeping and the model's definitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_adversary
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import Simulator
+from repro.sim.process import ProcessStatus
+from repro.sim.trace import EventKind
+
+PROTOCOLS = [
+    "push-pull",
+    "ears",
+    "round-robin",
+    "flood",
+    "push",
+    "pull",
+    "recursive-doubling",
+    "coordinator",
+]
+ADVERSARIES = ["none", "ugf", "str-1", "str-2.1.0", "str-2.1.1", "oblivious"]
+
+config = st.fixed_dictionaries(
+    {
+        "protocol": st.sampled_from(PROTOCOLS),
+        "adversary": st.sampled_from(ADVERSARIES),
+        "n": st.integers(2, 36),
+        "f_frac": st.floats(0.0, 0.5),
+        "seed": st.integers(0, 2**31 - 1),
+        "environment": st.sampled_from([None, "jitter:2,2", "jitter:3,4"]),
+    }
+)
+
+
+def build(cfg, record_events=False):
+    n = cfg["n"]
+    f = min(n - 1, int(cfg["f_frac"] * n))
+    sim = Simulator(
+        make_protocol(cfg["protocol"]),
+        make_adversary(cfg["adversary"]),
+        n=n,
+        f=f,
+        seed=cfg["seed"],
+        max_steps=200_000,
+        record_events=record_events,
+        environment=cfg.get("environment"),
+    )
+    return sim, n, f
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_message_accounting(cfg):
+    """M(O) equals the trace's send count; receives+drops never exceed sends."""
+    sim, n, f = build(cfg)
+    outcome = sim.run()
+    assert outcome.message_complexity(allow_truncated=True) == sim.trace.total_sent()
+    assert (
+        sim.trace.received.sum() + sim.trace.dropped.sum() <= sim.trace.sent.sum()
+    )
+    assert (outcome.sent >= 0).all()
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_crash_budget_never_exceeded(cfg):
+    sim, n, f = build(cfg)
+    outcome = sim.run()
+    assert outcome.crash_count <= f
+    # Crashed processes stop acting: no sends after their crash step.
+    for rho in outcome.crashed:
+        assert sim.runtimes[rho].crash_step is not None
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_completed_runs_are_quiescent_and_timed(cfg):
+    sim, n, f = build(cfg)
+    outcome = sim.run()
+    if not outcome.completed:
+        return
+    # At quiescence every correct process is asleep and T_end is the
+    # max of their final sleeps.
+    finals = []
+    for rho in range(n):
+        rt = sim.runtimes[rho]
+        if rt.is_correct:
+            assert rt.status is ProcessStatus.ASLEEP
+            finals.append(rt.last_sleep_step)
+    assert outcome.t_end == max(finals)
+    assert (
+        outcome.time_complexity()
+        == outcome.t_end / (outcome.max_local_step_time + outcome.max_delivery_time)
+    )
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_event_trace_consistent_with_counters(cfg):
+    sim, n, f = build(cfg, record_events=True)
+    outcome = sim.run()
+    events = sim.trace.events
+    sends = sum(1 for e in events if e.kind is EventKind.SEND)
+    delivers = sum(1 for e in events if e.kind is EventKind.DELIVER)
+    assert sends == sim.trace.sent.sum()
+    assert delivers == sim.trace.received.sum()
+    crash_events = [e for e in events if e.kind is EventKind.CRASH]
+    assert len(crash_events) == outcome.crash_count
+    # Sleep/wake alternate per process and end with a sleep when correct.
+    for rho in range(n):
+        per = [e.kind for e in events if e.subject == rho and e.kind in (EventKind.SLEEP, EventKind.WAKE)]
+        for first, second in zip(per, per[1:]):
+            assert first != second  # strict alternation
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_deliveries_respect_latency(cfg):
+    sim, n, f = build(cfg, record_events=True)
+    sim.run()
+    sent_at = {}
+    for e in sim.trace.events:
+        if e.kind is EventKind.SEND:
+            sent_at.setdefault((e.subject, e.detail), []).append(e.step)
+        elif e.kind is EventKind.DELIVER:
+            # delivery step strictly after (send was stamped at local
+            # step end, arrival adds d >= 1)
+            sends = sent_at.get((e.detail, e.subject), [])
+            assert sends and min(sends) < e.step
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_determinism(cfg):
+    sim_a, _, _ = build(cfg)
+    sim_b, _, _ = build(cfg)
+    a, b = sim_a.run(), sim_b.run()
+    assert a.t_end == b.t_end
+    assert a.sent.tolist() == b.sent.tolist()
+    assert a.crashed == b.crashed
+
+
+from hypothesis import assume
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_gathering_for_guaranteed_protocols(cfg):
+    # Only protocols that guarantee gathering deterministically.
+    assume(make_protocol(cfg["protocol"]).guarantees_gathering)
+    sim, n, f = build(cfg)
+    outcome = sim.run()
+    if outcome.completed:
+        assert outcome.rumor_gathering_ok, (
+            cfg,
+            outcome.summary(),
+        )
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(cfg=config)
+def test_property_knowledge_monotone_and_self_aware(cfg):
+    sim, n, f = build(cfg)
+    outcome = sim.run()
+    for rho in range(n):
+        known = sim.protocol.knowledge_of(rho)
+        assert known.dtype == bool and known.shape == (n,)
+        assert known[rho]  # a process always holds its own gossip
