@@ -1,0 +1,68 @@
+"""Measure the campaign layer's cache: cold (simulate) vs warm (replay).
+
+The cold bench executes a Figure-3-sized sweep into an empty cache
+directory; the warm bench replays the identical sweep from the
+persisted store. The ratio between the two is the price of a
+simulation the cache saves — the warm path should be orders of
+magnitude faster, and its progress counters must show zero executed
+trials (the acceptance criterion of the campaign layer, asserted
+here on real workloads rather than toy specs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_grid
+from repro.campaign import Campaign
+from repro.experiments.config import SweepSpec
+from repro.experiments.runner import SweepResult
+
+
+def bench_sweep() -> SweepSpec:
+    ns, seeds = bench_grid()
+    return SweepSpec(
+        protocol="push-pull", adversary="ugf", n_values=ns, seeds=seeds
+    )
+
+
+def record_stats(benchmark, campaign: Campaign) -> None:
+    benchmark.extra_info["campaign"] = {
+        "executed": campaign.stats.executed,
+        "cached": campaign.stats.cached,
+        "failed": campaign.stats.failed,
+    }
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_cold_cache_simulates_everything(benchmark, tmp_path):
+    sweep = bench_sweep()
+    dirs = iter(range(1_000_000))
+
+    def cold() -> SweepResult:
+        with Campaign(cache_dir=tmp_path / f"c{next(dirs)}", workers=1) as c:
+            result = c.run_sweep(sweep)
+            assert c.stats.cached == 0
+            return result
+
+    result = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert len(result.points) == len(sweep.n_values)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_warm_cache_simulates_nothing(benchmark, tmp_path):
+    sweep = bench_sweep()
+    cache = tmp_path / "warm"
+    with Campaign(cache_dir=cache, workers=1) as seeder:
+        expected = seeder.run_sweep(sweep)
+
+    def warm() -> SweepResult:
+        with Campaign(cache_dir=cache, workers=1) as c:
+            result = c.run_sweep(sweep)
+            assert c.stats.executed == 0
+            assert c.stats.cached == sweep.n_trials
+            record_stats(benchmark, c)
+            return result
+
+    result = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert result == expected  # replay is bit-identical to simulation

@@ -1,0 +1,235 @@
+"""The campaign session: cached, pooled, resumable trial execution.
+
+A :class:`Campaign` is the single execution path every experiment
+module routes through. It owns
+
+- an in-session **memo** (trial key → outcome) so identical trials
+  are computed exactly once per session — Figure 3a and 3c both need
+  the push-pull "no-adversary" curve, and now share it;
+- an optional on-disk :class:`~repro.campaign.store.TrialStore`, which
+  extends that guarantee across sessions and makes interrupted runs
+  resumable (completed trials replay from the store, only missing
+  ones execute);
+- a shared :class:`~repro.campaign.pool.WorkerPool`, created lazily
+  and reused by every sweep of the session;
+- :class:`~repro.campaign.progress.CampaignStats` counters plus a
+  pluggable per-trial progress callback.
+
+Results keep submission order regardless of cache hits or worker
+scheduling, and failures are captured per trial.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.campaign.keys import spec_fingerprint, trial_key
+from repro.campaign.pool import WorkerPool
+from repro.campaign.progress import CampaignStats, ProgressCallback, ProgressEvent
+from repro.campaign.store import TrialStore
+from repro.errors import CampaignError
+from repro.experiments.config import SweepSpec, TrialSpec
+from repro.sim.outcome import Outcome
+
+__all__ = ["Campaign", "TrialResult", "default_cache_dir", "ENV_CACHE_DIR"]
+
+#: Environment variable overriding the default cache location.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-ugf``, else
+    ``~/.cache/repro-ugf``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-ugf"
+
+
+@dataclass(frozen=True, slots=True)
+class TrialResult:
+    """One requested trial: its outcome or its captured error."""
+
+    spec: TrialSpec
+    outcome: Outcome | None
+    error: str | None = None
+    #: True when served without executing (memo or store hit).
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+
+class Campaign:
+    """One experiment-execution session.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent trial store. ``None`` keeps the
+        campaign purely in-memory (still deduplicated within the
+        session).
+    workers:
+        Worker-pool size; ``None`` = CPU count - 1, ``<= 1`` inline.
+    use_cache:
+        ``False`` disables all deduplication — every requested trial
+        executes (the CLI's ``--no-cache``).
+    fresh:
+        Ignore *persisted* results on read but still write them (the
+        CLI's ``--fresh``): distrusts stale artifacts without losing
+        intra-session dedup or repopulating the store.
+    progress:
+        Default per-trial callback; overridable per batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        workers: int | None = None,
+        use_cache: bool = True,
+        fresh: bool = False,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.use_cache = use_cache
+        self.fresh = fresh
+        self.progress = progress
+        self.store = TrialStore(cache_dir) if (cache_dir is not None and use_cache) else None
+        self.pool = WorkerPool(workers)
+        self.stats = CampaignStats()
+        self._memo: dict[str, Outcome] = {}
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _lookup(self, key: str | None) -> Outcome | None:
+        if key is None:
+            return None
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        if self.store is not None and not self.fresh:
+            outcome = self.store.get(key)
+            if outcome is not None:
+                self._memo[key] = outcome
+            return outcome
+        return None
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_trials(
+        self,
+        specs,
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> list[TrialResult]:
+        """Satisfy every spec — from cache where possible — in order."""
+        specs = list(specs)
+        callback = progress if progress is not None else self.progress
+        total = len(specs)
+        done = 0
+
+        def emit(kind: str, spec: TrialSpec, error: str | None = None) -> None:
+            nonlocal done
+            done += 1
+            self.stats.count(kind)
+            if callback is not None:
+                callback(
+                    ProgressEvent(
+                        kind=kind, spec=spec, done=done, total=total, error=error
+                    )
+                )
+
+        results: list[TrialResult | None] = [None] * total
+        pending: list[tuple[int, TrialSpec, str | None]] = []
+        first_pending: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []  # (index, primary index)
+
+        for i, spec in enumerate(specs):
+            key = trial_key(spec) if self.use_cache else None
+            outcome = self._lookup(key)
+            if outcome is not None:
+                results[i] = TrialResult(spec=spec, outcome=outcome, cached=True)
+                emit("cached", spec)
+            elif key is not None and key in first_pending:
+                duplicates.append((i, first_pending[key]))
+            else:
+                if key is not None:
+                    first_pending[key] = i
+                pending.append((i, spec, key))
+
+        executions = self.pool.iter_execute([spec for _, spec, _ in pending])
+        for (i, spec, key), result in zip(pending, executions):
+            if result.outcome is not None:
+                if key is not None:
+                    self._memo[key] = result.outcome
+                    if self.store is not None:
+                        self.store.put(key, spec_fingerprint(spec), result.outcome)
+                results[i] = TrialResult(spec=spec, outcome=result.outcome)
+                emit("executed", spec)
+            else:
+                results[i] = TrialResult(spec=spec, outcome=None, error=result.error)
+                emit("failed", spec, result.error)
+
+        # Duplicate specs within the batch share their primary's result.
+        for i, primary_index in duplicates:
+            primary = results[primary_index]
+            assert primary is not None
+            if primary.outcome is not None:
+                results[i] = TrialResult(
+                    spec=primary.spec, outcome=primary.outcome, cached=True
+                )
+                emit("cached", primary.spec)
+            else:
+                results[i] = TrialResult(
+                    spec=primary.spec, outcome=None, error=primary.error
+                )
+                emit("failed", primary.spec, primary.error)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_trial(self, spec: TrialSpec) -> Outcome:
+        """One trial through the cache; raises on failure."""
+        result = self.run_trials([spec])[0]
+        if result.outcome is None:
+            raise CampaignError(f"trial failed: {result.error} (spec: {spec})")
+        return result.outcome
+
+    def run_sweep(
+        self,
+        spec: SweepSpec,
+        *,
+        allow_truncated: bool = True,
+        progress: ProgressCallback | None = None,
+    ):
+        """Every trial of *spec*, aggregated per (N, F) cell."""
+        from repro.experiments.runner import aggregate_sweep
+
+        results = self.run_trials(list(spec.trials()), progress=progress)
+        failures = [r for r in results if r.outcome is None]
+        if failures:
+            shown = "; ".join(str(f.error) for f in failures[:3])
+            raise CampaignError(
+                f"{len(failures)}/{len(results)} trials of the sweep failed "
+                f"(first errors: {shown})"
+            )
+        outcomes = [r.outcome for r in results if r.outcome is not None]
+        return aggregate_sweep(spec, outcomes, allow_truncated=allow_truncated)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.close()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,74 @@
+"""Content-addressed trial keys.
+
+A :class:`~repro.experiments.config.TrialSpec` fully determines its
+:class:`~repro.sim.outcome.Outcome` (the simulation is a pure function
+of the spec — protocols and adversaries are rebuilt from registry
+names and seeded from ``seed``), so a stable hash of the spec is a
+valid content address for the result. :func:`trial_key` produces that
+hash: canonical JSON over every spec field, kwargs sorted by name so
+call-site ordering cannot split the cache, SHA-256 over the bytes.
+
+The key embeds ``KEY_VERSION``; bump it whenever the simulation
+semantics change in a result-affecting way, which orphans (but does
+not corrupt) previously cached entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import TrialSpec
+
+__all__ = ["KEY_VERSION", "trial_key", "spec_fingerprint"]
+
+#: Bump on any result-affecting change to the simulation semantics.
+KEY_VERSION = 1
+
+
+def _canonical_kwargs(kwargs: tuple[tuple[str, Any], ...]) -> list[list[Any]]:
+    pairs = sorted(kwargs, key=lambda kv: kv[0])
+    names = [k for k, _ in pairs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate kwarg names in spec: {names}")
+    return [[k, v] for k, v in pairs]
+
+
+def spec_fingerprint(spec: TrialSpec) -> dict[str, Any]:
+    """The canonical JSON-safe payload :func:`trial_key` hashes.
+
+    Also stored verbatim next to each cache entry so the JSONL store
+    is auditable without re-deriving hashes.
+    """
+    return {
+        "version": KEY_VERSION,
+        "protocol": spec.protocol,
+        "protocol_kwargs": _canonical_kwargs(spec.protocol_kwargs),
+        "adversary": spec.adversary,
+        "adversary_kwargs": _canonical_kwargs(spec.adversary_kwargs),
+        "n": spec.n,
+        "f": spec.f,
+        "seed": spec.seed,
+        "max_steps": spec.max_steps,
+        "environment": spec.environment,
+    }
+
+
+def trial_key(spec: TrialSpec) -> str:
+    """Stable content address of one trial, identical across processes.
+
+    ``json.dumps`` with sorted keys and fixed separators is canonical
+    for the JSON-native types specs carry (str/int/float/bool/None);
+    non-JSON kwarg values are rejected rather than hashed by ``repr``,
+    which would be representation- not content-stable.
+    """
+    payload = spec_fingerprint(spec)
+    try:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"spec kwargs must be JSON-serialisable to be cacheable: {exc}"
+        ) from exc
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

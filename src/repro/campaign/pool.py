@@ -1,0 +1,122 @@
+"""Shared worker pool for trial execution.
+
+One :class:`WorkerPool` lives for a whole campaign session: the
+``ProcessPoolExecutor`` is created lazily on the first batch that
+actually needs parallelism and then reused by every subsequent sweep,
+eliminating the per-sweep fork/teardown churn the old
+``run_sweep``-owns-a-pool design paid (a full report runs ~20 sweeps;
+pool startup is tens of milliseconds each plus interpreter warmup).
+
+Failures are captured per trial: a diverging trial yields an error
+string in its slot instead of poisoning the pool or discarding the
+sibling results that already completed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+from repro.sim.outcome import Outcome
+
+__all__ = ["WorkerPool", "ExecutionResult", "default_workers"]
+
+
+def default_workers() -> int:
+    cpus = os.cpu_count() or 1
+    return max(1, cpus - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionResult:
+    """What one submitted trial produced: an outcome or an error."""
+
+    spec: TrialSpec
+    outcome: Outcome | None
+    error: str | None = None
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+class WorkerPool:
+    """Lazily created, session-lifetime process pool.
+
+    ``workers <= 1`` runs trials inline in this process — the mode
+    tests and debuggers want — with identical result semantics.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = default_workers() if workers is None else max(0, workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def execute(self, specs: list[TrialSpec]) -> list[ExecutionResult]:
+        """Run *specs*, returning results in submission order."""
+        if not self.parallel or len(specs) <= 1:
+            results = []
+            for spec in specs:
+                try:
+                    results.append(ExecutionResult(spec=spec, outcome=run_trial(spec)))
+                except Exception as exc:
+                    results.append(
+                        ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
+                    )
+            return results
+
+        executor = self._ensure_executor()
+        futures = [executor.submit(run_trial, spec) for spec in specs]
+        results = []
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(ExecutionResult(spec=spec, outcome=future.result()))
+            except Exception as exc:
+                results.append(
+                    ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
+                )
+        return results
+
+    def iter_execute(self, specs: list[TrialSpec]):
+        """Like :meth:`execute` but yields each result as it is ready.
+
+        Results still arrive in submission order (deterministic), so a
+        caller persisting them incrementally produces a reproducible
+        artifact stream.
+        """
+        if not self.parallel or len(specs) <= 1:
+            for spec in specs:
+                try:
+                    yield ExecutionResult(spec=spec, outcome=run_trial(spec))
+                except Exception as exc:
+                    yield ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
+            return
+        executor = self._ensure_executor()
+        futures = [executor.submit(run_trial, spec) for spec in specs]
+        for spec, future in zip(specs, futures):
+            try:
+                yield ExecutionResult(spec=spec, outcome=future.result())
+            except Exception as exc:
+                yield ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

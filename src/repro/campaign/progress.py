@@ -1,0 +1,66 @@
+"""Progress telemetry for campaign execution.
+
+A campaign fires one :class:`ProgressEvent` per finished trial —
+whether it was served from cache, executed, or failed — through a
+pluggable callback. The counts let a CLI render ``done/total`` bars,
+tests count exactly how many trials actually executed (the resume
+guarantee), and long reports show cache effectiveness live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.config import TrialSpec
+
+__all__ = ["ProgressEvent", "ProgressCallback", "CampaignStats"]
+
+#: How one trial was satisfied.
+EVENT_KINDS = ("executed", "cached", "failed")
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One trial finished (by execution, cache hit, or failure)."""
+
+    kind: str  # "executed" | "cached" | "failed"
+    spec: TrialSpec
+    #: Trials finished so far in the current batch, this event included.
+    done: int
+    #: Trials in the current batch.
+    total: int
+    #: Error description when kind == "failed".
+    error: str | None = None
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class CampaignStats:
+    """Session-lifetime counters across every batch of a campaign."""
+
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached + self.failed
+
+    def count(self, kind: str) -> None:
+        if kind == "executed":
+            self.executed += 1
+        elif kind == "cached":
+            self.cached += 1
+        elif kind == "failed":
+            self.failed += 1
+        else:  # pragma: no cover - internal contract
+            raise ValueError(f"unknown progress kind {kind!r}")
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} trials: {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed"
+        )

@@ -1,0 +1,129 @@
+"""Append-only JSONL artifact store for trial outcomes.
+
+Layout: ``<cache_dir>/trials.jsonl``, one record per line::
+
+    {"key": "<sha256>", "spec": {...fingerprint...}, "outcome": {...}}
+
+Append-only makes the store crash-safe by construction — an
+interrupted run leaves at most one truncated final line, which the
+loader skips (with a warning count) instead of failing, so a restarted
+``repro-ugf report`` resumes from every fully persisted trial. Records
+with an unknown shape are likewise skipped, which doubles as forward
+compatibility: a newer writer never breaks an older reader.
+
+Writes go through the OS file buffer with an explicit ``flush`` per
+record; each record is durable as soon as :meth:`TrialStore.put`
+returns, which is what resumability rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.errors import CampaignError
+from repro.sim.outcome import Outcome
+
+__all__ = ["TrialStore"]
+
+_FILENAME = "trials.jsonl"
+
+
+class TrialStore:
+    """Content-addressed, append-only persistence for outcomes."""
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.path = self.cache_dir / _FILENAME
+        #: Raw outcome dicts by key; outcomes deserialise lazily on get.
+        self._index: dict[str, dict[str, Any]] | None = None
+        self._fh = None
+        #: Lines dropped while loading (corrupt / truncated / foreign).
+        self.skipped_lines = 0
+
+    # -- loading -----------------------------------------------------------------
+
+    def _load(self) -> dict[str, dict[str, Any]]:
+        if self._index is not None:
+            return self._index
+        index: dict[str, dict[str, Any]] = {}
+        self.skipped_lines = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        key = record["key"]
+                        outcome = record["outcome"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        self.skipped_lines += 1
+                        continue
+                    if not isinstance(key, str) or not isinstance(outcome, dict):
+                        self.skipped_lines += 1
+                        continue
+                    # Last write wins; duplicates are harmless (the
+                    # trial is deterministic, so they are identical).
+                    index[key] = outcome
+        self._index = index
+        return index
+
+    # -- queries -----------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, key: str) -> Outcome | None:
+        """The cached outcome for *key*, or None on a miss.
+
+        A record that fails to deserialise (e.g. hand-edited) is
+        treated as a miss and forgotten, so the trial simply reruns.
+        """
+        record = self._load().get(key)
+        if record is None:
+            return None
+        try:
+            return Outcome.from_dict(record)
+        except (KeyError, TypeError, ValueError):
+            del self._load()[key]
+            self.skipped_lines += 1
+            return None
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, key: str, spec_fingerprint: dict[str, Any], outcome: Outcome) -> None:
+        """Append one record and make it durable before returning."""
+        data = outcome.to_dict()
+        line = json.dumps(
+            {"key": key, "spec": spec_fingerprint, "outcome": data},
+            separators=(",", ":"),
+        )
+        if self._fh is None:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            except OSError as exc:
+                raise CampaignError(
+                    f"cannot write trial cache under {self.cache_dir}: {exc}"
+                ) from exc
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._load()[key] = data
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TrialStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -9,6 +9,14 @@ Examples::
     repro-ugf sweep --protocol ears --adversary str-2.1.1 --n 10 20 50 --seeds 5
     repro-ugf tradeoff --protocol ears -n 40 -f 12 --tau 3 --k 1 2
     repro-ugf ablate f --protocol push-pull -n 100
+
+The experiment commands (``sweep``, ``figure``, ``report``) execute
+through the campaign layer's content-addressed trial cache: identical
+trials are computed once ever, and an interrupted ``report`` resumes
+where it stopped. ``--cache-dir`` relocates the cache (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ugf``), ``--fresh`` ignores
+previously cached results (but still records new ones), and
+``--no-cache`` disables caching entirely. See docs/CAMPAIGN.md.
 """
 
 from __future__ import annotations
@@ -33,11 +41,48 @@ from repro.experiments.report import (
     shape_summary,
     sweep_csv,
 )
-from repro.experiments.runner import run_sweep, run_trial
+from repro.experiments.runner import run_trial
 from repro.experiments.tradeoff import run_tradeoff
 from repro.protocols.registry import available_protocols
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="trial-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ugf)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache entirely (every trial executes)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore previously cached results on read but still record new ones",
+    )
+
+
+def _make_campaign(args: argparse.Namespace):
+    """Build the campaign session the cache flags describe."""
+    from repro.campaign import Campaign, default_cache_dir
+
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir()
+    return Campaign(
+        cache_dir=cache_dir,
+        workers=getattr(args, "workers", None),
+        use_cache=not args.no_cache,
+        fresh=args.fresh,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--csv", type=pathlib.Path, default=None, help="write CSVs here")
     p_fig.add_argument("--json", type=pathlib.Path, default=None, help="write result JSON here")
     p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    _add_cache_flags(p_fig)
 
     p_sweep = sub.add_parser("sweep", help="run a custom sweep")
     p_sweep.add_argument("--protocol", required=True, choices=available_protocols())
@@ -83,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="baseline timing environment (see 'run --environment')",
     )
+    _add_cache_flags(p_sweep)
 
     p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
     p_trade.add_argument("--protocol", required=True, choices=available_protocols())
@@ -100,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--out", type=pathlib.Path, default=pathlib.Path("report.md"))
     p_rep.add_argument("--workers", type=int, default=None)
+    _add_cache_flags(p_rep)
 
     p_ins = sub.add_parser(
         "inspect", help="run one trial and show its activity timeline"
@@ -167,9 +215,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     seeds = tuple(range(args.seeds)) if args.seeds is not None else None
-    result = run_figure3_panel(
-        args.panel, full=args.full or None, seeds=seeds, workers=args.workers
-    )
+    with _make_campaign(args) as campaign:
+        result = run_figure3_panel(
+            args.panel, full=args.full or None, seeds=seeds, campaign=campaign
+        )
+        stats = campaign.stats.summary()
     print(panel_table(result))
     print()
     print(shape_summary(result))
@@ -195,6 +245,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(dumps(result))
         print(f"wrote {args.json}")
+    print(stats, file=sys.stderr)
     return 0
 
 
@@ -207,8 +258,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         environment=args.environment,
     )
-    result = run_sweep(spec, workers=args.workers)
+    with _make_campaign(args) as campaign:
+        result = campaign.run_sweep(spec)
+        stats = campaign.stats.summary()
     sys.stdout.write(sweep_csv(result))
+    # Stats go to stderr so stdout stays machine-readable CSV.
+    print(stats, file=sys.stderr)
     return 0
 
 
@@ -253,9 +308,10 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.full_report import render_markdown, run_full_reproduction
 
-    report = run_full_reproduction(
-        args.scale, workers=args.workers, progress=print
-    )
+    with _make_campaign(args) as campaign:
+        report = run_full_reproduction(
+            args.scale, progress=print, campaign=campaign
+        )
     text = render_markdown(report)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(text)

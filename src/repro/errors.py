@@ -15,6 +15,7 @@ __all__ = [
     "CrashBudgetExceeded",
     "ProtocolViolation",
     "IncompleteRunError",
+    "CampaignError",
 ]
 
 
@@ -57,4 +58,14 @@ class IncompleteRunError(ReproError, RuntimeError):
     Raised when complexity measures are computed for an execution that
     hit ``max_steps`` before reaching quiescence, unless the caller
     explicitly opts into truncated measurements.
+    """
+
+
+class CampaignError(ReproError, RuntimeError):
+    """The campaign execution layer could not complete a batch.
+
+    Raised when trials of a sweep failed (per-trial errors are
+    captured individually and summarised here rather than tearing down
+    the worker pool), or when executed outcomes disagree with the
+    sweep spec that requested them.
     """

@@ -38,6 +38,7 @@ from repro.experiments.report import (
 from repro.experiments.runner import (
     SeriesPoint,
     SweepResult,
+    aggregate_sweep,
     run_sweep,
     run_trial,
 )
@@ -46,7 +47,12 @@ from repro.experiments.decomposition import (
     dominant_strategy,
     run_decomposition,
 )
-from repro.experiments.serialization import dumps, loads
+from repro.experiments.serialization import (
+    dumps,
+    loads,
+    outcome_from_dict,
+    outcome_to_dict,
+)
 from repro.experiments.verdicts import PanelVerdict, check_panel
 from repro.experiments.tradeoff import TradeoffPoint, run_tradeoff
 
@@ -75,12 +81,15 @@ __all__ = [
     "sweep_csv",
     "SeriesPoint",
     "SweepResult",
+    "aggregate_sweep",
     "run_sweep",
     "run_trial",
     "TradeoffPoint",
     "run_tradeoff",
     "dumps",
     "loads",
+    "outcome_to_dict",
+    "outcome_from_dict",
     "StrategyGroup",
     "dominant_strategy",
     "run_decomposition",

@@ -9,6 +9,11 @@
 - :func:`run_adversary_comparison` — §VI: oblivious adversaries "are
   not sufficiently powerful to harm the dissemination"; measured
   side by side with UGF and the null baseline.
+
+All cells execute through the campaign layer: pass a shared
+:class:`~repro.campaign.Campaign` to reuse its worker pool and trial
+cache across ablations (the full report does); without one an
+ephemeral inline campaign preserves the historical serial behaviour.
 """
 
 from __future__ import annotations
@@ -17,7 +22,6 @@ from dataclasses import dataclass
 
 from repro.analysis.aggregate import RunStatistics, aggregate_runs
 from repro.experiments.config import TrialSpec, f_fraction
-from repro.experiments.runner import run_trial
 
 __all__ = [
     "AblationCell",
@@ -38,19 +42,70 @@ class AblationCell:
     time: RunStatistics
 
 
-def _measure(
+def _measure_cells(
+    cells: list[tuple[str, TrialSpec]],
+    campaign,
+) -> list[AblationCell]:
+    """Execute every (label, per-seed spec) pair and aggregate per label.
+
+    Submitting the whole grid as one batch lets a parallel campaign
+    fan all cells out together instead of seed-by-seed.
+    """
+    from repro.campaign import Campaign
+    from repro.errors import CampaignError
+
+    if campaign is None:
+        with Campaign(workers=1) as ephemeral:
+            return _measure_cells(cells, ephemeral)
+
+    results = campaign.run_trials([spec for _, spec in cells])
+    by_label: dict[str, list[tuple[int, int, int, float]]] = {}
+    order: list[str] = []
+    for (label, spec), result in zip(cells, results):
+        outcome = result.outcome
+        if outcome is None:
+            raise CampaignError(
+                f"ablation trial failed: {result.error} (spec: {spec})"
+            )
+        if label not in by_label:
+            order.append(label)
+        by_label.setdefault(label, []).append(
+            (
+                spec.n,
+                spec.f,
+                outcome.message_complexity(allow_truncated=True),
+                outcome.time_complexity(allow_truncated=True),
+            )
+        )
+    result = []
+    for label in order:
+        rows = by_label[label]
+        (n, f) = (rows[0][0], rows[0][1])
+        result.append(
+            AblationCell(
+                label=label,
+                n=n,
+                f=f,
+                messages=aggregate_runs([m for _, _, m, _ in rows]),
+                time=aggregate_runs([t for _, _, _, t in rows]),
+            )
+        )
+    return result
+
+
+def _cell_specs(
+    label: str,
     protocol: str,
     adversary: str,
     n: int,
     f: int,
     seeds: tuple[int, ...],
-    label: str,
     adversary_kwargs: tuple[tuple[str, object], ...] = (),
     max_steps: int = 5_000_000,
-) -> AblationCell:
-    msgs, times = [], []
-    for seed in seeds:
-        outcome = run_trial(
+) -> list[tuple[str, TrialSpec]]:
+    return [
+        (
+            label,
             TrialSpec(
                 protocol=protocol,
                 adversary=adversary,
@@ -59,13 +114,10 @@ def _measure(
                 seed=seed,
                 max_steps=max_steps,
                 adversary_kwargs=adversary_kwargs,
-            )
+            ),
         )
-        msgs.append(outcome.message_complexity(allow_truncated=True))
-        times.append(outcome.time_complexity(allow_truncated=True))
-    return AblationCell(
-        label=label, n=n, f=f, messages=aggregate_runs(msgs), time=aggregate_runs(times)
-    )
+        for seed in seeds
+    ]
 
 
 def run_f_sweep(
@@ -75,19 +127,15 @@ def run_f_sweep(
     fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
     seeds: tuple[int, ...] = tuple(range(10)),
     adversary: str = "ugf",
+    campaign=None,
 ) -> list[AblationCell]:
     """UGF strength as a function of the crash-budget fraction F/N."""
-    return [
-        _measure(
-            protocol,
-            adversary,
-            n,
-            f_fraction(n, frac),
-            seeds,
-            label=f"F={frac:.1f}N",
+    cells: list[tuple[str, TrialSpec]] = []
+    for frac in fractions:
+        cells += _cell_specs(
+            f"F={frac:.1f}N", protocol, adversary, n, f_fraction(n, frac), seeds
         )
-        for frac in fractions
-    ]
+    return _measure_cells(cells, campaign)
 
 
 def run_q_grid(
@@ -98,23 +146,22 @@ def run_q_grid(
     q1_values: tuple[float, ...] = (0.2, 1.0 / 3.0, 0.6),
     q2_values: tuple[float, ...] = (0.3, 0.5, 0.7),
     seeds: tuple[int, ...] = tuple(range(10)),
+    campaign=None,
 ) -> list[AblationCell]:
     """UGF damage across the (q1, q2) mixture grid."""
-    cells = []
+    cells: list[tuple[str, TrialSpec]] = []
     for q1 in q1_values:
         for q2 in q2_values:
-            cells.append(
-                _measure(
-                    protocol,
-                    "ugf",
-                    n,
-                    f,
-                    seeds,
-                    label=f"q1={q1:.2f},q2={q2:.2f}",
-                    adversary_kwargs=(("q1", q1), ("q2", q2)),
-                )
+            cells += _cell_specs(
+                f"q1={q1:.2f},q2={q2:.2f}",
+                protocol,
+                "ugf",
+                n,
+                f,
+                seeds,
+                adversary_kwargs=(("q1", q1), ("q2", q2)),
             )
-    return cells
+    return _measure_cells(cells, campaign)
 
 
 def run_adversary_comparison(
@@ -124,8 +171,10 @@ def run_adversary_comparison(
     f: int,
     seeds: tuple[int, ...] = tuple(range(10)),
     adversaries: tuple[str, ...] = ("none", "oblivious", "ugf"),
+    campaign=None,
 ) -> list[AblationCell]:
     """Null vs oblivious vs UGF on one protocol (the §VI contrast)."""
-    return [
-        _measure(protocol, adv, n, f, seeds, label=adv) for adv in adversaries
-    ]
+    cells: list[tuple[str, TrialSpec]] = []
+    for adv in adversaries:
+        cells += _cell_specs(adv, protocol, adv, n, f, seeds)
+    return _measure_cells(cells, campaign)

@@ -3,8 +3,14 @@
 The paper's "max UGF" curves come from asking, per protocol, which of
 UGF's strategies causes the most damage. This module answers it
 empirically *from UGF runs themselves*: run the mixture across seeds,
-group the outcomes by the strategy each run drew
-(:attr:`UniversalGossipFighter.chosen`), and aggregate per group.
+group the outcomes by the strategy each run drew (recorded on
+:attr:`repro.sim.outcome.Outcome.strategy_label` by the engine), and
+aggregate per group.
+
+Because the drawn strategy travels on the outcome, decomposition runs
+through the campaign layer like every other experiment — cached,
+resumable and pool-parallel — instead of holding live adversary
+objects to interrogate afterwards.
 
 The output both identifies the per-protocol worst case (compare with
 :data:`repro.experiments.figure3.PANELS`) and shows the mixture
@@ -17,10 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.aggregate import RunStatistics, aggregate_runs
-from repro.core.ugf import UniversalGossipFighter
-from repro.errors import ConfigurationError
-from repro.protocols.registry import make_protocol
-from repro.sim.engine import Simulator
+from repro.errors import CampaignError, ConfigurationError
+from repro.experiments.config import TrialSpec
 
 __all__ = ["StrategyGroup", "run_decomposition", "dominant_strategy"]
 
@@ -42,6 +46,7 @@ def run_decomposition(
     f: int,
     seeds: tuple[int, ...] = tuple(range(30)),
     max_steps: int = 5_000_000,
+    campaign=None,
     **ugf_kwargs,
 ) -> list[StrategyGroup]:
     """Run UGF across *seeds* and group outcomes by drawn strategy.
@@ -49,17 +54,47 @@ def run_decomposition(
     Returns groups sorted by label. With the default equiprobable
     mixture and 30 seeds, each family collects ~10 runs.
     """
+    from repro.campaign import Campaign
+
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    buckets: dict[str, list[tuple[int, float]]] = {}
-    for seed in seeds:
-        ugf = UniversalGossipFighter(**ugf_kwargs)
-        sim = Simulator(
-            make_protocol(protocol), ugf, n=n, f=f, seed=seed, max_steps=max_steps
+    if campaign is None:
+        with Campaign(workers=1) as ephemeral:
+            return run_decomposition(
+                protocol,
+                n=n,
+                f=f,
+                seeds=seeds,
+                max_steps=max_steps,
+                campaign=ephemeral,
+                **ugf_kwargs,
+            )
+
+    specs = [
+        TrialSpec(
+            protocol=protocol,
+            adversary="ugf",
+            n=n,
+            f=f,
+            seed=seed,
+            max_steps=max_steps,
+            adversary_kwargs=tuple(sorted(ugf_kwargs.items())),
         )
-        outcome = sim.run()
-        assert ugf.chosen is not None
-        buckets.setdefault(ugf.chosen.label, []).append(
+        for seed in seeds
+    ]
+    buckets: dict[str, list[tuple[int, float]]] = {}
+    for result in campaign.run_trials(specs):
+        outcome = result.outcome
+        if outcome is None:
+            raise CampaignError(
+                f"decomposition trial failed: {result.error} (spec: {result.spec})"
+            )
+        if outcome.strategy_label is None:
+            raise CampaignError(
+                "UGF outcome carries no strategy label; the cache entry "
+                "predates strategy recording — rerun with --fresh"
+            )
+        buckets.setdefault(outcome.strategy_label, []).append(
             (
                 outcome.message_complexity(allow_truncated=True),
                 outcome.time_complexity(allow_truncated=True),

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import SweepSpec
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import SweepResult
 
 __all__ = [
     "PANELS",
@@ -145,10 +145,25 @@ def run_figure3_panel(
     seeds: tuple[int, ...] | None = None,
     f_of_n: float = F_FRACTION,
     workers: int | None = None,
+    campaign=None,
 ) -> PanelResult:
-    """Regenerate one Figure 3 panel (three curves)."""
+    """Regenerate one Figure 3 panel (three curves).
+
+    The three curves — and, when a shared *campaign* is passed, every
+    other panel of the run — share one worker pool and one trial
+    cache, so e.g. the push-pull baseline sweep 3a and 3c both need is
+    simulated once.
+    """
+    from repro.campaign import Campaign
+
     sweeps = figure3_sweeps(
         panel, full=full, n_values=n_values, seeds=seeds, f_of_n=f_of_n
     )
-    curves = {name: run_sweep(s, workers=workers) for name, s in sweeps.items()}
+    if campaign is None:
+        with Campaign(workers=workers) as ephemeral:
+            curves = {
+                name: ephemeral.run_sweep(s) for name, s in sweeps.items()
+            }
+    else:
+        curves = {name: campaign.run_sweep(s) for name, s in sweeps.items()}
     return PanelResult(spec=PANELS[panel], curves=curves)

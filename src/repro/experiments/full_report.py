@@ -108,8 +108,18 @@ def run_full_reproduction(
     *,
     workers: int | None = None,
     progress: Callable[[str], None] | None = None,
+    campaign=None,
 ) -> ReproductionReport:
-    """Execute the complete evaluation at the given scale."""
+    """Execute the complete evaluation at the given scale.
+
+    Every stage runs through one :class:`~repro.campaign.Campaign` —
+    the caller's, or an ephemeral one sized by *workers* — so the
+    whole report shares a single worker pool and trial cache. With a
+    persistent cache dir an interrupted report resumes: completed
+    trials replay from the store and only missing ones execute.
+    """
+    from repro.campaign import Campaign
+
     if isinstance(scale, str):
         try:
             scale = SCALES[scale]
@@ -119,12 +129,18 @@ def run_full_reproduction(
             ) from None
     say = progress or (lambda _: None)
 
+    if campaign is None:
+        with Campaign(workers=workers) as ephemeral:
+            return run_full_reproduction(
+                scale, workers=workers, progress=progress, campaign=ephemeral
+            )
+
     panels: dict[str, PanelResult] = {}
     verdicts: dict[str, PanelVerdict] = {}
     for panel in sorted(PANELS):
         say(f"regenerating Figure {panel} ...")
         result = run_figure3_panel(
-            panel, n_values=scale.n_values, seeds=scale.seeds, workers=workers
+            panel, n_values=scale.n_values, seeds=scale.seeds, campaign=campaign
         )
         panels[panel] = result
         verdicts[panel] = check_panel(result)
@@ -136,12 +152,14 @@ def run_full_reproduction(
             n=scale.ablation_n,
             seeds=scale.ablation_seeds,
             adversary="str-1",
+            campaign=campaign,
         ),
         "ears": run_f_sweep(
             "ears",
             n=scale.ablation_n,
             seeds=scale.ablation_seeds,
             adversary="str-2.1.0",
+            campaign=campaign,
         ),
     }
 
@@ -162,6 +180,7 @@ def run_full_reproduction(
                 "str-2.1.1",
                 "ugf",
             ),
+            campaign=campaign,
         )
         for protocol in ("push-pull", "ears")
     }
@@ -173,12 +192,15 @@ def run_full_reproduction(
             n=scale.ablation_n,
             f=comparison_f,
             seeds=scale.decomposition_seeds,
+            campaign=campaign,
         )
         for protocol in ("push-pull", "ears", "sears")
     }
 
     say("Theorem 1 trade-off frontier ...")
-    tradeoff = run_tradeoff("ears", **scale.tradeoff)
+    tradeoff = run_tradeoff("ears", campaign=campaign, **scale.tradeoff)
+
+    say(campaign.stats.summary())
 
     return ReproductionReport(
         scale=scale,

@@ -1,33 +1,42 @@
-"""Trial and sweep execution, optionally process-parallel.
+"""Trial and sweep execution.
 
 A *trial* is one simulated execution; a *sweep* is a grid of trials
-(N values x seeds for one protocol/adversary pair). Seeds of a sweep
-are embarrassingly parallel, so :func:`run_sweep` can fan them out
-over a :class:`concurrent.futures.ProcessPoolExecutor`; specs are
-plain picklable dataclasses and the worker rebuilds protocol and
-adversary from the registries, so nothing stateful crosses process
-boundaries.
+(N values x seeds for one protocol/adversary pair). Specs are plain
+picklable dataclasses and the worker rebuilds protocol and adversary
+from the registries, so nothing stateful crosses process boundaries.
 
-Trials within one (protocol, adversary, N) cell differ only by seed;
-results come back keyed by ``(n, seed)`` and are aggregated into the
-paper's median/quartile series per N.
+Execution is delegated to the campaign layer
+(:class:`repro.campaign.Campaign`): :func:`run_sweep` without an
+explicit campaign spins up an ephemeral one, while callers running
+several sweeps (figure panels, full reports) pass a shared campaign
+so all sweeps reuse one worker pool and one trial cache — identical
+trials are computed exactly once per session, and once ever with a
+persistent cache dir.
+
+Trials within one (protocol, adversary, N, F) cell differ only by
+seed and are aggregated into the paper's median/quartile series.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.aggregate import RunStatistics, aggregate_runs
 from repro.core.registry import make_adversary
-from repro.errors import IncompleteRunError
+from repro.errors import CampaignError, IncompleteRunError
 from repro.experiments.config import SweepSpec, TrialSpec
 from repro.protocols.registry import make_protocol
 from repro.sim.engine import Simulator
 from repro.sim.outcome import Outcome
 
-__all__ = ["run_trial", "run_sweep", "SweepResult", "SeriesPoint"]
+__all__ = [
+    "run_trial",
+    "run_sweep",
+    "aggregate_sweep",
+    "SweepResult",
+    "SeriesPoint",
+]
 
 
 def run_trial(spec: TrialSpec) -> Outcome:
@@ -48,7 +57,7 @@ def run_trial(spec: TrialSpec) -> Outcome:
 
 @dataclass(frozen=True, slots=True)
 class SeriesPoint:
-    """Aggregated complexities at one N of a sweep."""
+    """Aggregated complexities at one (N, F) of a sweep."""
 
     n: int
     f: int
@@ -60,57 +69,70 @@ class SeriesPoint:
 
 @dataclass(frozen=True, slots=True)
 class SweepResult:
-    """All aggregated points of one sweep, in ascending N."""
+    """All aggregated points of one sweep, in ascending (N, F)."""
 
     spec: SweepSpec
     points: tuple[SeriesPoint, ...]
 
-    def series(self, quantity: str) -> tuple[list[int], list[float]]:
-        """``(N values, medians)`` for ``quantity`` in {"messages", "time"}."""
-        ns = [p.n for p in self.points]
+    def _stats(self, quantity: str) -> list[RunStatistics]:
         if quantity == "messages":
-            return ns, [p.messages.median for p in self.points]
+            return [p.messages for p in self.points]
         if quantity == "time":
-            return ns, [p.time.median for p in self.points]
+            return [p.time for p in self.points]
         raise ValueError(f"quantity must be 'messages' or 'time', got {quantity!r}")
 
+    def series(self, quantity: str) -> tuple[list[int], list[float]]:
+        """``(N values, medians)`` for ``quantity`` in {"messages", "time"}."""
+        return [p.n for p in self.points], [s.median for s in self._stats(quantity)]
 
-def _default_workers() -> int:
-    cpus = os.cpu_count() or 1
-    return max(1, cpus - 1)
+    def quartiles(
+        self, quantity: str
+    ) -> tuple[list[int], list[float], list[float]]:
+        """``(N values, q1s, q3s)`` — the figure's shaded band.
+
+        Companion to :meth:`series` so plots and tables no longer
+        reach into :attr:`points` by hand for the quartiles.
+        """
+        stats = self._stats(quantity)
+        ns = [p.n for p in self.points]
+        return ns, [s.q1 for s in stats], [s.q3 for s in stats]
 
 
-def run_sweep(
+def aggregate_sweep(
     spec: SweepSpec,
+    outcomes: Sequence[Outcome],
     *,
-    workers: int | None = None,
     allow_truncated: bool = True,
 ) -> SweepResult:
-    """Run every trial of *spec* and aggregate per N.
+    """Aggregate trial outcomes into per-(N, F) series points.
 
-    ``workers=0`` or ``1`` runs inline (useful under pytest and for
-    debugging); ``None`` uses CPU count - 1. Truncated runs (hit
-    ``max_steps``) are counted per point and — when
-    ``allow_truncated`` — included in the aggregates with their
-    truncated measurements, which under-reports the attack rather than
-    over-reporting it.
+    Cells are keyed by ``(n, f)`` — not ``n`` alone, which would
+    silently merge distinct F values if a spec ever varied f per n —
+    and every outcome must belong to a cell the spec's grid declares.
     """
-    trials = list(spec.trials())
-    if workers is None:
-        workers = _default_workers()
-    if workers <= 1 or len(trials) <= 1:
-        outcomes = [run_trial(t) for t in trials]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(run_trial, trials, chunksize=4))
-
-    by_n: dict[int, list[Outcome]] = {}
+    expected = {(t.n, t.f) for t in spec.trials()}
+    by_cell: dict[tuple[int, int], list[Outcome]] = {}
     for outcome in outcomes:
-        by_n.setdefault(outcome.n, []).append(outcome)
+        cell = (outcome.n, outcome.f)
+        if cell not in expected:
+            raise CampaignError(
+                f"outcome at (N={outcome.n}, F={outcome.f}) does not match "
+                f"any cell of the sweep grid {sorted(expected)}"
+            )
+        if (
+            outcome.protocol_name != spec.protocol
+            or outcome.adversary_name != spec.adversary
+        ):
+            raise CampaignError(
+                f"outcome ran {outcome.protocol_name} vs "
+                f"{outcome.adversary_name}, spec wants {spec.protocol} vs "
+                f"{spec.adversary}"
+            )
+        by_cell.setdefault(cell, []).append(outcome)
 
     points = []
-    for n in sorted(by_n):
-        cell = by_n[n]
+    for n, f in sorted(by_cell):
+        cell = by_cell[(n, f)]
         usable = [o for o in cell if o.completed or allow_truncated]
         if not usable:
             raise IncompleteRunError(
@@ -125,7 +147,7 @@ def run_sweep(
         points.append(
             SeriesPoint(
                 n=n,
-                f=cell[0].f,
+                f=f,
                 messages=msgs,
                 time=times,
                 truncated_runs=sum(not o.completed for o in cell),
@@ -135,3 +157,31 @@ def run_sweep(
             )
         )
     return SweepResult(spec=spec, points=tuple(points))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int | None = None,
+    allow_truncated: bool = True,
+    campaign=None,
+) -> SweepResult:
+    """Run every trial of *spec* and aggregate per (N, F).
+
+    ``workers=0`` or ``1`` runs inline (useful under pytest and for
+    debugging); ``None`` uses CPU count - 1. Truncated runs (hit
+    ``max_steps``) are counted per point and — when
+    ``allow_truncated`` — included in the aggregates with their
+    truncated measurements, which under-reports the attack rather than
+    over-reporting it.
+
+    With a *campaign*, execution goes through its shared pool and
+    trial cache (``workers`` is then ignored); without one, an
+    ephemeral in-memory campaign is used.
+    """
+    from repro.campaign import Campaign
+
+    if campaign is not None:
+        return campaign.run_sweep(spec, allow_truncated=allow_truncated)
+    with Campaign(workers=workers) as ephemeral:
+        return ephemeral.run_sweep(spec, allow_truncated=allow_truncated)

@@ -29,7 +29,6 @@ from repro.analysis.aggregate import RunStatistics, aggregate_runs
 from repro.analysis.bounds import Theorem1Bounds, theorem1_lower_bounds
 from repro.errors import ConfigurationError
 from repro.experiments.config import TrialSpec
-from repro.experiments.runner import run_trial
 
 __all__ = ["TradeoffPoint", "run_tradeoff"]
 
@@ -63,6 +62,7 @@ def run_tradeoff(
     k_values: tuple[int, ...] = (1, 2, 3),
     seeds: tuple[int, ...] = tuple(range(10)),
     max_steps: int = 20_000_000,
+    campaign=None,
 ) -> list[TradeoffPoint]:
     """Measure the trade-off frontier for one protocol.
 
@@ -70,48 +70,71 @@ def run_tradeoff(
     ``F/2 * tau^k`` global steps, so large tau with k >= 2 makes runs
     astronomically long — which is the theorem's point, but not a
     useful way to spend a benchmark budget.
+
+    The whole (k, seed, strategy) grid is submitted as one campaign
+    batch, so a parallel campaign overlaps the slow high-k isolation
+    runs with everything else.
     """
+    from repro.campaign import Campaign
+    from repro.errors import CampaignError
+
     if tau <= 1:
         raise ConfigurationError(f"tau must be > 1, got {tau}")
+    if campaign is None:
+        with Campaign(workers=1) as ephemeral:
+            return run_tradeoff(
+                protocol,
+                n=n,
+                f=f,
+                tau=tau,
+                k_values=k_values,
+                seeds=seeds,
+                max_steps=max_steps,
+                campaign=ephemeral,
+            )
+
+    def spec(k: int, variant: int, seed: int) -> TrialSpec:
+        return TrialSpec(
+            protocol=protocol,
+            adversary=f"str-2.{k}.{variant}",
+            n=n,
+            f=f,
+            seed=seed,
+            max_steps=max_steps,
+            adversary_kwargs=(("tau", tau),),
+        )
+
+    grid = [
+        (k, variant, seed)
+        for k in k_values
+        for seed in seeds
+        for variant in (0, 1)
+    ]
+    results = campaign.run_trials([spec(k, v, s) for k, v, s in grid])
+    by_cell: dict[tuple[int, int], list] = {}
+    for (k, variant, _), result in zip(grid, results):
+        if result.outcome is None:
+            raise CampaignError(
+                f"trade-off trial failed: {result.error} (spec: {result.spec})"
+            )
+        by_cell.setdefault((k, variant), []).append(result.outcome)
+
     points = []
     for k in k_values:
-        iso_times = []
-        iso_steps = []
-        delay_msgs = []
-        for seed in seeds:
-            iso = run_trial(
-                TrialSpec(
-                    protocol=protocol,
-                    adversary=f"str-2.{k}.0",
-                    n=n,
-                    f=f,
-                    seed=seed,
-                    max_steps=max_steps,
-                    adversary_kwargs=(("tau", tau),),
-                )
-            )
-            iso_times.append(iso.time_complexity(allow_truncated=True))
-            iso_steps.append(float(iso.t_end))
-            dly = run_trial(
-                TrialSpec(
-                    protocol=protocol,
-                    adversary=f"str-2.{k}.1",
-                    n=n,
-                    f=f,
-                    seed=seed,
-                    max_steps=max_steps,
-                    adversary_kwargs=(("tau", tau),),
-                )
-            )
-            delay_msgs.append(dly.message_complexity(allow_truncated=True))
+        iso = by_cell[(k, 0)]
+        dly = by_cell[(k, 1)]
         alpha = max(1, -(-(tau**k) // max(1, f)))  # ceil(tau^k / F)
         points.append(
             TradeoffPoint(
                 k=k,
                 alpha=alpha,
-                time_under_isolation=aggregate_runs(iso_times),
-                steps_under_isolation=aggregate_runs(iso_steps),
-                messages_under_delay=aggregate_runs(delay_msgs),
+                time_under_isolation=aggregate_runs(
+                    [o.time_complexity(allow_truncated=True) for o in iso]
+                ),
+                steps_under_isolation=aggregate_runs([float(o.t_end) for o in iso]),
+                messages_under_delay=aggregate_runs(
+                    [o.message_complexity(allow_truncated=True) for o in dly]
+                ),
                 bounds=theorem1_lower_bounds(n, f, alpha=alpha, tau=tau),
             )
         )

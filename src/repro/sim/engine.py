@@ -304,6 +304,11 @@ class Simulator:
             pid: self.runtimes[pid].crash_step
             for pid in crashed
         }
+        # Mixture adversaries (UGF) record which strategy the run drew;
+        # surfacing it on the Outcome lets cached/parallel runs be
+        # decomposed without holding the live adversary object.
+        chosen = getattr(self.adversary, "chosen", None)
+        strategy_label = getattr(chosen, "label", None)
         return Outcome(
             n=self.n,
             f=self.f,
@@ -323,6 +328,7 @@ class Simulator:
             sleep_counts=np.array([r.sleep_count for r in self.runtimes]),
             wake_counts=np.array([r.wake_count for r in self.runtimes]),
             steps_simulated=self._steps_simulated,
+            strategy_label=strategy_label,
         )
 
     def _rumor_gathering_ok(self, correct_ids: np.ndarray) -> bool:

@@ -16,11 +16,17 @@ Runs that hit ``max_steps`` before quiescence are flagged
 ``completed=False``; complexity accessors then raise
 :class:`~repro.errors.IncompleteRunError` unless explicitly overridden,
 because a truncated ``T_end`` silently biases medians downward.
+
+Outcomes are also the unit of persistence for the campaign layer's
+content-addressed trial cache: :meth:`Outcome.to_dict` /
+:meth:`Outcome.from_dict` round-trip every field — numpy counters
+included — bit-identically through JSON.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -52,6 +58,9 @@ class Outcome:
     sleep_counts: np.ndarray = field(repr=False)
     wake_counts: np.ndarray = field(repr=False)
     steps_simulated: int = 0
+    #: Label of the strategy a mixture adversary (UGF) drew for this
+    #: run, e.g. ``"str-2.1.0"``; None for single-strategy adversaries.
+    strategy_label: str | None = None
 
     # -- complexity measures --------------------------------------------------
 
@@ -118,4 +127,60 @@ class Outcome:
             f"[{self.protocol_name} vs {self.adversary_name}] "
             f"N={self.n} F={self.f} seed={self.seed} "
             f"crashes={self.crash_count} gather={self.rumor_gathering_ok} {tail}"
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict; exact inverse of :meth:`from_dict`.
+
+        Per-process numpy counters become plain int lists;
+        ``crash_steps`` becomes a ``[pid, step]`` pair list (JSON
+        object keys would stringify the pids).
+        """
+        return {
+            "n": self.n,
+            "f": self.f,
+            "seed": self.seed,
+            "protocol_name": self.protocol_name,
+            "adversary_name": self.adversary_name,
+            "completed": self.completed,
+            "rumor_gathering_ok": self.rumor_gathering_ok,
+            "t_end": int(self.t_end),
+            "max_local_step_time": self.max_local_step_time,
+            "max_delivery_time": self.max_delivery_time,
+            "sent": [int(x) for x in self.sent],
+            "received": [int(x) for x in self.received],
+            "bytes_sent": [int(x) for x in self.bytes_sent],
+            "crashed": [int(p) for p in self.crashed],
+            "crash_steps": [[int(p), int(s)] for p, s in sorted(self.crash_steps.items())],
+            "sleep_counts": [int(x) for x in self.sleep_counts],
+            "wake_counts": [int(x) for x in self.wake_counts],
+            "steps_simulated": self.steps_simulated,
+            "strategy_label": self.strategy_label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Outcome":
+        """Rebuild an outcome serialised by :meth:`to_dict`."""
+        return cls(
+            n=int(data["n"]),
+            f=int(data["f"]),
+            seed=int(data["seed"]),
+            protocol_name=data["protocol_name"],
+            adversary_name=data["adversary_name"],
+            completed=bool(data["completed"]),
+            rumor_gathering_ok=bool(data["rumor_gathering_ok"]),
+            t_end=int(data["t_end"]),
+            max_local_step_time=int(data["max_local_step_time"]),
+            max_delivery_time=int(data["max_delivery_time"]),
+            sent=np.asarray(data["sent"], dtype=np.int64),
+            received=np.asarray(data["received"], dtype=np.int64),
+            bytes_sent=np.asarray(data["bytes_sent"], dtype=np.int64),
+            crashed=tuple(int(p) for p in data["crashed"]),
+            crash_steps={int(p): int(s) for p, s in data["crash_steps"]},
+            sleep_counts=np.asarray(data["sleep_counts"], dtype=np.int64),
+            wake_counts=np.asarray(data["wake_counts"], dtype=np.int64),
+            steps_simulated=int(data.get("steps_simulated", 0)),
+            strategy_label=data.get("strategy_label"),
         )

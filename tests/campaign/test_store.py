@@ -1,0 +1,84 @@
+"""Tests for the append-only JSONL trial store."""
+
+import json
+
+import numpy as np
+
+from repro.campaign.keys import spec_fingerprint, trial_key
+from repro.campaign.store import TrialStore
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+
+
+def trial(seed: int = 0) -> TrialSpec:
+    return TrialSpec(protocol="flood", adversary="none", n=8, f=2, seed=seed)
+
+
+def test_miss_then_hit(tmp_path):
+    store = TrialStore(tmp_path)
+    spec = trial()
+    key = trial_key(spec)
+    assert store.get(key) is None
+    assert key not in store
+    outcome = run_trial(spec)
+    store.put(key, spec_fingerprint(spec), outcome)
+    assert key in store
+    got = store.get(key)
+    assert got is not None
+    assert got.message_complexity() == outcome.message_complexity()
+
+
+def test_survives_reload(tmp_path):
+    spec = trial()
+    key = trial_key(spec)
+    outcome = run_trial(spec)
+    with TrialStore(tmp_path) as store:
+        store.put(key, spec_fingerprint(spec), outcome)
+
+    reloaded = TrialStore(tmp_path)
+    got = reloaded.get(key)
+    assert got is not None
+    assert got.n == outcome.n
+    assert np.array_equal(got.sent, outcome.sent)
+
+
+def test_truncated_final_line_is_skipped_not_fatal(tmp_path):
+    specs = [trial(0), trial(1)]
+    with TrialStore(tmp_path) as store:
+        for s in specs:
+            store.put(trial_key(s), spec_fingerprint(s), run_trial(s))
+
+    # Simulate a crash mid-append: chop the last line in half.
+    path = TrialStore(tmp_path).path
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+    store = TrialStore(tmp_path)
+    assert store.get(trial_key(specs[0])) is not None
+    assert store.get(trial_key(specs[1])) is None
+    assert store.skipped_lines == 1
+
+
+def test_garbage_lines_are_skipped(tmp_path):
+    spec = trial()
+    with TrialStore(tmp_path) as store:
+        store.put(trial_key(spec), spec_fingerprint(spec), run_trial(spec))
+    path = TrialStore(tmp_path).path
+    with path.open("a") as fh:
+        fh.write("not json at all\n")
+        fh.write(json.dumps({"wrong": "shape"}) + "\n")
+        fh.write(json.dumps({"key": 7, "outcome": {}}) + "\n")
+
+    store = TrialStore(tmp_path)
+    assert len(store) == 1
+    assert store.skipped_lines == 3
+    assert store.get(trial_key(spec)) is not None
+
+
+def test_appends_accumulate_across_sessions(tmp_path):
+    for seed in range(3):
+        s = trial(seed)
+        with TrialStore(tmp_path) as store:
+            store.put(trial_key(s), spec_fingerprint(s), run_trial(s))
+    assert len(TrialStore(tmp_path)) == 3

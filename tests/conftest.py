@@ -37,3 +37,9 @@ def run(
 @pytest.fixture
 def null_adversary() -> NullAdversary:
     return NullAdversary()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trial_cache(tmp_path_factory, monkeypatch):
+    """Keep CLI/campaign default caching away from the real user cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("trial-cache")))

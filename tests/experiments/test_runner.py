@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.errors import CampaignError
 from repro.experiments.config import SweepSpec, TrialSpec
-from repro.experiments.runner import run_sweep, run_trial
+from repro.experiments.runner import aggregate_sweep, run_sweep, run_trial
 
 
 def test_run_trial_builds_from_names():
@@ -75,6 +76,70 @@ def test_series_accessor():
     assert all(t <= 1.5 for t in times)
     with pytest.raises(ValueError):
         result.series("latency")
+
+
+def test_quartiles_accessor():
+    sweep = SweepSpec(
+        protocol="push-pull", adversary="ugf", n_values=(10, 16), seeds=(0, 1, 2)
+    )
+    result = run_sweep(sweep, workers=1)
+    ns, q1s, q3s = result.quartiles("messages")
+    assert ns == [10, 16]
+    assert q1s == [p.messages.q1 for p in result.points]
+    assert q3s == [p.messages.q3 for p in result.points]
+    assert all(a <= b for a, b in zip(q1s, q3s))
+    _, tq1s, tq3s = result.quartiles("time")
+    assert tq1s == [p.time.q1 for p in result.points]
+    assert tq3s == [p.time.q3 for p in result.points]
+    with pytest.raises(ValueError):
+        result.quartiles("latency")
+
+
+class _VaryingFSpec:
+    """Duck-typed sweep spec whose grid repeats an N with different F."""
+
+    protocol = "flood"
+    adversary = "none"
+    max_steps = 5_000_000
+
+    def trials(self):
+        for f in (0, 2):
+            for seed in (0, 1):
+                yield TrialSpec(
+                    protocol="flood", adversary="none", n=8, f=f, seed=seed
+                )
+
+
+def test_aggregate_keys_cells_by_n_and_f():
+    # Same N with two different F values must stay two points, not
+    # silently merge into one (the old by-N grouping bug).
+    spec = _VaryingFSpec()
+    outcomes = [run_trial(t) for t in spec.trials()]
+    result = aggregate_sweep(spec, outcomes)
+    assert [(p.n, p.f) for p in result.points] == [(8, 0), (8, 2)]
+    assert all(p.messages.n_runs == 2 for p in result.points)
+
+
+def test_aggregate_rejects_outcomes_foreign_to_the_grid():
+    sweep = SweepSpec(
+        protocol="flood", adversary="none", n_values=(6,), seeds=(0,)
+    )
+    stray = run_trial(
+        TrialSpec(protocol="flood", adversary="none", n=9, f=2, seed=0)
+    )
+    with pytest.raises(CampaignError, match="does not match"):
+        aggregate_sweep(sweep, [stray])
+
+
+def test_aggregate_rejects_mismatched_protocol():
+    sweep = SweepSpec(
+        protocol="push-pull", adversary="none", n_values=(6,), seeds=(0,)
+    )
+    wrong = run_trial(
+        TrialSpec(protocol="flood", adversary="none", n=6, f=2, seed=0)
+    )
+    with pytest.raises(CampaignError, match="spec wants"):
+        aggregate_sweep(sweep, [wrong])
 
 
 def test_all_truncated_without_allow_raises():

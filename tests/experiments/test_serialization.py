@@ -2,15 +2,18 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments.config import SweepSpec
+from repro.experiments.config import SweepSpec, TrialSpec
 from repro.experiments.figure3 import run_figure3_panel
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import run_sweep, run_trial
 from repro.experiments.serialization import (
     dumps,
     loads,
+    outcome_from_dict,
+    outcome_to_dict,
     panel_from_dict,
     sweep_from_dict,
 )
@@ -65,6 +68,64 @@ def test_json_is_plain_data():
     assert data["kind"] == "sweep"
     assert data["version"] == 1
     assert isinstance(data["points"][0]["messages"]["median"], float)
+
+
+def assert_outcomes_identical(a, b):
+    """Field-by-field bit-identity, numpy arrays included."""
+    for name in (
+        "n", "f", "seed", "protocol_name", "adversary_name", "completed",
+        "rumor_gathering_ok", "t_end", "max_local_step_time",
+        "max_delivery_time", "crashed", "crash_steps", "steps_simulated",
+        "strategy_label",
+    ):
+        assert getattr(a, name) == getattr(b, name), name
+    for name in ("sent", "received", "bytes_sent", "sleep_counts", "wake_counts"):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype, name
+        assert np.array_equal(left, right), name
+
+
+def test_outcome_round_trip_bit_identical():
+    outcome = run_trial(
+        TrialSpec(protocol="push-pull", adversary="ugf", n=14, f=4, seed=3)
+    )
+    back = outcome_from_dict(json.loads(json.dumps(outcome_to_dict(outcome))))
+    assert_outcomes_identical(outcome, back)
+    assert back.message_complexity(allow_truncated=True) == outcome.message_complexity(
+        allow_truncated=True
+    )
+    assert back.time_complexity(allow_truncated=True) == outcome.time_complexity(
+        allow_truncated=True
+    )
+
+
+def test_outcome_round_trip_preserves_crash_records():
+    outcome = run_trial(
+        TrialSpec(protocol="ears", adversary="str-1", n=12, f=6, seed=0)
+    )
+    assert outcome.crashed  # Strategy 1 crashes its group
+    back = loads(dumps(outcome))
+    assert_outcomes_identical(outcome, back)
+    assert back.crash_steps == outcome.crash_steps
+
+
+def test_outcome_round_trip_preserves_strategy_label():
+    outcome = run_trial(
+        TrialSpec(protocol="flood", adversary="ugf", n=10, f=3, seed=1)
+    )
+    assert outcome.strategy_label in ("str-1", "str-2.1.0", "str-2.1.1")
+    back = loads(dumps(outcome))
+    assert back.strategy_label == outcome.strategy_label
+
+
+def test_outcome_record_kind_tagged():
+    outcome = run_trial(
+        TrialSpec(protocol="flood", adversary="none", n=6, f=0, seed=0)
+    )
+    data = json.loads(dumps(outcome))
+    assert data["kind"] == "outcome"
+    with pytest.raises(ConfigurationError):
+        outcome_from_dict({"kind": "sweep"})
 
 
 def test_bad_records_rejected():

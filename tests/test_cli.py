@@ -93,6 +93,70 @@ def test_sweep_outputs_csv(capsys):
     assert out.count("\n") == 3  # header + two N rows
 
 
+def _sweep_args(*extra):
+    return [
+        "sweep", "--protocol", "flood", "--adversary", "none",
+        "--n", "6", "10", "--seeds", "2", "--workers", "1", *extra,
+    ]
+
+
+def test_sweep_cache_dir_persists_and_resumes(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args("--cache-dir", str(cache))) == 0
+    first = capsys.readouterr()
+    assert "4 trials: 4 executed, 0 cached" in first.err
+    assert (cache / "trials.jsonl").exists()
+
+    assert main(_sweep_args("--cache-dir", str(cache))) == 0
+    second = capsys.readouterr()
+    assert "4 trials: 0 executed, 4 cached" in second.err
+    assert second.out == first.out
+
+
+def test_sweep_fresh_ignores_cache_reads(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args("--cache-dir", str(cache))) == 0
+    capsys.readouterr()
+    assert main(_sweep_args("--cache-dir", str(cache), "--fresh")) == 0
+    assert "4 executed, 0 cached" in capsys.readouterr().err
+
+
+def test_sweep_no_cache_writes_nothing(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args("--cache-dir", str(cache), "--no-cache")) == 0
+    assert "4 executed" in capsys.readouterr().err
+    assert not cache.exists()
+
+
+def test_report_resumes_from_cache(tmp_path, capsys, monkeypatch):
+    import repro.experiments.full_report as full_report
+    from repro.experiments.full_report import ReproductionScale
+
+    tiny = ReproductionScale(
+        label="tiny",
+        n_values=(8, 12, 16),
+        seeds=(0,),
+        ablation_n=8,
+        ablation_seeds=(0,),
+        decomposition_seeds=(0, 1),
+        tradeoff={"n": 8, "f": 2, "tau": 2, "k_values": (1,), "seeds": (0,)},
+    )
+    monkeypatch.setitem(full_report.SCALES, "smoke", tiny)
+    cache = tmp_path / "cache"
+    args = [
+        "report", "--scale", "smoke", "--workers", "1",
+        "--out", str(tmp_path / "r.md"), "--cache-dir", str(cache),
+    ]
+    main(args)
+    first = capsys.readouterr().out
+    # Cold cache: trials execute (panels sharing curves still dedup).
+    assert "0 failed" in first
+    assert ": 0 executed" not in first
+    main(args)
+    second = capsys.readouterr().out
+    assert ": 0 executed" in second  # warm cache: nothing simulated
+
+
 def test_tradeoff_command(capsys):
     assert (
         main(
