@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.campaign.keys import spec_fingerprint, trial_key
 from repro.campaign.pool import WorkerPool
@@ -85,6 +85,13 @@ class Campaign:
         intra-session dedup or repopulating the store.
     progress:
         Default per-trial callback; overridable per batch.
+    sanitize:
+        Execution-model sanitizer spec (``"warn"``, ``"strict:counters"``,
+        ...) applied to every trial that does not pin its own. The
+        sanitizer is instrumentation, not trial identity: cache keys
+        ignore it, so cached outcomes (sanitized or not) are still
+        served — only trials that actually *execute* run under the
+        monitors, and their reports are persisted with the outcome.
     """
 
     def __init__(
@@ -95,10 +102,12 @@ class Campaign:
         use_cache: bool = True,
         fresh: bool = False,
         progress: ProgressCallback | None = None,
+        sanitize: str | None = None,
     ) -> None:
         self.use_cache = use_cache
         self.fresh = fresh
         self.progress = progress
+        self.sanitize = sanitize
         self.store = TrialStore(cache_dir) if (cache_dir is not None and use_cache) else None
         self.pool = WorkerPool(workers)
         self.stats = CampaignStats()
@@ -150,6 +159,9 @@ class Campaign:
         duplicates: list[tuple[int, int]] = []  # (index, primary index)
 
         for i, spec in enumerate(specs):
+            if self.sanitize is not None and spec.sanitize is None:
+                spec = replace(spec, sanitize=self.sanitize)
+                specs[i] = spec
             key = trial_key(spec) if self.use_cache else None
             outcome = self._lookup(key)
             if outcome is not None:

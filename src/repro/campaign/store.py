@@ -11,9 +11,14 @@ loader skips (with a warning count) instead of failing, so a restarted
 with an unknown shape are likewise skipped, which doubles as forward
 compatibility: a newer writer never breaks an older reader.
 
-Writes go through the OS file buffer with an explicit ``flush`` per
-record; each record is durable as soon as :meth:`TrialStore.put`
-returns, which is what resumability rests on.
+Each record is written with a single ``write()`` of the full line
+(readers can never observe a half-record except after a crash
+mid-write), then ``flush`` + ``os.fsync`` so the bytes are on disk —
+not just in the OS buffer — before :meth:`TrialStore.put` returns,
+which is what resumability rests on. On POSIX the append additionally
+holds an exclusive ``flock`` on the store file, so concurrent
+campaigns (two terminals, a CI matrix sharing a cache volume) cannot
+interleave their lines.
 """
 
 from __future__ import annotations
@@ -22,6 +27,11 @@ import json
 import os
 import pathlib
 from typing import Any
+
+try:  # POSIX-only; on other platforms appends are merely unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import CampaignError
 from repro.sim.outcome import Outcome
@@ -113,8 +123,16 @@ class TrialStore:
                 raise CampaignError(
                     f"cannot write trial cache under {self.cache_dir}: {exc}"
                 ) from exc
-        self._fh.write(line + "\n")
-        self._fh.flush()
+        fd = self._fh.fileno()
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            self._fh.write(line + "\n")  # one write(): no torn records
+            self._fh.flush()
+            os.fsync(fd)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
         self._load()[key] = data
 
     def close(self) -> None:

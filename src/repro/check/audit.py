@@ -1,0 +1,264 @@
+"""Offline replay auditing of a campaign trial cache.
+
+``repro-ugf check <cache-dir>`` makes the PR-1 campaign store auditable
+after the fact. For every record of ``trials.jsonl`` the auditor
+
+1. parses the record and rebuilds the :class:`TrialSpec` from the
+   stored spec fingerprint (the fingerprint was designed to be
+   sufficient for exactly this);
+2. verifies the record's content address: ``key == trial_key(spec)``;
+3. optionally **replays** the trial through the full online monitor
+   set (``warn`` mode, so every violation is collected rather than the
+   first one aborting) and compares the replayed outcome field-by-field
+   against the cached one — a cached artifact is only trustworthy if
+   the simulation both still reproduces it bit-identically and passes
+   the execution-model sanitizer while doing so.
+
+Statuses per record: ``ok``, ``violations`` (replay broke a model
+invariant), ``mismatch`` (replay no longer reproduces the cached
+outcome — simulation semantics drifted without a KEY_VERSION bump),
+``bad-key`` (stored hash does not match the stored spec), ``error``
+(replay raised), ``unreadable`` (corrupt JSON / foreign shape; the
+loader-side skip, counted here too).
+
+The auditor also feeds every readable cached outcome into the
+Theorem 1 cell classifier (:mod:`repro.check.theorem`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.campaign.keys import KEY_VERSION, trial_key
+from repro.check.theorem import CellVerdict, audit_theorem1
+from repro.errors import CampaignError
+from repro.experiments.config import TrialSpec
+from repro.sim.outcome import Outcome
+
+__all__ = ["RecordAudit", "CacheAudit", "spec_from_fingerprint", "audit_cache"]
+
+_FILENAME = "trials.jsonl"
+
+
+def spec_from_fingerprint(fingerprint: dict[str, Any]) -> TrialSpec:
+    """Rebuild the :class:`TrialSpec` a stored fingerprint describes.
+
+    Raises :class:`~repro.errors.CampaignError` for fingerprints written
+    by a different ``KEY_VERSION`` — their semantics are not ours to
+    re-execute.
+    """
+    version = fingerprint.get("version")
+    if version != KEY_VERSION:
+        raise CampaignError(
+            f"fingerprint version {version!r} != supported {KEY_VERSION}"
+        )
+    try:
+        return TrialSpec(
+            protocol=fingerprint["protocol"],
+            adversary=fingerprint["adversary"],
+            n=int(fingerprint["n"]),
+            f=int(fingerprint["f"]),
+            seed=int(fingerprint["seed"]),
+            max_steps=int(fingerprint["max_steps"]),
+            protocol_kwargs=tuple(
+                (k, v) for k, v in fingerprint["protocol_kwargs"]
+            ),
+            adversary_kwargs=tuple(
+                (k, v) for k, v in fingerprint["adversary_kwargs"]
+            ),
+            environment=fingerprint.get("environment"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CampaignError(f"malformed spec fingerprint: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class RecordAudit:
+    """Verdict for one ``trials.jsonl`` record."""
+
+    line: int
+    key: str
+    status: str  # ok | violations | mismatch | bad-key | error | unreadable
+    spec: "TrialSpec | None" = None
+    detail: str = ""
+    violations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheAudit:
+    """Aggregate result of auditing one cache directory."""
+
+    path: pathlib.Path
+    records: tuple[RecordAudit, ...]
+    theorem: tuple[CellVerdict, ...]
+    replayed: bool
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records) and all(
+            v.ok for v in self.theorem
+        )
+
+    def summary(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        theorem_bad = sum(not v.ok for v in self.theorem)
+        return (
+            f"audited {len(self.records)} record(s) in {self.path} "
+            f"[{counts or 'empty'}]; theorem cells: {len(self.theorem)} "
+            f"({theorem_bad} inconsistent)"
+        )
+
+
+def _outcome_payload(data: dict[str, Any]) -> dict[str, Any]:
+    """Outcome dict minus the sanitizer report (instrumentation, not result)."""
+    return {k: v for k, v in data.items() if k != "sanitizer"}
+
+
+def _replay(spec: TrialSpec, cached: dict[str, Any]) -> RecordAudit | None:
+    """Re-execute *spec* under the sanitizer; None means all good."""
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_trial
+
+    outcome = run_trial(replace(spec, sanitize="warn"))
+    report = outcome.sanitizer or {}
+    total = int(report.get("total_violations", 0))
+    if total:
+        first = report.get("violations") or [{}]
+        return RecordAudit(
+            line=0,
+            key="",
+            status="violations",
+            spec=spec,
+            detail=str(first[0].get("message", "")),
+            violations=total,
+        )
+    fresh = _outcome_payload(outcome.to_dict())
+    stale = _outcome_payload(cached)
+    if fresh != stale:
+        bad = sorted(
+            k
+            for k in set(fresh) | set(stale)
+            if fresh.get(k) != stale.get(k)
+        )
+        return RecordAudit(
+            line=0,
+            key="",
+            status="mismatch",
+            spec=spec,
+            detail=f"replay disagrees on field(s): {', '.join(bad)}",
+        )
+    return None
+
+
+def audit_cache(
+    cache_dir: "str | os.PathLike",
+    *,
+    replay: bool = True,
+    max_records: "int | None" = None,
+    alpha: int = 1,
+    progress: "Callable[[RecordAudit], None] | None" = None,
+) -> CacheAudit:
+    """Audit every record of ``<cache_dir>/trials.jsonl``.
+
+    ``replay=False`` restricts the audit to structural checks (parse +
+    content address), which is cheap enough for very large caches;
+    ``max_records`` bounds the audit to the first K records.
+    """
+    path = pathlib.Path(cache_dir) / _FILENAME
+    records: list[RecordAudit] = []
+    outcomes: list[Outcome] = []
+    if path.exists():
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if max_records is not None and len(records) >= max_records:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                records.append(_audit_line(lineno, line, replay, outcomes))
+                if progress is not None:
+                    progress(records[-1])
+    verdicts = audit_theorem1(outcomes, alpha=alpha) if outcomes else []
+    return CacheAudit(
+        path=path.parent,
+        records=tuple(records),
+        theorem=tuple(verdicts),
+        replayed=replay,
+    )
+
+
+def _audit_line(
+    lineno: int, line: str, replay: bool, outcomes: list[Outcome]
+) -> RecordAudit:
+    try:
+        record = json.loads(line)
+        key = record["key"]
+        fingerprint = record["spec"]
+        outcome_data = record["outcome"]
+        if not isinstance(key, str) or not isinstance(outcome_data, dict):
+            raise TypeError("key/outcome have the wrong shape")
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        return RecordAudit(
+            line=lineno, key="", status="unreadable", detail=str(exc)
+        )
+    try:
+        spec = spec_from_fingerprint(fingerprint)
+    except CampaignError as exc:
+        return RecordAudit(
+            line=lineno, key=key, status="unreadable", detail=str(exc)
+        )
+    try:
+        outcomes.append(Outcome.from_dict(outcome_data))
+    except (KeyError, TypeError, ValueError) as exc:
+        return RecordAudit(
+            line=lineno,
+            key=key,
+            status="unreadable",
+            spec=spec,
+            detail=f"outcome does not deserialise: {exc}",
+        )
+    if trial_key(spec) != key:
+        return RecordAudit(
+            line=lineno,
+            key=key,
+            status="bad-key",
+            spec=spec,
+            detail="stored key does not hash the stored spec fingerprint",
+        )
+    if replay:
+        try:
+            problem = _replay(spec, outcome_data)
+        except Exception as exc:  # a replay crash is itself a finding
+            return RecordAudit(
+                line=lineno,
+                key=key,
+                status="error",
+                spec=spec,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        if problem is not None:
+            return RecordAudit(
+                line=lineno,
+                key=key,
+                status=problem.status,
+                spec=spec,
+                detail=problem.detail,
+                violations=problem.violations,
+            )
+    return RecordAudit(line=lineno, key=key, status="ok", spec=spec)

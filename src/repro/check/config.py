@@ -1,0 +1,106 @@
+"""Sanitizer configuration: modes, monitor presets, resolution.
+
+The sanitizer is configured by a compact string so it can travel
+through CLI flags, environment variables and (picklable) trial specs
+unchanged::
+
+    "off"              no sanitizer at all (the default)
+    "warn"             full monitor set; violations are collected into
+                       the report attached to the Outcome and surfaced
+                       as a RuntimeWarning at the end of the run
+    "strict"           full monitor set; the first violation raises
+                       :class:`~repro.errors.SanitizerViolation`
+    "warn:counters"    restrict to the O(1)-per-event counter monitors
+    "strict:counters"  (drops the O(N)-per-local-step knowledge check)
+
+``REPRO_SANITIZE`` supplies the default when a simulation is built
+without an explicit ``sanitize`` argument — the lever CI uses to force
+the whole tier-1 suite through strict mode without touching any test.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ENV_SANITIZE",
+    "MODES",
+    "MONITOR_PRESETS",
+    "SanitizerConfig",
+    "resolve_config",
+]
+
+#: Environment variable supplying the default sanitize spec.
+ENV_SANITIZE = "REPRO_SANITIZE"
+
+#: Enforcement modes, weakest to strongest.
+MODES = ("off", "warn", "strict")
+
+#: Named monitor subsets (see :mod:`repro.check.monitors`).
+MONITOR_PRESETS = ("counters", "full")
+
+
+@dataclass(frozen=True, slots=True)
+class SanitizerConfig:
+    """Resolved sanitizer configuration.
+
+    ``mode`` is one of :data:`MODES`; ``monitors`` one of
+    :data:`MONITOR_PRESETS`. ``max_recorded`` caps the violations kept
+    verbatim in the report (the total count is always exact) so a
+    pathologically broken run cannot balloon memory.
+    """
+
+    mode: str = "off"
+    monitors: str = "full"
+    max_recorded: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"sanitize mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.monitors not in MONITOR_PRESETS:
+            raise ConfigurationError(
+                f"monitor preset must be one of {MONITOR_PRESETS}, got {self.monitors!r}"
+            )
+        if self.max_recorded < 1:
+            raise ConfigurationError(
+                f"max_recorded must be >= 1, got {self.max_recorded}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def spec(self) -> str:
+        """The compact string form this config round-trips through."""
+        if self.monitors == "full":
+            return self.mode
+        return f"{self.mode}:{self.monitors}"
+
+
+def _parse(spec: str) -> SanitizerConfig:
+    mode, _, preset = spec.partition(":")
+    return SanitizerConfig(mode=mode, monitors=preset or "full")
+
+
+def resolve_config(spec: "str | SanitizerConfig | None") -> SanitizerConfig:
+    """Resolve a sanitize spec into a :class:`SanitizerConfig`.
+
+    ``None`` falls back to ``$REPRO_SANITIZE`` and then to ``off``;
+    strings use the grammar documented in the module docstring.
+    """
+    if spec is None:
+        env = os.environ.get(ENV_SANITIZE, "").strip()
+        return _parse(env) if env else SanitizerConfig(mode="off")
+    if isinstance(spec, SanitizerConfig):
+        return spec
+    if isinstance(spec, str):
+        return _parse(spec)
+    raise ConfigurationError(
+        f"sanitize must be a mode string, SanitizerConfig or None, got {spec!r}"
+    )

@@ -1,0 +1,487 @@
+"""Online invariant monitors: the sanitizer's checkers.
+
+Each monitor watches one family of §II execution-model invariants
+through the kernel hook point (:class:`repro.check.sanitizer.Sanitizer`
+attached to a live :class:`~repro.sim.engine.Simulator`) and keeps its
+*own* shadow state — a monitor that read the engine's bookkeeping back
+would only ever confirm the engine agrees with itself. The built-ins:
+
+===================  ========================================================
+``delivery``         every message arrives exactly ``d_rho`` (at send time)
+                     after its emission, never to a crashed receiver, and a
+                     quiescent run leaves nothing in flight toward a correct
+                     process (Definition II.2 / the §II-A.1 delivery rule)
+``cadence``          every awake process takes local steps exactly
+                     ``delta_rho`` apart, a woken process acts at its wake
+                     step, and nobody is still awake at quiescence
+                     (§II-A.1 local-step cadence, Definition IV.2)
+``budget``           at most ``F`` crashes, none of them double
+                     (Definition II.5's crash budget)
+``legality``         adversary retimings stay within the bounds the
+                     adversary *declares* — targets inside its controlled
+                     group, values at most the declared maxima, and the
+                     group no larger than ``F`` (Algorithm 1's ``|C| =
+                     floor(F/2)``)
+``knowledge``        knowledge sets only ever grow, every process knows its
+                     own gossip, and the final rumor-gathering verdict
+                     matches an independent recomputation (Definition II.1)
+``counters``         the :class:`~repro.sim.outcome.Outcome` counters
+                     (sent/received/crashes/sleeps/``T_end``) agree with
+                     counts derived from the event stream itself
+                     (Definitions II.3 / II.4)
+===================  ========================================================
+
+The ``counters`` preset runs everything except ``knowledge`` — all its
+hooks are O(1) per event — while ``full`` adds the O(N)-per-local-step
+knowledge scan. Custom monitors subclass :class:`Monitor` and override
+only the hooks they need; the sanitizer dispatches exclusively to
+overridden hooks, so an unused hook costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+from repro.check.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.sanitizer import Sanitizer
+    from repro.sim.engine import Simulator
+    from repro.sim.messages import Message
+    from repro.sim.outcome import Outcome
+
+__all__ = [
+    "Monitor",
+    "DeliveryMonitor",
+    "CadenceMonitor",
+    "BudgetMonitor",
+    "LegalityMonitor",
+    "KnowledgeMonitor",
+    "CountersMonitor",
+    "MONITORS",
+    "preset_monitors",
+]
+
+#: Cadence sentinel states (mixed into the expected-step array).
+_ASLEEP = -1
+_CRASHED = -2
+
+
+class Monitor:
+    """Base class: no-op hooks plus violation plumbing.
+
+    Subclasses override the hooks they need. ``attach`` runs once per
+    simulation, after the engine is fully built but before the
+    adversary's ``setup`` (so setup-time crashes and retimings are
+    observed). ``finalize`` runs after the engine computed its
+    :class:`~repro.sim.outcome.Outcome` and is where whole-run
+    invariants (quiescence cleanliness, counter agreement) live.
+    """
+
+    name: str = "abstract"
+
+    _san: "Sanitizer"
+
+    def bind(self, sanitizer: "Sanitizer") -> None:
+        self._san = sanitizer
+
+    def fail(
+        self, step: GlobalStep, message: str, subject: "ProcessId | None" = None
+    ) -> None:
+        """Record one violation (raises immediately under strict mode)."""
+        self._san.record(Violation(self.name, int(step), message, subject))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None: ...
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> None: ...
+
+    # -- hot hooks (only overridden ones are dispatched) ---------------------
+
+    def on_send(self, step: GlobalStep, msg: "Message") -> None: ...
+
+    def on_omit(self, step: GlobalStep, msg: "Message") -> None: ...
+
+    def on_deliver(self, step: GlobalStep, msg: "Message") -> None: ...
+
+    def on_drop(self, step: GlobalStep, msg: "Message") -> None: ...
+
+    def on_local_step(self, step: GlobalStep, rho: ProcessId, slept: bool) -> None: ...
+
+    # -- sparse hooks --------------------------------------------------------
+
+    def on_wake(self, step: GlobalStep, rho: ProcessId) -> None: ...
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None: ...
+
+    def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None: ...
+
+    def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None: ...
+
+
+class DeliveryMonitor(Monitor):
+    """Partial-synchrony delivery: arrival exactly ``d_rho`` after send.
+
+    Keeps its own shadow of the ``d_rho`` vector (snapshot at attach,
+    updated through the rare retime hook) rather than reading the
+    engine's timing table per event — independent state, and a plain
+    list lookup on the hot path instead of a numpy scalar.
+    """
+
+    name = "delivery"
+
+    def attach(self, sim: "Simulator") -> None:
+        _, d = sim.timing.snapshot()
+        self._d = [int(x) for x in d]
+        self._outstanding = [0] * sim.n
+        self._crashed = bytearray(sim.n)
+
+    def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        self._d[rho] = value
+
+    def on_send(self, step: GlobalStep, msg: "Message") -> None:
+        expected = msg.sent_at + self._d[msg.sender]
+        if msg.arrives_at != expected:
+            self.fail(
+                step,
+                f"message {msg.sender}->{msg.receiver} stamped to arrive at "
+                f"{msg.arrives_at}, but d_rho of the sender says {expected}",
+                msg.sender,
+            )
+        self._outstanding[msg.receiver] += 1
+
+    def on_omit(self, step: GlobalStep, msg: "Message") -> None:
+        # An omitted message is paid for but never travels.
+        self._outstanding[msg.receiver] -= 1
+
+    def on_deliver(self, step: GlobalStep, msg: "Message") -> None:
+        if step != msg.arrives_at:
+            self.fail(
+                step,
+                f"message {msg.sender}->{msg.receiver} sent at {msg.sent_at} "
+                f"delivered at {step}, not at its arrival step {msg.arrives_at}",
+                msg.receiver,
+            )
+        if self._crashed[msg.receiver]:
+            self.fail(
+                step,
+                f"message {msg.sender}->{msg.receiver} delivered to a crashed process",
+                msg.receiver,
+            )
+        self._outstanding[msg.receiver] -= 1
+        if self._outstanding[msg.receiver] < 0:
+            self.fail(
+                step,
+                f"process {msg.receiver} received more messages than were sent to it",
+                msg.receiver,
+            )
+
+    def on_drop(self, step: GlobalStep, msg: "Message") -> None:
+        if not self._crashed[msg.receiver]:
+            self.fail(
+                step,
+                f"message {msg.sender}->{msg.receiver} dropped although the "
+                "receiver never crashed",
+                msg.receiver,
+            )
+        self._outstanding[msg.receiver] -= 1
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        self._crashed[rho] = 1
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> None:
+        if not outcome.completed:
+            return
+        for rho, pending in enumerate(self._outstanding):
+            if pending > 0 and not self._crashed[rho]:
+                self.fail(
+                    outcome.t_end,
+                    f"run declared quiescent with {pending} message(s) still "
+                    f"in flight toward correct process {rho}",
+                    rho,
+                )
+
+
+class CadenceMonitor(Monitor):
+    """Local-step cadence: awake processes act exactly ``delta_rho`` apart.
+
+    Shadows ``delta_rho`` the same way :class:`DeliveryMonitor` shadows
+    ``d_rho``: snapshot at attach, retime hook updates, list lookups.
+    """
+
+    name = "cadence"
+
+    def attach(self, sim: "Simulator") -> None:
+        delta, _ = sim.timing.snapshot()
+        self._delta = [int(x) for x in delta]
+        # Every process's first local step is due at global step 0.
+        self._due = [0] * sim.n
+
+    def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        self._delta[rho] = value
+
+    def on_local_step(self, step: GlobalStep, rho: ProcessId, slept: bool) -> None:
+        due = self._due[rho]
+        if due < 0:
+            state = "asleep" if due == _ASLEEP else "crashed"
+            self.fail(step, f"local step taken while {state}", rho)
+        elif step != due:
+            self.fail(
+                step,
+                f"local step at {step}, due at {due} "
+                f"(delta_rho={self._delta[rho]})",
+                rho,
+            )
+        self._due[rho] = _ASLEEP if slept else step + self._delta[rho]
+
+    def on_wake(self, step: GlobalStep, rho: ProcessId) -> None:
+        if self._due[rho] != _ASLEEP:
+            self.fail(step, "woken although not asleep", rho)
+        # A delivery-triggered wake begins a local step at the wake step.
+        self._due[rho] = step
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        self._due[rho] = _CRASHED
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> None:
+        if not outcome.completed:
+            return
+        for rho, due in enumerate(self._due):
+            if due >= 0:
+                self.fail(
+                    outcome.t_end,
+                    f"run declared quiescent while process {rho} was still "
+                    f"awake (next local step due at {due})",
+                    rho,
+                )
+
+
+class BudgetMonitor(Monitor):
+    """Crash budget: at most ``F`` crashes, none of them twice."""
+
+    name = "budget"
+
+    def attach(self, sim: "Simulator") -> None:
+        self._f = sim.f
+        self._crashed: set[int] = set()
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        if rho in self._crashed:
+            self.fail(step, "crashed twice", rho)
+            return
+        self._crashed.add(rho)
+        if len(self._crashed) > self._f:
+            self.fail(
+                step,
+                f"crash #{len(self._crashed)} exceeds the budget F={self._f}",
+                rho,
+            )
+
+
+class LegalityMonitor(Monitor):
+    """Adversary retimings stay within the adversary's declared bounds.
+
+    Adversaries may implement ``declared_controls()`` returning a
+    :class:`~repro.core.adversary.DeclaredControls` (the UGF strategy
+    families do); undeclared adversaries only get the generic checks
+    (retiming values must be >= 1). Declarations are re-read at every
+    retiming because some adversaries (UGF, the informed probe) commit
+    to a strategy only after setup.
+    """
+
+    name = "legality"
+
+    def attach(self, sim: "Simulator") -> None:
+        self._adversary = sim.adversary
+        self._f = sim.f
+        self._group_checked = False
+
+    def _declaration(self, step: GlobalStep):
+        declare = getattr(self._adversary, "declared_controls", None)
+        declared = declare() if declare is not None else None
+        if declared is not None and not self._group_checked:
+            self._group_checked = True
+            if len(declared.controlled) > self._f:
+                self.fail(
+                    step,
+                    f"adversary declares control of {len(declared.controlled)} "
+                    f"processes, more than F={self._f}",
+                )
+        return declared
+
+    def _check(self, step, rho, value, which: str, bound_attr: str) -> None:
+        if value < 1:
+            self.fail(step, f"retimed {which} to {value} (< 1)", rho)
+        declared = self._declaration(step)
+        if declared is None:
+            return
+        if rho not in declared.controlled:
+            self.fail(
+                step,
+                f"retimed {which} of process {rho}, outside the declared "
+                f"controlled group {sorted(declared.controlled)}",
+                rho,
+            )
+        bound = getattr(declared, bound_attr)
+        if bound is not None and value > bound:
+            self.fail(
+                step,
+                f"retimed {which} to {value}, beyond the declared bound {bound}",
+                rho,
+            )
+
+    def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        self._check(step, rho, value, "delta_rho", "max_local_step_time")
+
+    def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        self._check(step, rho, value, "d_rho", "max_delivery_time")
+
+
+class KnowledgeMonitor(Monitor):
+    """Knowledge sets grow monotonically; gathering verdict recomputes."""
+
+    name = "knowledge"
+
+    def attach(self, sim: "Simulator") -> None:
+        self._protocol = sim.protocol
+        self._known = [
+            np.array(self._protocol.knowledge_of(rho), dtype=bool, copy=True)
+            for rho in range(sim.n)
+        ]
+        for rho, known in enumerate(self._known):
+            if not known[rho]:
+                self.fail(0, "does not know its own gossip at start", rho)
+
+    def on_local_step(self, step: GlobalStep, rho: ProcessId, slept: bool) -> None:
+        new = self._protocol.knowledge_of(rho)
+        prev = self._known[rho]
+        if np.any(prev & ~new):
+            lost = np.flatnonzero(prev & ~new)
+            self.fail(
+                step,
+                f"knowledge set shrank: forgot gossip(s) {lost.tolist()}",
+                rho,
+            )
+        self._known[rho] = np.array(new, dtype=bool, copy=True)
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> None:
+        if not outcome.completed:
+            return
+        crashed = set(outcome.crashed)
+        correct = [rho for rho in range(outcome.n) if rho not in crashed]
+        gathered = all(
+            bool(self._protocol.knowledge_of(rho)[correct].all()) for rho in correct
+        )
+        if gathered != outcome.rumor_gathering_ok:
+            self.fail(
+                outcome.t_end,
+                "outcome reports rumor_gathering_ok="
+                f"{outcome.rumor_gathering_ok}, but an independent Definition "
+                f"II.1 recomputation says {gathered}",
+            )
+
+
+class CountersMonitor(Monitor):
+    """Outcome counters agree with counts derived from the event stream."""
+
+    name = "counters"
+
+    def attach(self, sim: "Simulator") -> None:
+        n = sim.n
+        self._sent = [0] * n
+        self._received = [0] * n
+        self._sleeps = [0] * n
+        self._wakes = [0] * n
+        self._last_sleep = [-1] * n
+        self._crash_steps: dict[int, int] = {}
+
+    def on_send(self, step: GlobalStep, msg: "Message") -> None:
+        self._sent[msg.sender] += 1
+
+    def on_deliver(self, step: GlobalStep, msg: "Message") -> None:
+        self._received[msg.receiver] += 1
+
+    def on_local_step(self, step: GlobalStep, rho: ProcessId, slept: bool) -> None:
+        if slept:
+            self._sleeps[rho] += 1
+            self._last_sleep[rho] = step
+
+    def on_wake(self, step: GlobalStep, rho: ProcessId) -> None:
+        self._wakes[rho] += 1
+        self._last_sleep[rho] = -1
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        self._crash_steps.setdefault(rho, step)
+
+    def _compare(self, outcome, mine, theirs, what: str) -> None:
+        theirs = [int(x) for x in theirs]
+        if mine != theirs:
+            bad = [i for i, (a, b) in enumerate(zip(mine, theirs)) if a != b]
+            self.fail(
+                outcome.t_end,
+                f"outcome {what} counters disagree with the event stream for "
+                f"process(es) {bad[:8]}",
+            )
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> None:
+        self._compare(outcome, self._sent, outcome.sent, "sent")
+        self._compare(outcome, self._received, outcome.received, "received")
+        self._compare(outcome, self._sleeps, outcome.sleep_counts, "sleep")
+        self._compare(outcome, self._wakes, outcome.wake_counts, "wake")
+        if set(outcome.crashed) != set(self._crash_steps):
+            self.fail(
+                outcome.t_end,
+                f"outcome lists crashes {sorted(outcome.crashed)}, event "
+                f"stream saw {sorted(self._crash_steps)}",
+            )
+        elif dict(outcome.crash_steps) != self._crash_steps:
+            self.fail(outcome.t_end, "crash steps disagree with the event stream")
+        if outcome.completed:
+            finals = [
+                self._last_sleep[rho]
+                for rho in range(outcome.n)
+                if rho not in self._crash_steps
+            ]
+            if any(s < 0 for s in finals):
+                self.fail(
+                    outcome.t_end,
+                    "quiescent run has a correct process without a final sleep",
+                )
+            else:
+                t_end = max(finals, default=0)
+                if t_end != outcome.t_end:
+                    self.fail(
+                        outcome.t_end,
+                        f"outcome T_end={outcome.t_end}, but the last final "
+                        f"sleep of a correct process was at {t_end}",
+                    )
+
+
+#: Registry of built-in monitors by name.
+MONITORS: dict[str, type[Monitor]] = {
+    cls.name: cls
+    for cls in (
+        DeliveryMonitor,
+        CadenceMonitor,
+        BudgetMonitor,
+        LegalityMonitor,
+        KnowledgeMonitor,
+        CountersMonitor,
+    )
+}
+
+#: Monitor names per preset; ``counters`` keeps every O(1)-per-event
+#: checker and drops only the O(N)-per-local-step knowledge scan.
+_PRESETS = {
+    "counters": ("delivery", "cadence", "budget", "legality", "counters"),
+    "full": ("delivery", "cadence", "budget", "legality", "knowledge", "counters"),
+}
+
+
+def preset_monitors(preset: str) -> list[Monitor]:
+    """Fresh monitor instances for a named preset."""
+    return [MONITORS[name]() for name in _PRESETS[preset]]

@@ -1,0 +1,169 @@
+"""The sanitizer: kernel hook point dispatching to invariant monitors.
+
+A :class:`Sanitizer` is the object the engine (and network) call into
+at every model-relevant event — think ASan/TSan for the simulator. It
+owns the monitor set, fans each hook out to exactly the monitors that
+override it (computed once at attach, so unused hooks cost nothing on
+the hot path), counts what was checked, and enforces the configured
+mode:
+
+- ``warn``: violations are collected; the run completes, the report is
+  attached to the :class:`~repro.sim.outcome.Outcome`, and a
+  ``RuntimeWarning`` summarises the damage;
+- ``strict``: the *first* violation raises
+  :class:`~repro.errors.SanitizerViolation` at the exact engine step
+  that broke the invariant, which is where a debugger wants to be.
+
+Sanitizers are single-use, like the :class:`~repro.sim.engine.Simulator`
+they attach to.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, Iterable
+
+from repro._typing import GlobalStep, ProcessId
+from repro.check.config import SanitizerConfig, resolve_config
+from repro.check.monitors import Monitor, preset_monitors
+from repro.check.violations import SanitizerReport, Violation
+from repro.errors import SanitizerViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.messages import Message
+    from repro.sim.outcome import Outcome
+
+__all__ = ["Sanitizer", "build_sanitizer"]
+
+_HOOKS = (
+    "on_send",
+    "on_omit",
+    "on_deliver",
+    "on_drop",
+    "on_local_step",
+    "on_wake",
+    "on_crash",
+    "on_retime_delta",
+    "on_retime_d",
+)
+
+
+class Sanitizer:
+    """Monitor dispatcher and violation collector for one simulation."""
+
+    def __init__(
+        self,
+        config: SanitizerConfig,
+        extra_monitors: Iterable[Monitor] = (),
+    ) -> None:
+        self.config = config
+        self.monitors: list[Monitor] = list(preset_monitors(config.monitors))
+        self.monitors.extend(extra_monitors)
+        self.violations: list[Violation] = []
+        self.total_violations = 0
+        self.sends_checked = 0
+        self.deliveries_checked = 0
+        self.local_steps_checked = 0
+        self._strict = config.mode == "strict"
+        for monitor in self.monitors:
+            monitor.bind(self)
+        # Dispatch tables: only hooks a monitor actually overrides.
+        for hook in _HOOKS:
+            overriding = tuple(
+                getattr(m, hook)
+                for m in self.monitors
+                if getattr(type(m), hook) is not getattr(Monitor, hook)
+            )
+            setattr(self, f"_{hook}", overriding)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind every monitor to a freshly built simulator."""
+        for monitor in self.monitors:
+            monitor.attach(sim)
+
+    def record(self, violation: Violation) -> None:
+        """Register one violation; raises immediately under strict mode."""
+        self.total_violations += 1
+        if len(self.violations) < self.config.max_recorded:
+            self.violations.append(violation)
+        if self._strict:
+            raise SanitizerViolation(str(violation))
+
+    def finalize(self, sim: "Simulator", outcome: "Outcome") -> SanitizerReport:
+        """Run whole-run checks and assemble the report."""
+        for monitor in self.monitors:
+            monitor.finalize(sim, outcome)
+        report = SanitizerReport(
+            mode=self.config.mode,
+            monitors=tuple(m.name for m in self.monitors),
+            violations=list(self.violations),
+            total_violations=self.total_violations,
+            sends_checked=self.sends_checked,
+            deliveries_checked=self.deliveries_checked,
+            local_steps_checked=self.local_steps_checked,
+        )
+        if not report.ok and self.config.mode == "warn":
+            warnings.warn(report.summary(), RuntimeWarning, stacklevel=3)
+        return report
+
+    # -- kernel hooks ------------------------------------------------------------
+
+    def on_send(self, step: GlobalStep, msg: "Message") -> None:
+        self.sends_checked += 1
+        for fn in self._on_send:
+            fn(step, msg)
+
+    def on_omit(self, step: GlobalStep, msg: "Message") -> None:
+        for fn in self._on_omit:
+            fn(step, msg)
+
+    def on_deliver(self, step: GlobalStep, msg: "Message") -> None:
+        self.deliveries_checked += 1
+        for fn in self._on_deliver:
+            fn(step, msg)
+
+    def on_drop(self, step: GlobalStep, msg: "Message") -> None:
+        for fn in self._on_drop:
+            fn(step, msg)
+
+    def on_local_step(self, step: GlobalStep, rho: ProcessId, slept: bool) -> None:
+        self.local_steps_checked += 1
+        for fn in self._on_local_step:
+            fn(step, rho, slept)
+
+    def on_wake(self, step: GlobalStep, rho: ProcessId) -> None:
+        for fn in self._on_wake:
+            fn(step, rho)
+
+    def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
+        for fn in self._on_crash:
+            fn(step, rho)
+
+    def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        for fn in self._on_retime_delta:
+            fn(step, rho, value)
+
+    def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
+        for fn in self._on_retime_d:
+            fn(step, rho, value)
+
+
+def build_sanitizer(
+    spec: "str | SanitizerConfig | Sanitizer | None",
+    extra_monitors: Iterable[Monitor] = (),
+) -> "Sanitizer | None":
+    """Resolve *spec* (string, config, None-means-environment) into a
+    live sanitizer, or ``None`` when sanitizing is off.
+
+    A ready-made :class:`Sanitizer` passes through untouched — the
+    injection point for custom :class:`Monitor` subclasses.
+    """
+    if isinstance(spec, Sanitizer):
+        return spec
+    config = resolve_config(spec)
+    if not config.enabled:
+        return None
+    return Sanitizer(config, extra_monitors)

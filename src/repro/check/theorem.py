@@ -1,0 +1,168 @@
+"""Theorem 1 auditor: classify sweep cells against the lower bounds.
+
+Theorem 1 is a disjunction over *averages*: against UGF, every
+all-to-all gossip protocol pays either average time complexity
+``Omega(alpha F)`` or average message complexity
+``Omega(N + F^2 / log_tau^2(alpha F))``. The auditor groups a bag of
+outcomes (typically the contents of a campaign trial cache) into
+``(protocol, adversary, N, F)`` cells, computes mean measured
+complexities, and classifies each cell against the explicit-constant
+bounds of :func:`repro.analysis.bounds.theorem1_lower_bounds`:
+
+- ``ok-time`` / ``ok-messages`` — the disjunction holds through the
+  time (resp. message) branch;
+- ``VIOLATES-THEOREM-1`` — both means sit *below* their bounds for a
+  cell the theorem covers: either the simulator broke the execution
+  model (run ``repro check --replay`` to find out which invariant) or
+  the aggregation is wrong — either way, a reproduction-stopping bug;
+- ``not-applicable`` — the adversary is not the UGF mixture (single
+  strategies are components of the proof, not the theorem's subject)
+  or ``F < 2`` leaves the controlled group empty; the cell is still
+  reported with its bound ratios for context.
+
+Cells with no completed run are classified ``no-data``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.bounds import theorem1_lower_bounds
+from repro.sim.outcome import Outcome
+
+__all__ = ["CellVerdict", "audit_theorem1", "theorem_table"]
+
+#: Adversary names the universality theorem covers (the mixture itself).
+_THEOREM_ADVERSARIES = frozenset({"ugf"})
+
+
+@dataclass(frozen=True, slots=True)
+class CellVerdict:
+    """Classification of one aggregated ``(protocol, adversary, N, F)`` cell."""
+
+    protocol: str
+    adversary: str
+    n: int
+    f: int
+    runs: int
+    completed: int
+    mean_time: float
+    mean_messages: float
+    time_bound: float
+    message_bound: float
+    verdict: str
+
+    @property
+    def time_ratio(self) -> float:
+        return self.mean_time / self.time_bound if self.time_bound > 0 else float("inf")
+
+    @property
+    def message_ratio(self) -> float:
+        return (
+            self.mean_messages / self.message_bound
+            if self.message_bound > 0
+            else float("inf")
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != "VIOLATES-THEOREM-1"
+
+
+def _classify(
+    applicable: bool, mean_time: float, mean_messages: float, bounds
+) -> str:
+    if mean_time >= bounds.time_bound:
+        return "ok-time" if applicable else "not-applicable"
+    if mean_messages >= bounds.message_bound:
+        return "ok-messages" if applicable else "not-applicable"
+    return "VIOLATES-THEOREM-1" if applicable else "not-applicable"
+
+
+def audit_theorem1(
+    outcomes: Iterable[Outcome],
+    *,
+    alpha: int = 1,
+    q1: float = 1.0 / 3.0,
+    q2: float = 0.5,
+    tau: "float | None" = None,
+) -> list[CellVerdict]:
+    """Classify every ``(protocol, adversary, N, F)`` cell in *outcomes*.
+
+    Parameters mirror :class:`~repro.core.ugf.UniversalGossipFighter`
+    (``tau=None`` means the paper's experimental ``tau = F``). Truncated
+    runs are excluded from the means — a truncated ``T_end`` biases the
+    time branch downward, which could only produce false alarms.
+    """
+    cells: dict[tuple[str, str, int, int], list[Outcome]] = {}
+    for outcome in outcomes:
+        key = (outcome.protocol_name, outcome.adversary_name, outcome.n, outcome.f)
+        cells.setdefault(key, []).append(outcome)
+
+    verdicts = []
+    for (protocol, adversary, n, f), runs in sorted(cells.items()):
+        done = [o for o in runs if o.completed]
+        if not done:
+            verdicts.append(
+                CellVerdict(
+                    protocol=protocol,
+                    adversary=adversary,
+                    n=n,
+                    f=f,
+                    runs=len(runs),
+                    completed=0,
+                    mean_time=0.0,
+                    mean_messages=0.0,
+                    time_bound=0.0,
+                    message_bound=0.0,
+                    verdict="no-data",
+                )
+            )
+            continue
+        mean_time = sum(o.time_complexity() for o in done) / len(done)
+        mean_messages = sum(o.message_complexity() for o in done) / len(done)
+        bounds = theorem1_lower_bounds(n, f, alpha=alpha, tau=tau, q1=q1, q2=q2)
+        applicable = adversary in _THEOREM_ADVERSARIES and f >= 2
+        verdicts.append(
+            CellVerdict(
+                protocol=protocol,
+                adversary=adversary,
+                n=n,
+                f=f,
+                runs=len(runs),
+                completed=len(done),
+                mean_time=mean_time,
+                mean_messages=mean_messages,
+                time_bound=bounds.time_bound,
+                message_bound=bounds.message_bound,
+                verdict=_classify(applicable, mean_time, mean_messages, bounds),
+            )
+        )
+    return verdicts
+
+
+def theorem_table(verdicts: Sequence[CellVerdict]) -> str:
+    """Render verdicts as the aligned table the CLI prints."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        [
+            v.protocol,
+            v.adversary,
+            str(v.n),
+            str(v.f),
+            str(v.completed),
+            f"{v.mean_time:.4g}",
+            f"{v.time_bound:.4g}",
+            f"{v.mean_messages:.5g}",
+            f"{v.message_bound:.5g}",
+            v.verdict,
+        ]
+        for v in verdicts
+    ]
+    return format_table(
+        ["protocol", "adversary", "N", "F", "runs", "mean T", "T bound",
+         "mean M", "M bound", "verdict"],
+        rows,
+    )

@@ -1,0 +1,109 @@
+"""Violation records and the per-run sanitizer report.
+
+A :class:`Violation` pins one broken invariant to a monitor, a global
+step and (usually) a process. A :class:`SanitizerReport` aggregates a
+run's violations plus the amount of checking actually performed —
+"zero violations" is only evidence if the event counters show the
+monitors saw the run — and serialises to a JSON-safe dict so it can be
+attached to an :class:`~repro.sim.outcome.Outcome` and persisted in
+the campaign trial store alongside the result it vouches for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Violation", "SanitizerReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One broken execution-model invariant."""
+
+    monitor: str
+    step: int
+    message: str
+    subject: "int | None" = None
+
+    def __str__(self) -> str:
+        who = f" rho={self.subject}" if self.subject is not None else ""
+        return f"[{self.monitor}] step {self.step}{who}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "step": int(self.step),
+            "subject": None if self.subject is None else int(self.subject),
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Violation":
+        return cls(
+            monitor=data["monitor"],
+            step=int(data["step"]),
+            message=data["message"],
+            subject=data.get("subject"),
+        )
+
+
+@dataclass(slots=True)
+class SanitizerReport:
+    """What the sanitizer checked and what it found, for one run."""
+
+    mode: str
+    monitors: tuple[str, ...]
+    #: First ``max_recorded`` violations, verbatim.
+    violations: list[Violation] = field(default_factory=list)
+    #: Exact total, including violations beyond the recording cap.
+    total_violations: int = 0
+    #: How much the monitors actually saw (evidence of coverage).
+    sends_checked: int = 0
+    deliveries_checked: int = 0
+    local_steps_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def summary(self) -> str:
+        head = (
+            f"sanitizer[{self.mode}] monitors={','.join(self.monitors)} "
+            f"checked sends={self.sends_checked} "
+            f"deliveries={self.deliveries_checked} "
+            f"local_steps={self.local_steps_checked}: "
+        )
+        if self.ok:
+            return head + "0 violations"
+        lines = [head + f"{self.total_violations} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations)
+        if self.total_violations > len(self.violations):
+            lines.append(
+                f"  ... {self.total_violations - len(self.violations)} more"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "monitors": list(self.monitors),
+            "ok": self.ok,
+            "total_violations": int(self.total_violations),
+            "violations": [v.to_dict() for v in self.violations],
+            "sends_checked": int(self.sends_checked),
+            "deliveries_checked": int(self.deliveries_checked),
+            "local_steps_checked": int(self.local_steps_checked),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SanitizerReport":
+        return cls(
+            mode=data["mode"],
+            monitors=tuple(data["monitors"]),
+            violations=[Violation.from_dict(v) for v in data["violations"]],
+            total_violations=int(data["total_violations"]),
+            sends_checked=int(data.get("sends_checked", 0)),
+            deliveries_checked=int(data.get("deliveries_checked", 0)),
+            local_steps_checked=int(data.get("local_steps_checked", 0)),
+        )

@@ -9,6 +9,8 @@ Examples::
     repro-ugf sweep --protocol ears --adversary str-2.1.1 --n 10 20 50 --seeds 5
     repro-ugf tradeoff --protocol ears -n 40 -f 12 --tau 3 --k 1 2
     repro-ugf ablate f --protocol push-pull -n 100
+    repro-ugf sweep --protocol ears --n 10 20 --seeds 3 --sanitize strict
+    repro-ugf check ~/.cache/repro-ugf
 
 The experiment commands (``sweep``, ``figure``, ``report``) execute
 through the campaign layer's content-addressed trial cache: identical
@@ -17,6 +19,10 @@ where it stopped. ``--cache-dir`` relocates the cache (default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ugf``), ``--fresh`` ignores
 previously cached results (but still records new ones), and
 ``--no-cache`` disables caching entirely. See docs/CAMPAIGN.md.
+
+``--sanitize`` runs trials under the execution-model sanitizer
+(docs/SANITIZER.md) and ``check`` audits a trial cache offline —
+content addresses, sanitized replay, and Theorem 1 cell verdicts.
 """
 
 from __future__ import annotations
@@ -67,6 +73,34 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _sanitize_type(spec: str) -> str:
+    """argparse type= validator: reject bad specs at parse time."""
+    from repro.check.config import resolve_config
+    from repro.errors import ConfigurationError
+
+    try:
+        resolve_config(spec)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return spec
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        default=None,
+        type=_sanitize_type,
+        metavar="MODE[:PRESET]",
+        help="execution-model sanitizer: mode off/warn/strict, optional monitor "
+        "preset 'counters' or 'full' (default: $REPRO_SANITIZE or off)",
+    )
+
+
+def _sanitize_spec(args: argparse.Namespace) -> str | None:
+    """The validated --sanitize spec (None means $REPRO_SANITIZE or off)."""
+    return getattr(args, "sanitize", None)
+
+
 def _make_campaign(args: argparse.Namespace):
     """Build the campaign session the cache flags describe."""
     from repro.campaign import Campaign, default_cache_dir
@@ -82,6 +116,7 @@ def _make_campaign(args: argparse.Namespace):
         workers=getattr(args, "workers", None),
         use_cache=not args.no_cache,
         fresh=args.fresh,
+        sanitize=_sanitize_spec(args),
     )
 
 
@@ -106,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="baseline timing environment: 'homogeneous' (default) or 'jitter[:<max_delta>,<max_d>]'",
     )
+    _add_sanitize_flag(p_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a Figure 3 panel")
     p_fig.add_argument("panel", choices=sorted(PANELS))
@@ -116,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--json", type=pathlib.Path, default=None, help="write result JSON here")
     p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
     _add_cache_flags(p_fig)
+    _add_sanitize_flag(p_fig)
 
     p_sweep = sub.add_parser("sweep", help="run a custom sweep")
     p_sweep.add_argument("--protocol", required=True, choices=available_protocols())
@@ -130,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline timing environment (see 'run --environment')",
     )
     _add_cache_flags(p_sweep)
+    _add_sanitize_flag(p_sweep)
 
     p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
     p_trade.add_argument("--protocol", required=True, choices=available_protocols())
@@ -148,6 +186,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", type=pathlib.Path, default=pathlib.Path("report.md"))
     p_rep.add_argument("--workers", type=int, default=None)
     _add_cache_flags(p_rep)
+    _add_sanitize_flag(p_rep)
+
+    p_check = sub.add_parser(
+        "check",
+        help="audit a trial cache: content addresses, sanitized replay, Theorem 1",
+    )
+    p_check.add_argument(
+        "cache_dir",
+        type=pathlib.Path,
+        nargs="?",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ugf)",
+    )
+    p_check.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="structural checks only; skip re-executing cached trials",
+    )
+    p_check.add_argument(
+        "--max-records", type=int, default=None, help="audit at most K records"
+    )
+    p_check.add_argument(
+        "--alpha", type=int, default=1, help="Theorem 1 alpha parameter"
+    )
 
     p_ins = sub.add_parser(
         "inspect", help="run one trial and show its activity timeline"
@@ -200,9 +262,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_steps=args.max_steps,
             environment=args.environment,
+            sanitize=_sanitize_spec(args),
         )
     )
     print(outcome.summary())
+    if outcome.sanitizer is not None:
+        total = outcome.sanitizer["total_violations"]
+        print(f"  sanitizer: {total} violation(s) [{outcome.sanitizer['mode']}]")
     if outcome.completed:
         print(f"  message complexity M(O) = {outcome.message_complexity()}")
         print(f"  time complexity    T(O) = {outcome.time_complexity():.3f}")
@@ -321,6 +387,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
         + ("all shape claims reproduced" if report.all_reproduced else "MISMATCHES")
     )
     return 0 if report.all_reproduced else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.campaign import default_cache_dir
+    from repro.check import audit_cache, theorem_table
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+
+    def show(record) -> None:
+        if not record.ok:
+            print(
+                f"line {record.line}: {record.status} — {record.detail}",
+                file=sys.stderr,
+            )
+
+    audit = audit_cache(
+        cache_dir,
+        replay=not args.no_replay,
+        max_records=args.max_records,
+        alpha=args.alpha,
+        progress=show,
+    )
+    if audit.theorem:
+        print(theorem_table(audit.theorem))
+        print()
+    print(audit.summary())
+    return 0 if audit.ok else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -459,6 +552,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_tradeoff(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     if args.command == "decompose":

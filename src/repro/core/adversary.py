@@ -35,6 +35,7 @@ at every global step sets it True and forfeits that optimisation.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro._typing import ProcessId
@@ -42,7 +43,27 @@ from repro._typing import ProcessId
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.observer import SystemView
 
-__all__ = ["AdversaryControls", "Adversary", "NullAdversary"]
+__all__ = ["AdversaryControls", "Adversary", "DeclaredControls", "NullAdversary"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeclaredControls:
+    """What an adversary *claims* it will do — audited by the sanitizer.
+
+    Adversaries that implement :meth:`Adversary.declared_controls`
+    return one of these after ``setup``; the sanitizer's legality
+    monitor then holds them to it: retimings must target processes in
+    ``controlled`` (UGF's group ``C``, at most ``floor(F/2)`` ids) and
+    must not exceed the declared maxima (``tau^k`` / ``tau^(k+l)`` for
+    the strategy families). ``None`` maxima mean "no bound declared".
+    Declaring nothing at all (:meth:`Adversary.declared_controls`
+    returning ``None``) skips the legality checks entirely — only the
+    generic model checks (values >= 1, crash budget) then apply.
+    """
+
+    controlled: frozenset[int]
+    max_local_step_time: "int | None" = None
+    max_delivery_time: "int | None" = None
 
 
 class AdversaryControls:
@@ -115,6 +136,16 @@ class Adversary(abc.ABC):
     def after_step(self, view: "SystemView", controls: AdversaryControls) -> None:
         """Hook after local steps; ``view.sends_this_step`` is populated."""
 
+    def declared_controls(self) -> "DeclaredControls | None":
+        """The bounds this adversary promises to respect (or ``None``).
+
+        Queried by the sanitizer's legality monitor at every retiming,
+        so adversaries that commit late (UGF samples its strategy at
+        setup, the informed probe commits mid-run) may return ``None``
+        first and a declaration later.
+        """
+        return None
+
 
 class NullAdversary(Adversary):
     """The paper's baseline: no crashes, all timings stay at 1."""
@@ -124,3 +155,7 @@ class NullAdversary(Adversary):
     def setup(self, view: "SystemView", controls: AdversaryControls) -> None:
         # Nothing to do: the kernel initialises delta_rho = d_rho = 1.
         return
+
+    def declared_controls(self) -> "DeclaredControls":
+        # The null adversary touches nothing; any retiming is illegal.
+        return DeclaredControls(controlled=frozenset())

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.adversary import Adversary, AdversaryControls
+from repro.core.adversary import Adversary, AdversaryControls, DeclaredControls
 from repro.core.strategies import (
     CrashGroupStrategy,
     DelayGroupStrategy,
@@ -114,3 +114,11 @@ class InformedGossipFighter(Adversary):
         inner.seed_with(self.rng)  # type: ignore[attr-defined]
         self._inner = inner
         inner.setup(view, controls)
+
+    def declared_controls(self) -> "DeclaredControls | None":
+        # Nothing is promised until the probe commits; the sanitizer
+        # re-queries at each retiming, so the post-commit declaration
+        # is in force exactly when the attack starts.
+        if self._inner is None:
+            return None
+        return self._inner.declared_controls()

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.adversary import Adversary, AdversaryControls
+from repro.core.adversary import Adversary, AdversaryControls, DeclaredControls
 from repro.errors import ConfigurationError
 from repro.sim.observer import SystemView
 
@@ -93,6 +93,18 @@ class GroupStrategy(Adversary):
             self.group = sample_group(self.rng, view.n, view.f)
         self.tau = self._tau_param if self._tau_param is not None else max(2, view.f)
 
+    def declared_controls(self) -> "DeclaredControls | None":
+        """Group strategies only ever touch C; by default they also
+        promise not to retime at all (crash-only); the slowing
+        strategies override the maxima with their ``tau`` powers."""
+        if self.tau == 0:
+            return None  # not set up yet: nothing committed to
+        return DeclaredControls(
+            controlled=frozenset(int(rho) for rho in self.group),
+            max_local_step_time=1,
+            max_delivery_time=1,
+        )
+
 
 class CrashGroupStrategy(GroupStrategy):
     """Strategy 1: crash all of C at step 0."""
@@ -132,6 +144,15 @@ class IsolateSurvivorStrategy(GroupStrategy):
             if int(rho) != self.survivor:
                 controls.crash(int(rho))
 
+    def declared_controls(self) -> "DeclaredControls | None":
+        if self.tau == 0:
+            return None
+        return DeclaredControls(
+            controlled=frozenset(int(rho) for rho in self.group),
+            max_local_step_time=self.tau**self.k,
+            max_delivery_time=1,
+        )
+
     def after_step(self, view: SystemView, controls: AdversaryControls) -> None:
         if self.survivor is None:
             return
@@ -169,3 +190,12 @@ class DelayGroupStrategy(GroupStrategy):
         for rho in self.group:
             controls.set_local_step_time(int(rho), delta)
             controls.set_delivery_time(int(rho), d)
+
+    def declared_controls(self) -> "DeclaredControls | None":
+        if self.tau == 0:
+            return None
+        return DeclaredControls(
+            controlled=frozenset(int(rho) for rho in self.group),
+            max_local_step_time=self.tau**self.k,
+            max_delivery_time=self.tau ** (self.k + self.l),
+        )

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.adversary import Adversary, AdversaryControls
+from repro.core.adversary import Adversary, AdversaryControls, DeclaredControls
 from repro.core.distributions import BaselSampler
 from repro.core.strategies import (
     CrashGroupStrategy,
@@ -144,3 +144,10 @@ class UniversalGossipFighter(Adversary):
     def after_step(self, view: SystemView, controls: AdversaryControls) -> None:
         if self._inner is not None:
             self._inner.after_step(view, controls)
+
+    def declared_controls(self) -> "DeclaredControls | None":
+        # UGF commits to whatever the sampled strategy declares; before
+        # setup nothing has been drawn, so nothing is promised.
+        if self._inner is None:
+            return None
+        return self._inner.declared_controls()

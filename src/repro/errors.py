@@ -14,6 +14,7 @@ __all__ = [
     "SimulationError",
     "CrashBudgetExceeded",
     "ProtocolViolation",
+    "SanitizerViolation",
     "IncompleteRunError",
     "CampaignError",
 ]
@@ -49,6 +50,16 @@ class ProtocolViolation(SimulationError):
 
     Raised e.g. when a protocol addresses a message to a process id
     outside ``[0, N)`` or to itself.
+    """
+
+
+class SanitizerViolation(SimulationError):
+    """An execution-model invariant was broken under ``strict`` sanitizing.
+
+    Raised by :mod:`repro.check` at the exact engine step a monitor
+    detected the violation (partial-synchrony delivery, local-step
+    cadence, crash budget, adversary legality, knowledge monotonicity
+    or outcome-counter agreement).
     """
 
 

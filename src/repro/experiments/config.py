@@ -40,6 +40,11 @@ class TrialSpec:
     #: Baseline timing environment spec (None = homogeneous; see
     #: :mod:`repro.sim.environment` for the accepted strings).
     environment: str | None = None
+    #: Execution-model sanitizer spec (``"strict"``, ``"warn:counters"``,
+    #: ...; None = defer to REPRO_SANITIZE). Instrumentation, not trial
+    #: identity: deliberately **excluded** from the campaign cache key,
+    #: so sanitized and unsanitized runs share cached outcomes.
+    sanitize: str | None = None
 
     def with_seed(self, seed: int) -> "TrialSpec":
         return TrialSpec(
@@ -52,6 +57,7 @@ class TrialSpec:
             protocol_kwargs=self.protocol_kwargs,
             adversary_kwargs=self.adversary_kwargs,
             environment=self.environment,
+            sanitize=self.sanitize,
         )
 
 
@@ -72,6 +78,7 @@ class SweepSpec:
     protocol_kwargs: tuple[tuple[str, Any], ...] = ()
     adversary_kwargs: tuple[tuple[str, Any], ...] = ()
     environment: str | None = None
+    sanitize: str | None = None
 
     def trials(self) -> Iterator[TrialSpec]:
         """Enumerate every (N, seed) cell of the grid."""
@@ -88,6 +95,7 @@ class SweepSpec:
                     protocol_kwargs=self.protocol_kwargs,
                     adversary_kwargs=self.adversary_kwargs,
                     environment=self.environment,
+                    sanitize=self.sanitize,
                 )
 
     @property

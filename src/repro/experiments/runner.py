@@ -51,6 +51,7 @@ def run_trial(spec: TrialSpec) -> Outcome:
         seed=spec.seed,
         max_steps=spec.max_steps,
         environment=spec.environment,
+        sanitize=spec.sanitize,
     )
     return sim.run()
 

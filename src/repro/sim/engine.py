@@ -37,7 +37,7 @@ is returned flagged ``completed=False``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -89,6 +89,8 @@ class Simulator:
         max_steps: int = 5_000_000,
         record_events: bool = False,
         environment=None,
+        sanitize=None,
+        max_trace_events: int | None = None,
     ) -> None:
         if n <= 1:
             raise ConfigurationError(f"an all-to-all system needs N >= 2, got N={n}")
@@ -111,8 +113,16 @@ class Simulator:
         make_environment(environment).apply(
             self.timing, self.rng_source.stream("environment")
         )
-        self.trace = TraceRecorder(n, record_events=record_events)
-        self.network = Network(n, self.timing, self.trace)
+        # The execution-model sanitizer (repro.check) plugs into the
+        # kernel here; `None` resolves against REPRO_SANITIZE, so an
+        # environment variable can force every simulation strict.
+        from repro.check.sanitizer import build_sanitizer
+
+        self.sanitizer = build_sanitizer(sanitize)
+        self.trace = TraceRecorder(
+            n, record_events=record_events, max_events=max_trace_events
+        )
+        self.network = Network(n, self.timing, self.trace, sanitizer=self.sanitizer)
         self.mailboxes = [Mailbox() for _ in range(n)]
         self.runtimes = [ProcessRuntime(pid) for pid in range(n)]
         self.budget = CrashBudget(f)
@@ -141,6 +151,11 @@ class Simulator:
         self._ctx = LocalStep()
         self._steps_simulated = 0
         self._ran = False
+        # Attach monitors last (they snapshot the fully built engine)
+        # but before run() calls adversary.setup, so setup-time crashes
+        # and retimings are already observed.
+        if self.sanitizer is not None:
+            self.sanitizer.attach(self)
 
     # ------------------------------------------------------------------ controls
 
@@ -157,12 +172,19 @@ class Simulator:
         self.runtimes[rho].crash(self.clock.now)
         self.network.on_crash(rho)
         self.trace.on_crash(self.clock.now, rho)
+        if self.sanitizer is not None:
+            self.sanitizer.on_crash(self.clock.now, rho)
 
     def _set_local_step_time(self, rho: ProcessId, value: int) -> None:
+        if self.sanitizer is not None:
+            # Before the table mutates: the monitor judges the request.
+            self.sanitizer.on_retime_delta(self.clock.now, rho, value)
         self.timing.set_local_step_time(rho, value)
         self.trace.on_retime_delta(self.clock.now, rho, value)
 
     def _set_delivery_time(self, rho: ProcessId, value: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_retime_d(self.clock.now, rho, value)
         self.timing.set_delivery_time(rho, value)
         self.trace.on_retime_d(self.clock.now, rho, value)
 
@@ -188,11 +210,14 @@ class Simulator:
             self._awake_count += 1
             self.runtimes[rho].wake(self.clock.now)
             self.trace.on_wake(self.clock.now, rho)
+            if self.sanitizer is not None:
+                self.sanitizer.on_wake(self.clock.now, rho)
 
     def _run_local_steps(self, now: GlobalStep) -> None:
         due = np.flatnonzero(
             (self.status_codes == _AWAKE) & (self._next_action == now)
         )
+        san = self.sanitizer
         for rho in due:
             rho = int(rho)
             inbox = self.mailboxes[rho].drain()
@@ -211,6 +236,8 @@ class Simulator:
                 self.trace.on_sleep(now, rho)
             else:
                 self._next_action[rho] = now + self.timing.local_step_time(rho)
+            if san is not None:
+                san.on_local_step(now, rho, wants_sleep)
 
     def _quiescent(self) -> bool:
         return self._awake_count == 0 and self.network.inflight_to_correct == 0
@@ -309,7 +336,7 @@ class Simulator:
         # decomposed without holding the live adversary object.
         chosen = getattr(self.adversary, "chosen", None)
         strategy_label = getattr(chosen, "label", None)
-        return Outcome(
+        outcome = Outcome(
             n=self.n,
             f=self.f,
             seed=self.seed,
@@ -330,6 +357,10 @@ class Simulator:
             steps_simulated=self._steps_simulated,
             strategy_label=strategy_label,
         )
+        if self.sanitizer is not None:
+            report = self.sanitizer.finalize(self, outcome)
+            outcome = replace(outcome, sanitizer=report.to_dict())
+        return outcome
 
     def _rumor_gathering_ok(self, correct_ids: np.ndarray) -> bool:
         """Definition II.1: every correct process holds every correct gossip."""
@@ -350,6 +381,8 @@ def simulate(
     max_steps: int = 5_000_000,
     record_events: bool = False,
     environment=None,
+    sanitize=None,
+    max_trace_events: int | None = None,
 ) -> SimulationReport:
     """Convenience wrapper: build a :class:`Simulator`, run it, bundle results."""
     sim = Simulator(
@@ -361,6 +394,8 @@ def simulate(
         max_steps=max_steps,
         record_events=record_events,
         environment=environment,
+        sanitize=sanitize,
+        max_trace_events=max_trace_events,
     )
     outcome = sim.run()
     return SimulationReport(outcome=outcome, trace=sim.trace, runtimes=sim.runtimes)

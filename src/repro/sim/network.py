@@ -38,6 +38,7 @@ class Network:
         "_n",
         "_timing",
         "_trace",
+        "_sanitizer",
         "_buckets",
         "_inflight_to_correct",
         "_crashed",
@@ -45,10 +46,13 @@ class Network:
         "_last_delivered_step",
     )
 
-    def __init__(self, n: int, timing: TimingTable, trace: TraceRecorder) -> None:
+    def __init__(
+        self, n: int, timing: TimingTable, trace: TraceRecorder, *, sanitizer=None
+    ) -> None:
         self._n = n
         self._timing = timing
         self._trace = trace
+        self._sanitizer = sanitizer
         self._buckets: dict[GlobalStep, list[Message]] = {}
         self._inflight_to_correct = 0
         self._crashed: set[ProcessId] = set()
@@ -76,10 +80,14 @@ class Network:
         arrives = now + self._timing.delivery_time(sender)
         msg = Message(sender, receiver, payload, sent_at=now, arrives_at=arrives)
         self._trace.on_send(now, sender, receiver, payload_size(payload))
+        if self._sanitizer is not None:
+            self._sanitizer.on_send(now, msg)
         if sender in self._omitted:
             # An omission adversary silenced this sender: the message
             # is paid for (it counts toward M_rho) but never travels.
             self._trace.on_omit(now, sender, receiver)
+            if self._sanitizer is not None:
+                self._sanitizer.on_omit(now, msg)
             return msg
         self._buckets.setdefault(arrives, []).append(msg)
         if receiver not in self._crashed:
@@ -107,17 +115,22 @@ class Network:
         if not bucket:
             return []
         delivered: list[Message] = []
+        san = self._sanitizer
         for msg in bucket:
             if msg.receiver in self._crashed:
                 # The in-flight-to-correct count was decremented when the
                 # receiver crashed (see on_crash), or never incremented if
                 # it was already crashed at send time.
                 self._trace.on_drop(now, msg.sender, msg.receiver)
+                if san is not None:
+                    san.on_drop(now, msg)
                 continue
             self._inflight_to_correct -= 1
             deposit(msg)
             delivered.append(msg)
             self._trace.on_deliver(now, msg.sender, msg.receiver)
+            if san is not None:
+                san.on_deliver(now, msg)
         return delivered
 
     # -- omission ---------------------------------------------------------------

@@ -61,6 +61,11 @@ class Outcome:
     #: Label of the strategy a mixture adversary (UGF) drew for this
     #: run, e.g. ``"str-2.1.0"``; None for single-strategy adversaries.
     strategy_label: str | None = None
+    #: Serialized :class:`~repro.check.violations.SanitizerReport` when
+    #: the run executed under the execution-model sanitizer; None when
+    #: the sanitizer was off. Instrumentation, not part of the result:
+    #: cache keys and replay comparisons deliberately ignore it.
+    sanitizer: dict[str, Any] | None = field(default=None, repr=False)
 
     # -- complexity measures --------------------------------------------------
 
@@ -158,6 +163,7 @@ class Outcome:
             "wake_counts": [int(x) for x in self.wake_counts],
             "steps_simulated": self.steps_simulated,
             "strategy_label": self.strategy_label,
+            "sanitizer": self.sanitizer,
         }
 
     @classmethod
@@ -183,4 +189,5 @@ class Outcome:
             wake_counts=np.asarray(data["wake_counts"], dtype=np.int64),
             steps_simulated=int(data.get("steps_simulated", 0)),
             strategy_label=data.get("strategy_label"),
+            sanitizer=data.get("sanitizer"),
         )

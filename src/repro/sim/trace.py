@@ -11,11 +11,19 @@ Two levels of instrumentation:
   sleep, wake and retiming. Tests use the log to check the execution
   model exactly (e.g. the Lemma 1 indistinguishability property is
   asserted on traces); experiment sweeps leave it off.
+
+The event log can be **bounded**: ``max_events=K`` turns it into a
+ring buffer keeping only the K most recent events (SEARS at N=500
+emits ~50k sends per global step — an unbounded log on a long
+adversarial run exhausts memory long before the run ends). Evicted
+events are counted in ``events_dropped`` and reported by
+:meth:`TraceRecorder.summary`; the counters are never affected.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -67,10 +75,20 @@ class TraceRecorder:
         "omitted",
         "bytes_sent",
         "record_events",
+        "max_events",
+        "events_dropped",
         "_events",
     )
 
-    def __init__(self, n: int, *, record_events: bool = False) -> None:
+    def __init__(
+        self,
+        n: int,
+        *,
+        record_events: bool = False,
+        max_events: int | None = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1 or None, got {max_events}")
         self.n = n
         # int64: SEARS at N=500 sends ~50k messages per global step.
         self.sent = np.zeros(n, dtype=np.int64)
@@ -79,7 +97,18 @@ class TraceRecorder:
         self.omitted = np.zeros(n, dtype=np.int64)
         self.bytes_sent = np.zeros(n, dtype=np.int64)
         self.record_events = record_events
-        self._events: list[TraceEvent] = []
+        self.max_events = max_events
+        #: Events evicted from a bounded ring buffer (0 when unbounded).
+        self.events_dropped = 0
+        self._events: "deque[TraceEvent] | list[TraceEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+
+    def _record(self, event: TraceEvent) -> None:
+        events = self._events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.events_dropped += 1  # deque(maxlen) evicts the oldest
+        events.append(event)
 
     # -- counter updates (hot path) -----------------------------------------
 
@@ -89,52 +118,59 @@ class TraceRecorder:
         self.sent[sender] += 1
         self.bytes_sent[sender] += nbytes
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.SEND, sender, receiver))
+            self._record(TraceEvent(step, EventKind.SEND, sender, receiver))
 
     def on_deliver(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
         self.received[receiver] += 1
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.DELIVER, receiver, sender))
+            self._record(TraceEvent(step, EventKind.DELIVER, receiver, sender))
 
     def on_drop(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
         self.dropped[receiver] += 1
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.DROP, receiver, sender))
+            self._record(TraceEvent(step, EventKind.DROP, receiver, sender))
 
     def on_omit(self, step: GlobalStep, sender: ProcessId, receiver: ProcessId) -> None:
         """An omission adversary suppressed a send (it still counts as sent)."""
         self.omitted[sender] += 1
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.OMIT, sender, receiver))
+            self._record(TraceEvent(step, EventKind.OMIT, sender, receiver))
 
     # -- sparse events -------------------------------------------------------
 
     def on_crash(self, step: GlobalStep, rho: ProcessId) -> None:
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.CRASH, rho))
+            self._record(TraceEvent(step, EventKind.CRASH, rho))
 
     def on_sleep(self, step: GlobalStep, rho: ProcessId) -> None:
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.SLEEP, rho))
+            self._record(TraceEvent(step, EventKind.SLEEP, rho))
 
     def on_wake(self, step: GlobalStep, rho: ProcessId) -> None:
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.WAKE, rho))
+            self._record(TraceEvent(step, EventKind.WAKE, rho))
 
     def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.RETIME_DELTA, rho, value))
+            self._record(TraceEvent(step, EventKind.RETIME_DELTA, rho, value))
 
     def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
         if self.record_events:
-            self._events.append(TraceEvent(step, EventKind.RETIME_D, rho, value))
+            self._record(TraceEvent(step, EventKind.RETIME_D, rho, value))
 
     # -- reading ---------------------------------------------------------------
 
     @property
     def events(self) -> list[TraceEvent]:
-        """The event log (empty unless ``record_events=True``)."""
-        return self._events
+        """The event log (empty unless ``record_events=True``).
+
+        For a bounded recorder this is the ring buffer's current
+        contents — the most recent ``max_events`` events — as a fresh
+        list.
+        """
+        if isinstance(self._events, list):
+            return self._events
+        return list(self._events)
 
     def events_of(self, kind: EventKind) -> Iterator[TraceEvent]:
         """Iterate events of one kind, in chronological order."""
@@ -143,3 +179,16 @@ class TraceRecorder:
     def total_sent(self) -> int:
         """Total messages sent by all processes — M(O) of Def. II.3."""
         return int(self.sent.sum())
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate digest, including ring-buffer eviction accounting."""
+        return {
+            "messages_sent": int(self.sent.sum()),
+            "messages_received": int(self.received.sum()),
+            "messages_dropped": int(self.dropped.sum()),
+            "messages_omitted": int(self.omitted.sum()),
+            "bytes_sent": int(self.bytes_sent.sum()),
+            "events_recorded": len(self._events),
+            "events_dropped": self.events_dropped,
+            "max_events": self.max_events,
+        }

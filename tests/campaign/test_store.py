@@ -82,3 +82,51 @@ def test_appends_accumulate_across_sessions(tmp_path):
         with TrialStore(tmp_path) as store:
             store.put(trial_key(s), spec_fingerprint(s), run_trial(s))
     assert len(TrialStore(tmp_path)) == 3
+
+
+def test_record_is_durable_before_put_returns(tmp_path):
+    # Crash-safety contract: the bytes are on disk (flush + fsync) the
+    # moment put() returns — a second, independent reader sees them
+    # without the writer closing its handle first.
+    spec = trial()
+    key = trial_key(spec)
+    outcome = run_trial(spec)
+    writer = TrialStore(tmp_path)
+    writer.put(key, spec_fingerprint(spec), outcome)
+    try:
+        reader = TrialStore(tmp_path)
+        assert reader.get(key) is not None
+    finally:
+        writer.close()
+
+
+def test_each_record_is_exactly_one_line(tmp_path):
+    # One write() per record: a reader (or a crash) can never observe
+    # a record split across lines.
+    specs = [trial(seed) for seed in range(3)]
+    with TrialStore(tmp_path) as store:
+        for spec in specs:
+            store.put(trial_key(spec), spec_fingerprint(spec), run_trial(spec))
+    raw = (tmp_path / "trials.jsonl").read_text()
+    assert raw.endswith("\n")
+    lines = raw.splitlines()
+    assert len(lines) == 3
+    assert {json.loads(line)["key"] for line in lines} == {
+        trial_key(spec) for spec in specs
+    }
+
+
+def test_interleaved_writers_do_not_corrupt_the_store(tmp_path):
+    # Two stores appending to the same file (two terminals sharing a
+    # cache volume); the flock guarantees whole-line appends.
+    a, b = TrialStore(tmp_path), TrialStore(tmp_path)
+    spec_a, spec_b = trial(10), trial(11)
+    outcome_a, outcome_b = run_trial(spec_a), run_trial(spec_b)
+    a.put(trial_key(spec_a), spec_fingerprint(spec_a), outcome_a)
+    b.put(trial_key(spec_b), spec_fingerprint(spec_b), outcome_b)
+    a.close(), b.close()
+    fresh = TrialStore(tmp_path)
+    assert fresh.skipped_lines == 0
+    assert fresh.get(trial_key(spec_a)) is not None
+    assert fresh.get(trial_key(spec_b)) is not None
+    assert fresh.skipped_lines == 0

@@ -1,0 +1,74 @@
+"""CLI surface of the sanitizer: --sanitize flags and the check command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _sweep_args(cache, *extra):
+    return [
+        "sweep", "--protocol", "flood", "--adversary", "ugf",
+        "--n", "8", "--seeds", "2", "--workers", "1",
+        "--cache-dir", str(cache), *extra,
+    ]
+
+
+def test_run_with_sanitize_prints_verdict(capsys):
+    code = main(
+        ["run", "--protocol", "flood", "--adversary", "ugf",
+         "-n", "10", "-f", "3", "--sanitize", "warn"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sanitizer: 0 violation(s) [warn]" in out
+
+
+def test_run_rejects_bad_sanitize_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            ["run", "--protocol", "flood", "--adversary", "none",
+             "-n", "6", "-f", "0", "--sanitize", "paranoid"]
+        )
+
+
+def test_sweep_strict_then_check_roundtrip(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args(cache, "--sanitize", "strict")) == 0
+    capsys.readouterr()
+
+    assert main(["check", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "theorem" in out.lower() or "verdict" in out
+    assert "ok=2" in out
+
+
+def test_check_flags_a_tampered_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args(cache)) == 0
+    capsys.readouterr()
+
+    path = cache / "trials.jsonl"
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[0])
+    record["outcome"]["t_end"] += 7  # forge a result
+    lines[0] = json.dumps(record, separators=(",", ":"))
+    path.write_text("\n".join(lines) + "\n")
+
+    assert main(["check", str(cache)]) == 1
+    captured = capsys.readouterr()
+    assert "mismatch" in captured.err or "mismatch" in captured.out
+
+
+def test_check_no_replay_is_structural_only(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(_sweep_args(cache)) == 0
+    capsys.readouterr()
+    assert main(["check", str(cache), "--no-replay"]) == 0
+    assert "ok=2" in capsys.readouterr().out
+
+
+def test_check_empty_cache(tmp_path, capsys):
+    assert main(["check", str(tmp_path)]) == 0
+    assert "0 record(s)" in capsys.readouterr().out

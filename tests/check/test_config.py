@@ -1,0 +1,99 @@
+"""Sanitizer configuration, violation records and report round-trips."""
+
+import pytest
+
+from repro.check.config import SanitizerConfig, resolve_config
+from repro.check.sanitizer import Sanitizer, build_sanitizer
+from repro.check.violations import SanitizerReport, Violation
+from repro.errors import ConfigurationError
+
+
+def test_off_is_the_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    config = resolve_config(None)
+    assert config.mode == "off"
+    assert not config.enabled
+
+
+def test_mode_strings_parse():
+    assert resolve_config("warn").mode == "warn"
+    assert resolve_config("strict").monitors == "full"
+    config = resolve_config("strict:counters")
+    assert config.mode == "strict"
+    assert config.monitors == "counters"
+
+
+def test_spec_round_trips():
+    for spec in ("off", "warn", "strict", "warn:counters", "strict:counters"):
+        assert resolve_config(spec).spec == spec
+
+
+def test_config_objects_pass_through():
+    config = SanitizerConfig(mode="warn", monitors="counters")
+    assert resolve_config(config) is config
+
+
+def test_bad_specs_raise():
+    with pytest.raises(ConfigurationError):
+        resolve_config("paranoid")
+    with pytest.raises(ConfigurationError):
+        resolve_config("strict:everything")
+    with pytest.raises(ConfigurationError):
+        resolve_config(42)  # type: ignore[arg-type]
+    with pytest.raises(ConfigurationError):
+        SanitizerConfig(mode="warn", max_recorded=0)
+
+
+def test_environment_supplies_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "strict:counters")
+    config = resolve_config(None)
+    assert config.mode == "strict"
+    assert config.monitors == "counters"
+    # An explicit spec still beats the environment.
+    assert resolve_config("warn").mode == "warn"
+
+
+def test_build_sanitizer_off_returns_none(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert build_sanitizer(None) is None
+    assert build_sanitizer("off") is None
+    assert isinstance(build_sanitizer("warn"), Sanitizer)
+
+
+def test_counters_preset_drops_only_the_knowledge_monitor():
+    full = build_sanitizer("warn")
+    counters = build_sanitizer("warn:counters")
+    full_names = {m.name for m in full.monitors}
+    counter_names = {m.name for m in counters.monitors}
+    assert full_names - counter_names == {"knowledge"}
+
+
+def test_violation_round_trip_and_str():
+    v = Violation("delivery", 12, "late message", subject=3)
+    assert Violation.from_dict(v.to_dict()) == v
+    assert "delivery" in str(v) and "12" in str(v) and "rho=3" in str(v)
+    anonymous = Violation("budget", 0, "too many crashes")
+    assert "rho" not in str(anonymous)
+
+
+def test_report_round_trip_and_summary():
+    report = SanitizerReport(
+        mode="warn",
+        monitors=("delivery", "budget"),
+        violations=[Violation("budget", 4, "crash #3 exceeds the budget F=2", 9)],
+        total_violations=5,
+        sends_checked=10,
+        deliveries_checked=8,
+        local_steps_checked=6,
+    )
+    assert not report.ok
+    data = report.to_dict()
+    assert data["ok"] is False
+    again = SanitizerReport.from_dict(data)
+    assert again.total_violations == 5
+    assert again.violations == report.violations
+    text = report.summary()
+    assert "5 violation(s)" in text
+    assert "... 4 more" in text  # total exceeds the recorded list
+    clean = SanitizerReport(mode="strict", monitors=("delivery",))
+    assert clean.ok and "0 violations" in clean.summary()

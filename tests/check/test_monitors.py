@@ -1,0 +1,413 @@
+"""Negative unit tests: each monitor trips on a synthetic bad event stream.
+
+The engine itself never produces these streams (the property tests
+assert exactly that), so the monitors are driven directly here with a
+stub recorder and a minimal fake simulator — proving each check would
+actually fire if the kernel ever regressed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.monitors import (
+    BudgetMonitor,
+    CadenceMonitor,
+    CountersMonitor,
+    DeliveryMonitor,
+    KnowledgeMonitor,
+    LegalityMonitor,
+)
+from repro.core.adversary import DeclaredControls, NullAdversary
+from repro.sim.messages import Message
+from repro.sim.outcome import Outcome
+from repro.sim.timing import TimingTable
+
+
+class Recorder:
+    """Stands in for the Sanitizer: collects violations, never raises."""
+
+    def __init__(self):
+        self.violations = []
+
+    def record(self, violation):
+        self.violations.append(violation)
+
+
+class FakeSim:
+    """The minimal surface monitors read at attach time."""
+
+    def __init__(self, n=4, f=2, adversary=None, protocol=None):
+        self.n = n
+        self.f = f
+        self.timing = TimingTable(n)
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.protocol = protocol
+
+
+def attach(monitor, **kwargs):
+    sim = FakeSim(**kwargs)
+    recorder = Recorder()
+    monitor.bind(recorder)
+    monitor.attach(sim)
+    return sim, recorder
+
+
+def outcome(n=4, *, completed=True, crashed=(), crash_steps=None, t_end=0, **over):
+    fields = dict(
+        n=n,
+        f=2,
+        seed=0,
+        protocol_name="toy",
+        adversary_name="none",
+        completed=completed,
+        rumor_gathering_ok=True,
+        t_end=t_end,
+        max_local_step_time=1,
+        max_delivery_time=1,
+        sent=np.zeros(n, dtype=np.int64),
+        received=np.zeros(n, dtype=np.int64),
+        bytes_sent=np.zeros(n, dtype=np.int64),
+        crashed=tuple(crashed),
+        crash_steps=crash_steps if crash_steps is not None else {},
+        sleep_counts=np.zeros(n, dtype=np.int64),
+        wake_counts=np.zeros(n, dtype=np.int64),
+    )
+    fields.update(over)
+    return Outcome(**fields)
+
+
+def msg(sender=0, receiver=1, sent_at=0, arrives_at=1):
+    return Message(sender, receiver, None, sent_at=sent_at, arrives_at=arrives_at)
+
+
+# -- delivery ---------------------------------------------------------------
+
+
+def test_delivery_accepts_a_clean_exchange():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_deliver(1, m)
+    monitor.finalize(None, outcome())
+    assert rec.violations == []
+
+
+def test_delivery_flags_wrong_arrival_stamp():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    monitor.on_send(0, msg(sent_at=0, arrives_at=5))  # d_rho is 1
+    assert len(rec.violations) == 1
+    assert "arrive" in rec.violations[0].message
+
+
+def test_delivery_flags_delivery_at_wrong_step():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_deliver(3, m)  # arrives_at is 1
+    assert any("not at its arrival step" in v.message for v in rec.violations)
+
+
+def test_delivery_flags_delivery_to_crashed_receiver():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_crash(0, 1)
+    monitor.on_deliver(1, m)
+    assert any("crashed process" in v.message for v in rec.violations)
+
+
+def test_delivery_flags_drop_of_correct_receiver():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_drop(1, m)
+    assert any("never crashed" in v.message for v in rec.violations)
+
+
+def test_delivery_flags_phantom_delivery():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_deliver(1, m)  # never sent
+    assert any("more messages" in v.message for v in rec.violations)
+
+
+def test_delivery_flags_quiescence_with_messages_in_flight():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    monitor.on_send(0, msg())
+    monitor.finalize(None, outcome(t_end=9))
+    assert any("still in flight" in v.message for v in rec.violations)
+
+
+def test_delivery_tolerates_inert_messages_to_crashed():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    monitor.on_send(0, msg())
+    monitor.on_crash(0, 1)  # receiver crashes; message becomes inert
+    monitor.finalize(None, outcome(crashed=(1,), crash_steps={1: 0}))
+    assert rec.violations == []
+
+
+def test_delivery_omitted_messages_are_not_pending():
+    monitor = DeliveryMonitor()
+    _, rec = attach(monitor)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_omit(0, m)
+    monitor.finalize(None, outcome())
+    assert rec.violations == []
+
+
+# -- cadence ----------------------------------------------------------------
+
+
+def test_cadence_accepts_the_correct_rhythm():
+    monitor = CadenceMonitor()
+    sim, rec = attach(monitor, n=1)
+    # Post-attach timing changes reach the shadow via the retime hook,
+    # exactly as the engine's hook point emits them.
+    monitor.on_retime_delta(0, 0, 3)
+    monitor.on_local_step(0, 0, False)
+    monitor.on_local_step(3, 0, True)  # falls asleep
+    monitor.on_wake(7, 0)
+    monitor.on_local_step(7, 0, True)
+    monitor.finalize(None, outcome(n=1))
+    assert rec.violations == []
+
+
+def test_cadence_snapshots_environment_baselines_at_attach():
+    # Environment baselines are set on the table before the sanitizer
+    # attaches; the shadow must start from them, not from 1.
+    monitor = CadenceMonitor()
+    sim = FakeSim(n=1)
+    sim.timing.set_local_step_time(0, 2)
+    rec = Recorder()
+    monitor.bind(rec)
+    monitor.attach(sim)
+    monitor.on_local_step(0, 0, False)
+    monitor.on_local_step(2, 0, False)
+    assert rec.violations == []
+
+
+def test_cadence_flags_off_schedule_step():
+    monitor = CadenceMonitor()
+    _, rec = attach(monitor)
+    monitor.on_local_step(0, 0, False)
+    monitor.on_local_step(5, 0, False)  # due at 1
+    assert any("due at 1" in v.message for v in rec.violations)
+
+
+def test_cadence_flags_step_while_asleep():
+    monitor = CadenceMonitor()
+    _, rec = attach(monitor)
+    monitor.on_local_step(0, 0, True)
+    monitor.on_local_step(1, 0, False)  # never woken
+    assert any("while asleep" in v.message for v in rec.violations)
+
+
+def test_cadence_flags_step_after_crash():
+    monitor = CadenceMonitor()
+    _, rec = attach(monitor)
+    monitor.on_crash(0, 2)
+    monitor.on_local_step(1, 2, False)
+    assert any("while crashed" in v.message for v in rec.violations)
+
+
+def test_cadence_flags_wake_of_awake_process():
+    monitor = CadenceMonitor()
+    _, rec = attach(monitor)
+    monitor.on_wake(0, 1)  # process 1 never slept
+    assert any("not asleep" in v.message for v in rec.violations)
+
+
+def test_cadence_flags_awake_process_at_quiescence():
+    monitor = CadenceMonitor()
+    _, rec = attach(monitor, n=2)
+    monitor.on_local_step(0, 0, True)
+    # Process 1 never slept: still due.
+    monitor.finalize(None, outcome(n=2, t_end=0))
+    assert any("still awake" in v.message for v in rec.violations)
+
+
+# -- budget -----------------------------------------------------------------
+
+
+def test_budget_flags_double_crash():
+    monitor = BudgetMonitor()
+    _, rec = attach(monitor, f=2)
+    monitor.on_crash(0, 1)
+    monitor.on_crash(1, 1)
+    assert any("twice" in v.message for v in rec.violations)
+
+
+def test_budget_flags_overdraw():
+    monitor = BudgetMonitor()
+    _, rec = attach(monitor, f=2)
+    for rho in (0, 1, 2):
+        monitor.on_crash(0, rho)
+    assert any("exceeds the budget F=2" in v.message for v in rec.violations)
+    assert len(rec.violations) == 1  # the first two crashes were legal
+
+
+# -- legality ---------------------------------------------------------------
+
+
+class DeclaringAdversary(NullAdversary):
+    def __init__(self, declared):
+        self._declared = declared
+
+    def declared_controls(self):
+        return self._declared
+
+
+def test_legality_accepts_declared_retimes():
+    adv = DeclaringAdversary(
+        DeclaredControls(
+            controlled=frozenset({1, 2}), max_local_step_time=9, max_delivery_time=27
+        )
+    )
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor, adversary=adv)
+    monitor.on_retime_delta(0, 1, 9)
+    monitor.on_retime_d(0, 2, 27)
+    assert rec.violations == []
+
+
+def test_legality_flags_retime_outside_group():
+    adv = DeclaringAdversary(DeclaredControls(controlled=frozenset({1})))
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor, adversary=adv)
+    monitor.on_retime_delta(0, 3, 5)
+    assert any("outside the declared" in v.message for v in rec.violations)
+
+
+def test_legality_flags_retime_beyond_bound():
+    adv = DeclaringAdversary(
+        DeclaredControls(controlled=frozenset({1}), max_delivery_time=8)
+    )
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor, adversary=adv)
+    monitor.on_retime_d(0, 1, 9)
+    assert any("beyond the declared bound 8" in v.message for v in rec.violations)
+
+
+def test_legality_flags_sub_one_values_even_undeclared():
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor)  # NullAdversary declares an empty group
+    monitor.on_retime_delta(0, 0, 0)
+    assert any("< 1" in v.message for v in rec.violations)
+
+
+def test_legality_flags_oversized_declared_group():
+    adv = DeclaringAdversary(DeclaredControls(controlled=frozenset({0, 1, 2})))
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor, f=2, adversary=adv)
+    monitor.on_retime_delta(0, 1, 1)
+    assert any("more than F=2" in v.message for v in rec.violations)
+
+
+def test_legality_skips_checks_for_undeclaring_adversaries():
+    class Undeclared(NullAdversary):
+        def declared_controls(self):
+            return None
+
+    monitor = LegalityMonitor()
+    _, rec = attach(monitor, adversary=Undeclared())
+    monitor.on_retime_delta(0, 3, 10**6)
+    assert rec.violations == []
+
+
+# -- knowledge --------------------------------------------------------------
+
+
+class ToyProtocol:
+    """knowledge_of backed by a mutable matrix the test scripts."""
+
+    def __init__(self, n):
+        self.known = np.eye(n, dtype=bool)
+
+    def knowledge_of(self, rho):
+        return self.known[rho]
+
+
+def test_knowledge_flags_forgetting():
+    protocol = ToyProtocol(3)
+    monitor = KnowledgeMonitor()
+    _, rec = attach(monitor, n=3, protocol=protocol)
+    protocol.known[0, 1] = True
+    monitor.on_local_step(1, 0, False)
+    protocol.known[0, 1] = False  # forget
+    monitor.on_local_step(2, 0, False)
+    assert any("shrank" in v.message for v in rec.violations)
+
+
+def test_knowledge_flags_missing_own_gossip():
+    protocol = ToyProtocol(3)
+    protocol.known[2, 2] = False
+    monitor = KnowledgeMonitor()
+    _, rec = attach(monitor, n=3, protocol=protocol)
+    assert any("own gossip" in v.message for v in rec.violations)
+
+
+def test_knowledge_flags_wrong_gathering_verdict():
+    protocol = ToyProtocol(3)
+    monitor = KnowledgeMonitor()
+    _, rec = attach(monitor, n=3, protocol=protocol)
+    # Nobody learned anything, yet the outcome claims gathering.
+    monitor.finalize(None, outcome(n=3, rumor_gathering_ok=True))
+    assert any("recomputation" in v.message for v in rec.violations)
+
+
+# -- counters ---------------------------------------------------------------
+
+
+def test_counters_flag_inflated_sent_counter():
+    monitor = CountersMonitor()
+    _, rec = attach(monitor)
+    monitor.on_send(0, msg())
+    doctored = outcome(sent=np.array([5, 0, 0, 0], dtype=np.int64))
+    monitor.finalize(None, doctored)
+    assert any("sent counters disagree" in v.message for v in rec.violations)
+
+
+def test_counters_flag_wrong_t_end():
+    monitor = CountersMonitor()
+    _, rec = attach(monitor, n=2)
+    monitor.on_local_step(4, 0, True)
+    monitor.on_local_step(6, 1, True)
+    sleeps = np.array([1, 1], dtype=np.int64)
+    monitor.finalize(None, outcome(n=2, t_end=99, sleep_counts=sleeps))
+    assert any("T_end" in v.message for v in rec.violations)
+
+
+def test_counters_flag_unreported_crash():
+    monitor = CountersMonitor()
+    _, rec = attach(monitor)
+    monitor.on_crash(3, 2)
+    monitor.finalize(None, outcome(completed=False))  # outcome lists none
+    assert any("stream saw" in v.message for v in rec.violations)
+
+
+def test_counters_accept_a_consistent_run():
+    monitor = CountersMonitor()
+    _, rec = attach(monitor, n=2)
+    m = msg()
+    monitor.on_send(0, m)
+    monitor.on_deliver(1, m)
+    monitor.on_local_step(2, 0, True)
+    monitor.on_local_step(3, 1, True)
+    consistent = outcome(
+        n=2,
+        t_end=3,
+        sent=np.array([1, 0], dtype=np.int64),
+        received=np.array([0, 1], dtype=np.int64),
+        sleep_counts=np.array([1, 1], dtype=np.int64),
+    )
+    monitor.finalize(None, consistent)
+    assert rec.violations == []

@@ -1,0 +1,165 @@
+"""Broken fixtures caught by the sanitizer in full end-to-end runs.
+
+Each fixture violates exactly one model invariant on purpose; the test
+asserts the matching monitor names it in warn mode and that strict mode
+aborts the run at the violation. This is the sanitizer's negative
+contract — it must catch these, not merely not-crash on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.sanitizer import Sanitizer
+from repro.check.config import SanitizerConfig
+from repro.core.adversary import Adversary, DeclaredControls, NullAdversary
+from repro.errors import SanitizerViolation
+from repro.protocols.base import GossipProtocol
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+class ForgetfulFlood(GossipProtocol):
+    """Flood protocol that un-learns a rumor — knowledge must be monotone."""
+
+    name = "forgetful-flood"
+    guarantees_gathering = False
+
+    def _allocate(self):
+        self.know = np.eye(self.n, dtype=bool)
+        self.steps_taken = np.zeros(self.n, dtype=np.int64)
+
+    def on_local_step(self, ctx):
+        rho = ctx.rho
+        before = self.know[rho].copy()
+        for msg in ctx.inbox:
+            self.know[rho] |= msg.payload
+        self.steps_taken[rho] += 1
+        sleep = bool(before.all())  # knew everything already: stop
+        if not sleep:
+            for other in range(self.n):
+                if other != rho:
+                    ctx.send(other, self.know[rho].copy())
+        if rho == 0 and self.steps_taken[0] == 4:
+            # The sabotage, placed at the END of the step so the
+            # monitor's previous snapshot already holds the learned
+            # rumors: forget everything except our own gossip.
+            self.know[0] = False
+            self.know[0, 0] = True
+        return sleep
+
+    def knowledge_of(self, rho):
+        return self.know[rho]
+
+
+class OutsideGroupRetimer(Adversary):
+    """Declares control of {0} but retimes process 1."""
+
+    name = "rogue-outside"
+
+    def setup(self, view, controls):
+        controls.set_local_step_time(1, 2)
+
+    def declared_controls(self):
+        return DeclaredControls(controlled=frozenset({0}), max_local_step_time=4)
+
+
+class BoundBreakingRetimer(Adversary):
+    """Declares a maximum of 2 but sets delta to 100."""
+
+    name = "rogue-bound"
+
+    def setup(self, view, controls):
+        controls.set_local_step_time(0, 100)
+
+    def declared_controls(self):
+        return DeclaredControls(controlled=frozenset({0}), max_local_step_time=2)
+
+
+class OverclockingRetimer(Adversary):
+    """Sets a delivery time below 1 — illegal for ANY adversary (§II-A)."""
+
+    name = "rogue-overclock"
+
+    def setup(self, view, controls):
+        controls.set_delivery_time(2, 0)
+
+
+def _warn_report(protocol, adversary, **kw):
+    kw.setdefault("n", 6)
+    kw.setdefault("f", 2)
+    kw.setdefault("seed", 4)
+    with pytest.warns(RuntimeWarning):
+        report = simulate(protocol, adversary, sanitize="warn", **kw)
+    data = report.outcome.sanitizer
+    assert data["ok"] is False
+    return data
+
+
+def _violating_monitors(data):
+    return {v["monitor"] for v in data["violations"]}
+
+
+def test_forgetful_protocol_caught_by_knowledge_monitor():
+    data = _warn_report(ForgetfulFlood(), NullAdversary(), f=0)
+    assert "knowledge" in _violating_monitors(data)
+    assert any("shrank" in v["message"] for v in data["violations"])
+
+
+def test_forgetful_protocol_aborts_under_strict():
+    with pytest.raises(SanitizerViolation, match="shrank"):
+        simulate(ForgetfulFlood(), NullAdversary(), n=6, f=0, seed=4, sanitize="strict")
+
+
+def test_retiming_outside_declared_group_caught():
+    data = _warn_report(make_protocol("push-pull"), OutsideGroupRetimer())
+    assert "legality" in _violating_monitors(data)
+
+
+def test_retiming_beyond_declared_bound_caught():
+    data = _warn_report(make_protocol("push-pull"), BoundBreakingRetimer())
+    assert "legality" in _violating_monitors(data)
+
+
+def test_sub_unit_timing_caught_even_without_declaration():
+    # The timing table itself rejects values < 1 (ConfigurationError),
+    # but the sanitizer hook fires first: under strict the run dies as
+    # a *sanitizer* violation, pinned to the offending adversary.
+    with pytest.raises(SanitizerViolation, match="< 1"):
+        simulate(
+            make_protocol("push-pull"),
+            OverclockingRetimer(),
+            n=6,
+            f=2,
+            seed=4,
+            sanitize="strict",
+        )
+
+
+def test_rogue_adversary_aborts_under_strict_at_setup():
+    # The violation happens inside adversary.setup, before any local
+    # step — strict mode must stop the run right there.
+    with pytest.raises(SanitizerViolation):
+        simulate(
+            make_protocol("push-pull"),
+            OutsideGroupRetimer(),
+            n=6,
+            f=2,
+            seed=4,
+            sanitize="strict",
+        )
+
+
+def test_counters_preset_misses_the_knowledge_bug_by_design():
+    # The O(1) preset drops only the O(N)-per-step knowledge monitor;
+    # this documents the tradeoff the `counters` preset makes.
+    report = simulate(
+        ForgetfulFlood(),
+        NullAdversary(),
+        n=6,
+        f=0,
+        seed=4,
+        sanitize=Sanitizer(SanitizerConfig(mode="warn", monitors="counters")),
+    )
+    data = report.outcome.sanitizer
+    assert "knowledge" not in data["monitors"]
+    assert all(v["monitor"] != "knowledge" for v in data["violations"])

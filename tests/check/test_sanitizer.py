@@ -1,0 +1,132 @@
+"""Sanitizer dispatch, mode enforcement and engine integration."""
+
+import warnings
+
+import pytest
+
+from repro.check.config import SanitizerConfig
+from repro.check.monitors import Monitor
+from repro.check.sanitizer import Sanitizer, build_sanitizer
+from repro.check.violations import Violation
+from repro.core.registry import make_adversary
+from repro.errors import SanitizerViolation
+from repro.protocols.registry import make_protocol
+from repro.sim.engine import simulate
+
+
+class SendCounter(Monitor):
+    name = "send-counter"
+
+    def __init__(self):
+        self.seen = 0
+
+    def on_send(self, step, msg):
+        self.seen += 1
+
+
+class AlwaysAngry(Monitor):
+    name = "always-angry"
+
+    def on_local_step(self, step, rho, slept):
+        self.fail(step, "synthetic violation", subject=rho)
+
+
+def test_dispatch_tables_contain_only_overridden_hooks():
+    san = Sanitizer(SanitizerConfig(mode="warn"), extra_monitors=[SendCounter()])
+    # The extra monitor overrides exactly one hook; the base-class
+    # no-ops of its other hooks must not be on any dispatch table.
+    assert any(fn.__self__.name == "send-counter" for fn in san._on_send)
+    for hook in ("_on_deliver", "_on_local_step", "_on_crash", "_on_wake"):
+        assert all(fn.__self__.name != "send-counter" for fn in getattr(san, hook))
+
+
+def test_extra_monitor_receives_events():
+    counter = SendCounter()
+    san = Sanitizer(SanitizerConfig(mode="warn"), [counter])
+    assert build_sanitizer(san) is san  # live sanitizers pass through
+    report = simulate(
+        make_protocol("push"),
+        make_adversary("none"),
+        n=6,
+        f=0,
+        seed=1,
+        sanitize=san,
+    )
+    assert counter.seen > 0
+    assert counter.seen == report.outcome.message_complexity()
+    assert "send-counter" in report.outcome.sanitizer["monitors"]
+
+
+def test_strict_raises_on_first_violation():
+    san = Sanitizer(SanitizerConfig(mode="strict"))
+    with pytest.raises(SanitizerViolation, match="synthetic"):
+        san.record(Violation("test", 3, "synthetic violation"))
+    assert san.total_violations == 1
+
+
+def test_warn_collects_and_warns_at_finalize():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = simulate(
+            make_protocol("push"),
+            make_adversary("none"),
+            n=4,
+            f=0,
+            seed=0,
+            sanitize=Sanitizer(
+                SanitizerConfig(mode="warn"), [AlwaysAngry()]
+            ),
+        )
+    assert report.outcome.sanitizer["total_violations"] > 0
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+
+def test_max_recorded_caps_the_list_but_not_the_total():
+    san = Sanitizer(SanitizerConfig(mode="warn", max_recorded=3))
+    for i in range(10):
+        san.record(Violation("test", i, f"violation {i}"))
+    assert san.total_violations == 10
+    assert len(san.violations) == 3
+
+
+def test_engine_honours_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "warn:counters")
+    report = simulate(
+        make_protocol("push"), make_adversary("none"), n=5, f=0, seed=2
+    )
+    data = report.outcome.sanitizer
+    assert data is not None
+    assert data["mode"] == "warn"
+    assert "knowledge" not in data["monitors"]
+
+    monkeypatch.delenv("REPRO_SANITIZE")
+    report = simulate(
+        make_protocol("push"), make_adversary("none"), n=5, f=0, seed=2
+    )
+    assert report.outcome.sanitizer is None
+
+
+def test_strict_angry_monitor_aborts_the_run():
+    with pytest.raises(SanitizerViolation):
+        simulate(
+            make_protocol("push"),
+            make_adversary("none"),
+            n=4,
+            f=0,
+            seed=0,
+            sanitize=Sanitizer(SanitizerConfig(mode="strict"), [AlwaysAngry()]),
+        )
+
+
+def test_checked_counters_tally():
+    report = simulate(
+        make_protocol("push-pull"),
+        make_adversary("ugf"),
+        n=8,
+        f=2,
+        seed=7,
+        sanitize="warn",
+    )
+    data = report.outcome.sanitizer
+    assert data["sends_checked"] >= data["deliveries_checked"] > 0
+    assert data["local_steps_checked"] > 0

@@ -60,3 +60,71 @@ def test_retime_events_carry_new_value():
     trace = TraceRecorder(2, record_events=True)
     trace.on_retime_delta(0, 1, 100)
     assert trace.events[0].detail == 100
+
+
+def test_bounded_log_keeps_the_most_recent_events():
+    trace = TraceRecorder(2, record_events=True, max_events=3)
+    for step in range(10):
+        trace.on_send(step, 0, 1)
+    events = trace.events
+    assert [e.step for e in events] == [7, 8, 9]  # ring: newest win
+    assert trace.events_dropped == 7
+    assert trace.sent[0] == 10  # counters are exact regardless
+
+
+def test_bounded_log_validates_its_bound():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TraceRecorder(2, max_events=0)
+
+
+def test_unbounded_log_drops_nothing():
+    trace = TraceRecorder(2, record_events=True)
+    for step in range(100):
+        trace.on_send(step, 0, 1)
+    assert len(trace.events) == 100
+    assert trace.events_dropped == 0
+
+
+def test_summary_reports_eviction_accounting():
+    trace = TraceRecorder(2, record_events=True, max_events=2)
+    trace.on_send(0, 0, 1)
+    trace.on_send(1, 0, 1)
+    trace.on_deliver(2, 0, 1)
+    trace.on_omit(3, 1, 0)
+    digest = trace.summary()
+    assert digest["messages_sent"] == 2
+    assert digest["messages_received"] == 1
+    assert digest["messages_omitted"] == 1
+    assert digest["events_recorded"] == 2
+    assert digest["events_dropped"] == 2
+    assert digest["max_events"] == 2
+
+
+def test_bound_without_event_log_costs_nothing():
+    trace = TraceRecorder(2, record_events=False, max_events=4)
+    for step in range(10):
+        trace.on_send(step, 0, 1)
+    assert trace.events == []
+    assert trace.events_dropped == 0  # nothing recorded, nothing evicted
+
+
+def test_engine_accepts_a_trace_bound():
+    from repro.core.adversary import NullAdversary
+    from repro.protocols.registry import make_protocol
+    from repro.sim.engine import simulate
+
+    report = simulate(
+        make_protocol("flood"),
+        NullAdversary(),
+        n=8,
+        f=0,
+        seed=0,
+        record_events=True,
+        max_trace_events=5,
+    )
+    trace = report.trace
+    assert len(trace.events) == 5
+    assert trace.events_dropped > 0
+    assert trace.summary()["events_recorded"] == 5
