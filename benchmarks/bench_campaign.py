@@ -66,3 +66,25 @@ def test_warm_cache_simulates_nothing(benchmark, tmp_path):
 
     result = benchmark.pedantic(warm, rounds=3, iterations=1)
     assert result == expected  # replay is bit-identical to simulation
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_cold_parallel_chunked_dispatch(benchmark, tmp_path):
+    """The production cold path: worker pool, chunked wire-format IPC.
+
+    Compare against ``test_cold_cache_simulates_everything`` (same
+    grid, inline): the gap is what dispatch costs — or saves — at the
+    current core count.
+    """
+    sweep = bench_sweep()
+    dirs = iter(range(1_000_000))
+
+    def cold_parallel() -> SweepResult:
+        with Campaign(cache_dir=tmp_path / f"p{next(dirs)}", workers=2) as c:
+            result = c.run_sweep(sweep)
+            assert c.stats.cached == 0
+            record_stats(benchmark, c)
+            return result
+
+    result = benchmark.pedantic(cold_parallel, rounds=1, iterations=1)
+    assert len(result.points) == len(sweep.n_values)

@@ -1,0 +1,26 @@
+"""Standalone entry point for the throughput bench harness.
+
+Thin wrapper over :mod:`repro.bench` for running the harness without
+installing the console script::
+
+    PYTHONPATH=src python benchmarks/harness.py --grid smoke --check
+
+Identical to ``repro-ugf bench`` / ``python -m repro bench``; the
+implementation (stages, report schema, baseline gate) lives in
+``src/repro/bench/harness.py`` so the CLI and CI share it. Committed
+baselines live next to this file under ``baselines/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,13 @@ from repro.campaign.campaign import (
     default_cache_dir,
 )
 from repro.campaign.keys import KEY_VERSION, spec_fingerprint, trial_key
-from repro.campaign.pool import ExecutionResult, WorkerPool, default_workers
+from repro.campaign.pool import (
+    ExecutionResult,
+    TrialTimeout,
+    WorkerPool,
+    default_workers,
+    run_trial_batch,
+)
 from repro.campaign.progress import CampaignStats, ProgressCallback, ProgressEvent
 from repro.campaign.store import TrialStore
 
@@ -38,7 +44,9 @@ __all__ = [
     "spec_fingerprint",
     "WorkerPool",
     "ExecutionResult",
+    "TrialTimeout",
     "default_workers",
+    "run_trial_batch",
     "CampaignStats",
     "ProgressCallback",
     "ProgressEvent",

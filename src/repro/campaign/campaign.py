@@ -38,6 +38,11 @@ __all__ = ["Campaign", "TrialResult", "default_cache_dir", "ENV_CACHE_DIR"]
 #: Environment variable overriding the default cache location.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
+#: Executed outcomes buffered between store appends. Each flush is one
+#: lock/write/fsync (see TrialStore.put_many); an interrupt loses at
+#: most this many finished trials to the resume path, never corrupts.
+_STORE_FLUSH_EVERY = 32
+
 
 def default_cache_dir() -> pathlib.Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-ugf``, else
@@ -85,6 +90,11 @@ class Campaign:
         intra-session dedup or repopulating the store.
     progress:
         Default per-trial callback; overridable per batch.
+    trial_timeout:
+        Per-trial wall-clock bound in seconds (None = unbounded): a
+        divergent trial is killed and reported as a failure instead of
+        hanging the whole sweep. See
+        :class:`~repro.campaign.pool.WorkerPool`.
     sanitize:
         Execution-model sanitizer spec (``"warn"``, ``"strict:counters"``,
         ...) applied to every trial that does not pin its own. The
@@ -102,6 +112,7 @@ class Campaign:
         use_cache: bool = True,
         fresh: bool = False,
         progress: ProgressCallback | None = None,
+        trial_timeout: float | None = None,
         sanitize: str | None = None,
     ) -> None:
         self.use_cache = use_cache
@@ -109,7 +120,7 @@ class Campaign:
         self.progress = progress
         self.sanitize = sanitize
         self.store = TrialStore(cache_dir) if (cache_dir is not None and use_cache) else None
-        self.pool = WorkerPool(workers)
+        self.pool = WorkerPool(workers, trial_timeout=trial_timeout)
         self.stats = CampaignStats()
         self._memo: dict[str, Outcome] = {}
 
@@ -174,18 +185,36 @@ class Campaign:
                     first_pending[key] = i
                 pending.append((i, spec, key))
 
+        # Executed outcomes are persisted in batches: one fsync per
+        # _STORE_FLUSH_EVERY trials instead of per trial. The finally
+        # clause keeps interrupts resumable — everything that finished
+        # is flushed before the exception propagates.
+        to_persist: list[tuple[str, dict, Outcome]] = []
+
+        def flush_store() -> None:
+            if to_persist and self.store is not None:
+                self.store.put_many(to_persist)
+            to_persist.clear()
+
         executions = self.pool.iter_execute([spec for _, spec, _ in pending])
-        for (i, spec, key), result in zip(pending, executions):
-            if result.outcome is not None:
-                if key is not None:
-                    self._memo[key] = result.outcome
-                    if self.store is not None:
-                        self.store.put(key, spec_fingerprint(spec), result.outcome)
-                results[i] = TrialResult(spec=spec, outcome=result.outcome)
-                emit("executed", spec)
-            else:
-                results[i] = TrialResult(spec=spec, outcome=None, error=result.error)
-                emit("failed", spec, result.error)
+        try:
+            for (i, spec, key), result in zip(pending, executions):
+                if result.outcome is not None:
+                    if key is not None:
+                        self._memo[key] = result.outcome
+                        if self.store is not None:
+                            to_persist.append(
+                                (key, spec_fingerprint(spec), result.outcome)
+                            )
+                            if len(to_persist) >= _STORE_FLUSH_EVERY:
+                                flush_store()
+                    results[i] = TrialResult(spec=spec, outcome=result.outcome)
+                    emit("executed", spec)
+                else:
+                    results[i] = TrialResult(spec=spec, outcome=None, error=result.error)
+                    emit("failed", spec, result.error)
+        finally:
+            flush_store()
 
         # Duplicate specs within the batch share their primary's result.
         for i, primary_index in duplicates:

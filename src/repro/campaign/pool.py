@@ -1,28 +1,84 @@
-"""Shared worker pool for trial execution.
+"""Shared worker pool with chunked batch dispatch.
 
 One :class:`WorkerPool` lives for a whole campaign session: the
 ``ProcessPoolExecutor`` is created lazily on the first batch that
 actually needs parallelism and then reused by every subsequent sweep,
 eliminating the per-sweep fork/teardown churn the old
-``run_sweep``-owns-a-pool design paid (a full report runs ~20 sweeps;
-pool startup is tens of milliseconds each plus interpreter warmup).
+``run_sweep``-owns-a-pool design paid.
 
-Failures are captured per trial: a diverging trial yields an error
-string in its slot instead of poisoning the pool or discarding the
-sibling results that already completed.
+Dispatch is *chunked*: trials are grouped into batches and each batch
+crosses the process boundary as one :func:`run_trial_batch` task. For
+Fig.-3-style sweeps — thousands of short trials — this amortises the
+per-task costs that otherwise dominate (a future, a pickle of the
+spec, an IPC round trip, a pickle of the outcome *per trial*) down to
+once per chunk, and the outcome travels back in the compact
+:meth:`~repro.sim.outcome.Outcome.to_wire` encoding instead of as
+pickled ndarrays. Chunk size is auto-tuned from the batch length and
+the worker count (several waves per worker, so stragglers still load
+balance); ``chunk_size`` pins it for tests and benchmarks.
+
+Three more robustness properties:
+
+- **Warm workers**: each worker runs an initializer that pre-imports
+  the protocol/adversary registries and the simulation kernel, so the
+  first chunk of a sweep does not pay interpreter warmup per worker
+  mid-measurement.
+- **Bounded in-flight window**: :meth:`WorkerPool.iter_execute`
+  submits at most a few chunks per worker at a time and streams
+  results as the oldest chunk completes, so a million-trial campaign
+  never materialises a million futures (or their specs) at once.
+- **Crash containment**: a trial that raises yields an error string
+  (the *full worker-side traceback*) in its slot; a worker process
+  that dies (OOM kill, segfault) breaks the pool, which is caught —
+  the lost chunk re-runs inline in this process, the executor is
+  rebuilt lazily for the remaining chunks, and the campaign continues
+  instead of being poisoned.
+
+A per-trial ``trial_timeout`` (seconds) bounds each simulation via
+``SIGALRM`` where available (POSIX main thread — which is exactly
+where pool workers run their tasks), so one divergent trial cannot
+hang a whole sweep; elsewhere the knob degrades to a no-op rather
+than failing.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any, Iterator
+
+try:  # POSIX-only; the timeout knob degrades gracefully elsewhere.
+    import signal
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    signal = None  # type: ignore[assignment]
 
 from repro.experiments.config import TrialSpec
-from repro.experiments.runner import run_trial
 from repro.sim.outcome import Outcome
 
-__all__ = ["WorkerPool", "ExecutionResult", "default_workers"]
+__all__ = [
+    "WorkerPool",
+    "ExecutionResult",
+    "TrialTimeout",
+    "default_workers",
+    "run_trial_batch",
+]
+
+#: Target number of chunk "waves" per worker: small enough to amortise
+#: dispatch, large enough that one slow chunk cannot idle the pool.
+_WAVES_PER_WORKER = 4
+
+#: Hard cap on the auto-tuned chunk size (keeps per-chunk result
+#: pickles and the inline recovery path bounded).
+_MAX_CHUNK = 64
+
+#: In-flight chunk futures per worker in the streaming window.
+_WINDOW_PER_WORKER = 2
 
 
 def default_workers() -> int:
@@ -30,28 +86,123 @@ def default_workers() -> int:
     return max(1, cpus - 1)
 
 
+class TrialTimeout(Exception):
+    """A trial exceeded the pool's per-trial timeout."""
+
+
 @dataclass(frozen=True, slots=True)
 class ExecutionResult:
-    """What one submitted trial produced: an outcome or an error."""
+    """What one submitted trial produced: an outcome or an error.
+
+    ``error`` carries the full traceback of the failing trial — worker
+    side included — not just the exception repr, so a failure deep in
+    a protocol surfaces with its stack instead of a one-liner.
+    """
 
     spec: TrialSpec
     outcome: Outcome | None
     error: str | None = None
 
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
 
-def _describe(exc: BaseException) -> str:
-    return f"{type(exc).__name__}: {exc}"
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`TrialTimeout` if the body runs longer than *seconds*.
+
+    Implemented with ``SIGALRM``/``setitimer``: cheap, interrupts pure
+    Python loops (the divergent-trial failure mode), and available in
+    exactly the context pool workers execute in (POSIX main thread).
+    Anywhere else — Windows, a caller running campaigns from a side
+    thread — the timeout silently degrades to "no timeout".
+    """
+    if (
+        not seconds
+        or signal is None
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+        raise TrialTimeout(f"trial exceeded the per-trial timeout of {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_one(spec: TrialSpec, trial_timeout: float | None) -> ExecutionResult:
+    """Run one trial, capturing any failure as a full traceback string."""
+    from repro.experiments.runner import run_trial
+
+    try:
+        with _deadline(trial_timeout):
+            return ExecutionResult(spec=spec, outcome=run_trial(spec))
+    except Exception:
+        return ExecutionResult(
+            spec=spec, outcome=None, error=traceback.format_exc()
+        )
+
+
+def run_trial_batch(
+    specs: list[TrialSpec], trial_timeout: float | None = None
+) -> list[tuple[str, Any]]:
+    """Worker entry point: run a chunk of trials in submission order.
+
+    Returns one ``("ok", wire)`` or ``("error", traceback)`` pair per
+    spec — the compact wire encoding keeps the result pickle small and
+    skips ndarray reconstruction on the worker side of the boundary.
+    """
+    results: list[tuple[str, Any]] = []
+    for spec in specs:
+        result = _execute_one(spec, trial_timeout)
+        if result.outcome is not None:
+            results.append(("ok", result.outcome.to_wire()))
+        else:
+            results.append(("error", result.error))
+    return results
+
+
+def _warm_worker() -> None:
+    """Per-worker initializer: import the hot modules exactly once.
+
+    Registries, the engine, and the sanitizer config all import lazily
+    somewhere on the trial path; doing it here moves that cost out of
+    the first chunk each worker executes.
+    """
+    import repro.check.sanitizer  # noqa: F401
+    import repro.core.registry  # noqa: F401
+    import repro.experiments.runner  # noqa: F401
+    import repro.protocols.registry  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+    import repro.sim.environment  # noqa: F401
 
 
 class WorkerPool:
     """Lazily created, session-lifetime process pool.
 
     ``workers <= 1`` runs trials inline in this process — the mode
-    tests and debuggers want — with identical result semantics.
+    tests and debuggers want — with identical result semantics
+    (including ``trial_timeout`` and full-traceback error capture).
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        trial_timeout: float | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
+        self.trial_timeout = trial_timeout
+        self.chunk_size = chunk_size
         self._executor: ProcessPoolExecutor | None = None
 
     @property
@@ -60,55 +211,84 @@ class WorkerPool:
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_warm_worker
+            )
         return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a broken executor; the next submit rebuilds it."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _chunk_for(self, total: int) -> int:
+        """Chunk size for a batch of *total* specs.
+
+        Auto-tune: split the batch into ``_WAVES_PER_WORKER`` waves per
+        worker (load balancing against straggler chunks) but never
+        above ``_MAX_CHUNK`` trials per task, so result pickles and the
+        inline recovery path stay bounded.
+        """
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        waves = max(1, self.workers * _WAVES_PER_WORKER)
+        return max(1, min(_MAX_CHUNK, -(-total // waves)))
+
+    def iter_execute(self, specs: list[TrialSpec]) -> Iterator[ExecutionResult]:
+        """Run *specs*, yielding each result as soon as it is ready.
+
+        Results arrive in submission order (deterministic), so a
+        caller persisting them incrementally produces a reproducible
+        artifact stream regardless of worker scheduling.
+        """
+        specs = list(specs)
+        if not self.parallel or len(specs) <= 1:
+            for spec in specs:
+                yield _execute_one(spec, self.trial_timeout)
+            return
+
+        chunk = self._chunk_for(len(specs))
+        chunks = [specs[i : i + chunk] for i in range(0, len(specs), chunk)]
+        window: deque[tuple[list[TrialSpec], Any]] = deque()
+        pending = iter(chunks)
+        max_window = max(2, self.workers * _WINDOW_PER_WORKER)
+
+        def submit_next() -> bool:
+            batch = next(pending, None)
+            if batch is None:
+                return False
+            future = self._ensure_executor().submit(
+                run_trial_batch, batch, self.trial_timeout
+            )
+            window.append((batch, future))
+            return True
+
+        while len(window) < max_window and submit_next():
+            pass
+        while window:
+            batch, future = window.popleft()
+            try:
+                outcomes = future.result()
+            except BrokenProcessPool:
+                # A worker died (OOM kill, hard crash). Rebuild the
+                # executor lazily and recover this chunk inline rather
+                # than failing the whole campaign; sibling in-flight
+                # chunks recover the same way as their futures fail.
+                self._discard_executor()
+                outcomes = run_trial_batch(batch, self.trial_timeout)
+            submit_next()
+            for spec, (tag, payload) in zip(batch, outcomes):
+                if tag == "ok":
+                    yield ExecutionResult(
+                        spec=spec, outcome=Outcome.from_wire(payload)
+                    )
+                else:
+                    yield ExecutionResult(spec=spec, outcome=None, error=payload)
 
     def execute(self, specs: list[TrialSpec]) -> list[ExecutionResult]:
         """Run *specs*, returning results in submission order."""
-        if not self.parallel or len(specs) <= 1:
-            results = []
-            for spec in specs:
-                try:
-                    results.append(ExecutionResult(spec=spec, outcome=run_trial(spec)))
-                except Exception as exc:
-                    results.append(
-                        ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
-                    )
-            return results
-
-        executor = self._ensure_executor()
-        futures = [executor.submit(run_trial, spec) for spec in specs]
-        results = []
-        for spec, future in zip(specs, futures):
-            try:
-                results.append(ExecutionResult(spec=spec, outcome=future.result()))
-            except Exception as exc:
-                results.append(
-                    ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
-                )
-        return results
-
-    def iter_execute(self, specs: list[TrialSpec]):
-        """Like :meth:`execute` but yields each result as it is ready.
-
-        Results still arrive in submission order (deterministic), so a
-        caller persisting them incrementally produces a reproducible
-        artifact stream.
-        """
-        if not self.parallel or len(specs) <= 1:
-            for spec in specs:
-                try:
-                    yield ExecutionResult(spec=spec, outcome=run_trial(spec))
-                except Exception as exc:
-                    yield ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
-            return
-        executor = self._ensure_executor()
-        futures = [executor.submit(run_trial, spec) for spec in specs]
-        for spec, future in zip(specs, futures):
-            try:
-                yield ExecutionResult(spec=spec, outcome=future.result())
-            except Exception as exc:
-                yield ExecutionResult(spec=spec, outcome=None, error=_describe(exc))
+        return list(self.iter_execute(specs))
 
     def close(self) -> None:
         if self._executor is not None:

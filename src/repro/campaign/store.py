@@ -1,8 +1,18 @@
 """Append-only JSONL artifact store for trial outcomes.
 
-Layout: ``<cache_dir>/trials.jsonl``, one record per line::
+Layout: ``<cache_dir>/trials.jsonl``, one record per line. New records
+use the compact wire encoding::
+
+    {"key": "<sha256>", "spec": {...fingerprint...}, "wire": [...]}
+
+while records written before the wire format carried a full field-name
+dict instead::
 
     {"key": "<sha256>", "spec": {...fingerprint...}, "outcome": {...}}
+
+Both shapes load transparently — the wire format is additive, and the
+content address hashes the *spec*, so a pre-wire cache keeps serving
+hits without rewrites. See :meth:`repro.sim.outcome.Outcome.to_wire`.
 
 Append-only makes the store crash-safe by construction — an
 interrupted run leaves at most one truncated final line, which the
@@ -11,14 +21,16 @@ loader skips (with a warning count) instead of failing, so a restarted
 with an unknown shape are likewise skipped, which doubles as forward
 compatibility: a newer writer never breaks an older reader.
 
-Each record is written with a single ``write()`` of the full line
-(readers can never observe a half-record except after a crash
-mid-write), then ``flush`` + ``os.fsync`` so the bytes are on disk —
-not just in the OS buffer — before :meth:`TrialStore.put` returns,
-which is what resumability rests on. On POSIX the append additionally
-holds an exclusive ``flock`` on the store file, so concurrent
-campaigns (two terminals, a CI matrix sharing a cache volume) cannot
-interleave their lines.
+Each append is one ``write()`` of full lines (readers can never
+observe a half-record except after a crash mid-write), then ``flush``
++ ``os.fsync`` so the bytes are on disk — not just in the OS buffer —
+before the put returns, which is what resumability rests on. On POSIX
+the append additionally holds an exclusive ``flock`` on the store
+file, so concurrent campaigns (two terminals, a CI matrix sharing a
+cache volume) cannot interleave their lines. :meth:`TrialStore.put_many`
+amortises the lock/write/fsync over a whole batch — the fsync was a
+measurable per-trial cost on sweeps of short trials — while keeping
+the one-line-per-record framing.
 """
 
 from __future__ import annotations
@@ -26,7 +38,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Any
+from typing import Any, Iterable
 
 try:  # POSIX-only; on other platforms appends are merely unlocked.
     import fcntl
@@ -47,18 +59,19 @@ class TrialStore:
     def __init__(self, cache_dir: str | os.PathLike) -> None:
         self.cache_dir = pathlib.Path(cache_dir)
         self.path = self.cache_dir / _FILENAME
-        #: Raw outcome dicts by key; outcomes deserialise lazily on get.
-        self._index: dict[str, dict[str, Any]] | None = None
+        #: Raw outcome payloads by key (wire lists or legacy dicts);
+        #: outcomes deserialise lazily on get.
+        self._index: dict[str, Any] | None = None
         self._fh = None
         #: Lines dropped while loading (corrupt / truncated / foreign).
         self.skipped_lines = 0
 
     # -- loading -----------------------------------------------------------------
 
-    def _load(self) -> dict[str, dict[str, Any]]:
+    def _load(self) -> dict[str, Any]:
         if self._index is not None:
             return self._index
-        index: dict[str, dict[str, Any]] = {}
+        index: dict[str, Any] = {}
         self.skipped_lines = 0
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as fh:
@@ -69,16 +82,18 @@ class TrialStore:
                     try:
                         record = json.loads(line)
                         key = record["key"]
-                        outcome = record["outcome"]
+                        payload = record.get("wire", record.get("outcome"))
                     except (json.JSONDecodeError, KeyError, TypeError):
                         self.skipped_lines += 1
                         continue
-                    if not isinstance(key, str) or not isinstance(outcome, dict):
+                    if not isinstance(key, str) or not isinstance(
+                        payload, (dict, list)
+                    ):
                         self.skipped_lines += 1
                         continue
                     # Last write wins; duplicates are harmless (the
                     # trial is deterministic, so they are identical).
-                    index[key] = outcome
+                    index[key] = payload
         self._index = index
         return index
 
@@ -100,6 +115,8 @@ class TrialStore:
         if record is None:
             return None
         try:
+            if isinstance(record, list):
+                return Outcome.from_wire(record)
             return Outcome.from_dict(record)
         except (KeyError, TypeError, ValueError):
             del self._load()[key]
@@ -110,11 +127,31 @@ class TrialStore:
 
     def put(self, key: str, spec_fingerprint: dict[str, Any], outcome: Outcome) -> None:
         """Append one record and make it durable before returning."""
-        data = outcome.to_dict()
-        line = json.dumps(
-            {"key": key, "spec": spec_fingerprint, "outcome": data},
-            separators=(",", ":"),
-        )
+        self.put_many([(key, spec_fingerprint, outcome)])
+
+    def put_many(
+        self, items: Iterable[tuple[str, dict[str, Any], Outcome]]
+    ) -> None:
+        """Append a batch of records under one lock/write/fsync.
+
+        Framing is unchanged — one JSON record per line — so readers,
+        the auditor, and crash recovery see exactly what per-record
+        puts would have produced; only the durability cost is paid
+        once per batch instead of once per trial.
+        """
+        lines: list[str] = []
+        wires: list[tuple[str, list[Any]]] = []
+        for key, fingerprint, outcome in items:
+            wire = outcome.to_wire()
+            wires.append((key, wire))
+            lines.append(
+                json.dumps(
+                    {"key": key, "spec": fingerprint, "wire": wire},
+                    separators=(",", ":"),
+                )
+            )
+        if not lines:
+            return
         if self._fh is None:
             try:
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -127,13 +164,16 @@ class TrialStore:
         if fcntl is not None:
             fcntl.flock(fd, fcntl.LOCK_EX)
         try:
-            self._fh.write(line + "\n")  # one write(): no torn records
+            # One write() of whole lines: no torn records mid-batch.
+            self._fh.write("\n".join(lines) + "\n")
             self._fh.flush()
             os.fsync(fd)
         finally:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)
-        self._load()[key] = data
+        index = self._load()
+        for key, wire in wires:
+            index[key] = wire
 
     def close(self) -> None:
         if self._fh is not None:

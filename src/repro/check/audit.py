@@ -129,7 +129,7 @@ def _outcome_payload(data: dict[str, Any]) -> dict[str, Any]:
     return {k: v for k, v in data.items() if k != "sanitizer"}
 
 
-def _replay(spec: TrialSpec, cached: dict[str, Any]) -> RecordAudit | None:
+def _replay(spec: TrialSpec, cached: Outcome) -> RecordAudit | None:
     """Re-execute *spec* under the sanitizer; None means all good."""
     from dataclasses import replace
 
@@ -149,7 +149,7 @@ def _replay(spec: TrialSpec, cached: dict[str, Any]) -> RecordAudit | None:
             violations=total,
         )
     fresh = _outcome_payload(outcome.to_dict())
-    stale = _outcome_payload(cached)
+    stale = _outcome_payload(cached.to_dict())
     if fresh != stale:
         bad = sorted(
             k
@@ -210,8 +210,12 @@ def _audit_line(
         record = json.loads(line)
         key = record["key"]
         fingerprint = record["spec"]
-        outcome_data = record["outcome"]
-        if not isinstance(key, str) or not isinstance(outcome_data, dict):
+        # PR-3 records store the compact wire list under "wire"; PR-1
+        # records store the field dict under "outcome". Both audit.
+        outcome_data = record.get("wire", record.get("outcome"))
+        if not isinstance(key, str) or not isinstance(
+            outcome_data, (dict, list)
+        ):
             raise TypeError("key/outcome have the wrong shape")
     except (json.JSONDecodeError, KeyError, TypeError) as exc:
         return RecordAudit(
@@ -224,7 +228,11 @@ def _audit_line(
             line=lineno, key=key, status="unreadable", detail=str(exc)
         )
     try:
-        outcomes.append(Outcome.from_dict(outcome_data))
+        if isinstance(outcome_data, list):
+            cached = Outcome.from_wire(outcome_data)
+        else:
+            cached = Outcome.from_dict(outcome_data)
+        outcomes.append(cached)
     except (KeyError, TypeError, ValueError) as exc:
         return RecordAudit(
             line=lineno,
@@ -243,7 +251,7 @@ def _audit_line(
         )
     if replay:
         try:
-            problem = _replay(spec, outcome_data)
+            problem = _replay(spec, cached)
         except Exception as exc:  # a replay crash is itself a finding
             return RecordAudit(
                 line=lineno,

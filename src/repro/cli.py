@@ -11,6 +11,7 @@ Examples::
     repro-ugf ablate f --protocol push-pull -n 100
     repro-ugf sweep --protocol ears --n 10 20 --seeds 3 --sanitize strict
     repro-ugf check ~/.cache/repro-ugf
+    repro-ugf bench --grid smoke --check
 
 The experiment commands (``sweep``, ``figure``, ``report``) execute
 through the campaign layer's content-addressed trial cache: identical
@@ -52,6 +53,18 @@ from repro.experiments.tradeoff import run_tradeoff
 from repro.protocols.registry import available_protocols
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by every campaign-backed command."""
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any single trial exceeding this wall-clock budget "
+        "(reported as a failure; default: unbounded)",
+    )
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -116,6 +129,7 @@ def _make_campaign(args: argparse.Namespace):
         workers=getattr(args, "workers", None),
         use_cache=not args.no_cache,
         fresh=args.fresh,
+        trial_timeout=getattr(args, "trial_timeout", None),
         sanitize=_sanitize_spec(args),
     )
 
@@ -152,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--json", type=pathlib.Path, default=None, help="write result JSON here")
     p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
     _add_cache_flags(p_fig)
+    _add_campaign_flags(p_fig)
     _add_sanitize_flag(p_fig)
 
     p_sweep = sub.add_parser("sweep", help="run a custom sweep")
@@ -167,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline timing environment (see 'run --environment')",
     )
     _add_cache_flags(p_sweep)
+    _add_campaign_flags(p_sweep)
     _add_sanitize_flag(p_sweep)
 
     p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
@@ -186,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", type=pathlib.Path, default=pathlib.Path("report.md"))
     p_rep.add_argument("--workers", type=int, default=None)
     _add_cache_flags(p_rep)
+    _add_campaign_flags(p_rep)
     _add_sanitize_flag(p_rep)
 
     p_check = sub.add_parser(
@@ -233,6 +250,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_plot.add_argument("file", type=pathlib.Path, help="JSON written by 'figure --json'")
     p_plot.add_argument("--width", type=int, default=64)
     p_plot.add_argument("--height", type=int, default=16)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure campaign throughput; write BENCH_<stamp>.json and "
+        "optionally gate against a committed baseline",
+    )
+    p_bench.add_argument(
+        "--grid",
+        default="default",
+        choices=["smoke", "default", "full"],
+        help="workload size: 'smoke' (seconds, the CI gate), 'default' "
+        "(local before/after), 'full' (chasing small effects)",
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=None, help="pool size for parallel stages"
+    )
+    p_bench.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("."),
+        help="directory for the BENCH_<stamp>.json report (default: cwd)",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="baseline report to diff against (default: latest under "
+        "benchmarks/baselines/)",
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any stage regresses more than --tolerance "
+        "against the baseline",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional rate drop per stage before --check fails "
+        "(default: 0.25)",
+    )
 
     p_abl = sub.add_parser("ablate", help="ablation experiments")
     p_abl.add_argument("which", choices=["f", "q", "adversaries"])
@@ -515,6 +574,49 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_reports,
+        find_baseline,
+        render_report,
+        run_bench,
+        write_report,
+    )
+    from repro.bench.harness import render_diff
+
+    report = run_bench(
+        args.grid,
+        workers=args.workers,
+        progress=lambda stage: print(f"running {stage} ...", file=sys.stderr),
+    )
+    path = write_report(report, args.out)
+    print(render_report(report))
+    print(f"wrote {path}")
+    baseline_path = find_baseline(args.baseline)
+    if baseline_path is None or not baseline_path.exists():
+        print("no baseline found; skipping comparison", file=sys.stderr)
+        return 0
+    import json as _json
+
+    try:
+        diffs = compare_reports(
+            report,
+            _json.loads(baseline_path.read_text()),
+            tolerance=args.tolerance,
+        )
+    except (ValueError, _json.JSONDecodeError) as exc:
+        print(f"cannot compare against {baseline_path}: {exc}", file=sys.stderr)
+        return 1 if args.check else 0
+    print(f"\nvs baseline {baseline_path.name} (tolerance {args.tolerance:.0%}):")
+    print(render_diff(diffs))
+    regressed = [d for d in diffs if d.regressed]
+    if regressed and args.check:
+        names = ", ".join(d.stage for d in regressed)
+        print(f"REGRESSION: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     f = args.f if args.f is not None else round(0.3 * args.n)
     seeds = tuple(range(args.seeds))
@@ -560,6 +662,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_decompose(args)
     if args.command == "plot":
         return _cmd_plot(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

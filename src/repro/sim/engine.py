@@ -27,6 +27,18 @@ action is scheduled, a message arrives, or the adversary asked to be
 woken). With UGF delays of order ``F^2`` this is the difference
 between simulating tens of steps and tens of thousands.
 
+**Scheduling structure.** Awake processes' next-action steps live in a
+min-heap of ``(step, pid)`` entries with lazy invalidation (the dense
+``_next_action`` array stays the authority; a popped entry that no
+longer matches it is stale and discarded). Both the who-acts-now scan
+and the earliest-next-action query are therefore O(active) instead of
+O(N) boolean-mask passes per global step — the difference shows at
+large N, where most processes are asleep for most of a run's steps.
+Entries are unique per live process (one is pushed exactly when a
+process schedules: at wake, or when a local step continues), and
+``(step, pid)`` ordering preserves the ascending-pid execution order
+within a step that determinism rests on.
+
 **Termination.** The run is *quiescent* when no correct process is
 awake and no message is in flight toward a correct process; nothing
 can ever happen again (crash-bound messages are inert). The engine
@@ -37,6 +49,7 @@ is returned flagged ``completed=False``.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -138,6 +151,10 @@ class Simulator:
         self.status_codes = np.zeros(n, dtype=np.int8)  # all AWAKE
         self._next_action = np.zeros(n, dtype=np.int64)  # first local step at t=0
         self._awake_count = n
+        # Awake-candidate min-heap of (step, pid); lazily invalidated
+        # against _next_action/status_codes (see module docstring).
+        # Every process's first local step is at t=0 — already a heap.
+        self._action_heap: list[tuple[int, int]] = [(0, pid) for pid in range(n)]
 
         self.step_sends: list[Message] = []
         self.view = SystemView(self)
@@ -205,8 +222,10 @@ class Simulator:
         self.mailboxes[rho].put(msg)
         if self.status_codes[rho] == _ASLEEP:
             # Wake: the new local step begins at the current step.
+            now = self.clock.now
             self.status_codes[rho] = _AWAKE
-            self._next_action[rho] = self.clock.now
+            self._next_action[rho] = now
+            heapq.heappush(self._action_heap, (now, rho))
             self._awake_count += 1
             self.runtimes[rho].wake(self.clock.now)
             self.trace.on_wake(self.clock.now, rho)
@@ -214,28 +233,42 @@ class Simulator:
                 self.sanitizer.on_wake(self.clock.now, rho)
 
     def _run_local_steps(self, now: GlobalStep) -> None:
-        due = np.flatnonzero(
-            (self.status_codes == _AWAKE) & (self._next_action == now)
-        )
+        # Collect the due set first (ascending pid, courtesy of the
+        # (step, pid) heap order), then run callbacks — matching the
+        # old compute-due-then-act semantics exactly.
+        heap = self._action_heap
+        next_action = self._next_action
+        status = self.status_codes
+        due: list[int] = []
+        while heap and heap[0][0] <= now:
+            step, rho = heapq.heappop(heap)
+            if status[rho] != _AWAKE or next_action[rho] != step:
+                continue  # stale: the process slept, crashed or rescheduled
+            if step < now:
+                raise SimulationError(
+                    f"scheduling stalled: process {rho} was due at {step}, now {now}"
+                )
+            due.append(rho)
         san = self.sanitizer
         for rho in due:
-            rho = int(rho)
             inbox = self.mailboxes[rho].drain()
             self._ctx.rebind(rho, now, inbox, self._send_sink)
             self.runtimes[rho].note_action()
             wants_sleep = self.protocol.on_local_step(self._ctx)
-            if self.status_codes[rho] == _CRASHED:
+            if status[rho] == _CRASHED:
                 # An adversary acting from inside a protocol callback is
                 # not part of the model; guard anyway.
                 continue
             if wants_sleep:
-                self.status_codes[rho] = _ASLEEP
-                self._next_action[rho] = _NEVER
+                status[rho] = _ASLEEP
+                next_action[rho] = _NEVER
                 self._awake_count -= 1
                 self.runtimes[rho].fall_asleep(now)
                 self.trace.on_sleep(now, rho)
             else:
-                self._next_action[rho] = now + self.timing.local_step_time(rho)
+                nxt = now + self.timing.local_step_time(rho)
+                next_action[rho] = nxt
+                heapq.heappush(heap, (nxt, rho))
             if san is not None:
                 san.on_local_step(now, rho, wants_sleep)
 
@@ -248,8 +281,16 @@ class Simulator:
             return now + 1
         candidates: list[int] = []
         if self._awake_count:
-            awake = self.status_codes == _AWAKE
-            candidates.append(int(self._next_action[awake].min()))
+            # Peek the earliest live heap entry, discarding stale ones.
+            heap = self._action_heap
+            next_action = self._next_action
+            status = self.status_codes
+            while heap:
+                step, rho = heap[0]
+                if status[rho] == _AWAKE and next_action[rho] == step:
+                    candidates.append(step)
+                    break
+                heapq.heappop(heap)
         arrival = self.network.next_arrival_step()
         if arrival is not None:
             candidates.append(arrival)

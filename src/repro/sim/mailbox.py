@@ -17,10 +17,11 @@ __all__ = ["Mailbox"]
 class Mailbox:
     """FIFO buffer of arrived-but-not-yet-processed messages."""
 
-    __slots__ = ("_pending", "_total_received")
+    __slots__ = ("_pending", "_spare", "_total_received")
 
     def __init__(self) -> None:
         self._pending: list[Message] = []
+        self._spare: list[Message] = []
         self._total_received = 0
 
     def put(self, message: Message) -> None:
@@ -31,12 +32,19 @@ class Mailbox:
     def drain(self) -> list[Message]:
         """Remove and return all pending messages, in arrival order.
 
-        Returns a fresh list; the caller owns it.
+        The two backing lists are *recycled* by swapping rather than
+        reallocated per local step (drain is called once per local
+        step of every process — the engine's hottest allocation site).
+        The returned list is therefore only valid until the **next**
+        drain of this mailbox: the engine consumes it inside the local
+        step it was drained for, and protocols must not retain it
+        (copy if needed — same ownership convention as payloads).
         """
-        if not self._pending:
-            return []
         out = self._pending
-        self._pending = []
+        spare = self._spare
+        spare.clear()  # invalidates the list handed out last drain
+        self._pending = spare
+        self._spare = out
         return out
 
     def __len__(self) -> int:

@@ -14,7 +14,7 @@ path allocation-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro._typing import GlobalStep, ProcessId
@@ -56,6 +56,13 @@ class Message:
         ``d_sender`` is the sender's delivery time *at send time*
         (later retimings do not affect messages already in flight;
         see :class:`repro.sim.network.Network`).
+    size:
+        Wire size of the payload in bytes, fixed at construction.
+        Caching it here means :func:`payload_size` (a ``getattr``
+        probe) runs once per message instead of once per send *plus*
+        once per trace/sanitizer hook that wants the size. ``None``
+        (the default, for hand-built messages in tests) computes it
+        lazily at construction.
     """
 
     sender: ProcessId
@@ -63,6 +70,11 @@ class Message:
     payload: Any
     sent_at: GlobalStep
     arrives_at: GlobalStep
+    size: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            object.__setattr__(self, "size", payload_size(self.payload))
 
     def latency(self) -> int:
         """Delivery time experienced by this message, in global steps."""

@@ -15,7 +15,12 @@ queue, O(1) per send and per delivery, with no heap overhead.
 For quiescence detection the network maintains the count of in-flight
 messages addressed to *correct* processes: messages to crashed
 receivers can never cause any future event, so they must not keep the
-simulation alive.
+simulation alive. The count is backed by a per-receiver in-flight
+counter array, so a crash settles the books in O(1) — subtract the
+victim's counter and zero it — instead of scanning every bucket for
+messages addressed to the victim (O(in-flight), and the old scan's
+"was this message already discounted?" reasoning was a standing
+double-decrement hazard).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ class Network:
         "_sanitizer",
         "_buckets",
         "_inflight_to_correct",
+        "_inflight_by_receiver",
         "_crashed",
         "_omitted",
         "_last_delivered_step",
@@ -55,6 +61,8 @@ class Network:
         self._sanitizer = sanitizer
         self._buckets: dict[GlobalStep, list[Message]] = {}
         self._inflight_to_correct = 0
+        # In-flight messages per (correct) receiver; zeroed at crash.
+        self._inflight_by_receiver = [0] * n
         self._crashed: set[ProcessId] = set()
         self._omitted: set[ProcessId] = set()
         self._last_delivered_step: GlobalStep = 0
@@ -78,8 +86,11 @@ class Network:
         if receiver == sender:
             raise ProtocolViolation(f"process {sender} sent a message to itself")
         arrives = now + self._timing.delivery_time(sender)
-        msg = Message(sender, receiver, payload, sent_at=now, arrives_at=arrives)
-        self._trace.on_send(now, sender, receiver, payload_size(payload))
+        size = payload_size(payload)
+        msg = Message(
+            sender, receiver, payload, sent_at=now, arrives_at=arrives, size=size
+        )
+        self._trace.on_send(now, sender, receiver, size)
         if self._sanitizer is not None:
             self._sanitizer.on_send(now, msg)
         if sender in self._omitted:
@@ -92,6 +103,7 @@ class Network:
         self._buckets.setdefault(arrives, []).append(msg)
         if receiver not in self._crashed:
             self._inflight_to_correct += 1
+            self._inflight_by_receiver[receiver] += 1
         return msg
 
     # -- delivery -----------------------------------------------------------------
@@ -118,14 +130,15 @@ class Network:
         san = self._sanitizer
         for msg in bucket:
             if msg.receiver in self._crashed:
-                # The in-flight-to-correct count was decremented when the
-                # receiver crashed (see on_crash), or never incremented if
-                # it was already crashed at send time.
+                # Already settled: the receiver's per-receiver counter
+                # was subtracted and zeroed at crash time (on_crash),
+                # or never incremented if it was crashed at send time.
                 self._trace.on_drop(now, msg.sender, msg.receiver)
                 if san is not None:
                     san.on_drop(now, msg)
                 continue
             self._inflight_to_correct -= 1
+            self._inflight_by_receiver[msg.receiver] -= 1
             deposit(msg)
             delivered.append(msg)
             self._trace.on_deliver(now, msg.sender, msg.receiver)
@@ -153,14 +166,19 @@ class Network:
     # -- crash bookkeeping -----------------------------------------------------
 
     def on_crash(self, rho: ProcessId) -> None:
-        """Mark *rho* crashed; its pending inbound messages become inert."""
+        """Mark *rho* crashed; its pending inbound messages become inert.
+
+        O(1): the per-receiver counter already knows how many in-flight
+        messages address *rho*, so they are discounted wholesale and the
+        counter is zeroed — the messages themselves stay in their
+        buckets and are dropped (without further accounting) at their
+        arrival step.
+        """
         if rho in self._crashed:
             return
         self._crashed.add(rho)
-        for bucket in self._buckets.values():
-            for msg in bucket:
-                if msg.receiver == rho:
-                    self._inflight_to_correct -= 1
+        self._inflight_to_correct -= self._inflight_by_receiver[rho]
+        self._inflight_by_receiver[rho] = 0
 
     # -- quiescence support ------------------------------------------------------
 
@@ -168,6 +186,10 @@ class Network:
     def inflight_to_correct(self) -> int:
         """Messages in flight whose receiver is still correct."""
         return self._inflight_to_correct
+
+    def inflight_to(self, rho: ProcessId) -> int:
+        """In-flight messages addressed to *rho* (0 once crashed)."""
+        return self._inflight_by_receiver[rho]
 
     def next_arrival_step(self) -> GlobalStep | None:
         """Earliest pending arrival step, or None when nothing is in flight.

@@ -21,6 +21,17 @@ Outcomes are also the unit of persistence for the campaign layer's
 content-addressed trial cache: :meth:`Outcome.to_dict` /
 :meth:`Outcome.from_dict` round-trip every field — numpy counters
 included — bit-identically through JSON.
+
+For the hot paths — worker-pool IPC and ``trials.jsonl`` store lines —
+there is additionally a *compact wire format*: :meth:`Outcome.to_wire`
+/ :meth:`Outcome.from_wire`. It is positional (no repeated field
+names), converts each numpy counter exactly once via ``tolist()``
+(an order of magnitude cheaper than a per-element ``int()``
+comprehension), and stays JSON-safe so the same representation is
+pickled across the process pool and appended to the store. The wire
+format is additive: ``to_dict`` records remain readable everywhere,
+and campaign cache keys hash the *spec*, never the outcome encoding,
+so existing caches stay valid.
 """
 
 from __future__ import annotations
@@ -33,7 +44,11 @@ import numpy as np
 from repro._typing import GlobalStep, ProcessId
 from repro.errors import IncompleteRunError
 
-__all__ = ["Outcome"]
+__all__ = ["Outcome", "WIRE_VERSION"]
+
+#: Version tag leading every wire record; bump on layout changes so a
+#: reader never misinterprets positional fields.
+WIRE_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,13 +169,13 @@ class Outcome:
             "t_end": int(self.t_end),
             "max_local_step_time": self.max_local_step_time,
             "max_delivery_time": self.max_delivery_time,
-            "sent": [int(x) for x in self.sent],
-            "received": [int(x) for x in self.received],
-            "bytes_sent": [int(x) for x in self.bytes_sent],
+            "sent": self.sent.tolist(),
+            "received": self.received.tolist(),
+            "bytes_sent": self.bytes_sent.tolist(),
             "crashed": [int(p) for p in self.crashed],
             "crash_steps": [[int(p), int(s)] for p, s in sorted(self.crash_steps.items())],
-            "sleep_counts": [int(x) for x in self.sleep_counts],
-            "wake_counts": [int(x) for x in self.wake_counts],
+            "sleep_counts": self.sleep_counts.tolist(),
+            "wake_counts": self.wake_counts.tolist(),
             "steps_simulated": self.steps_simulated,
             "strategy_label": self.strategy_label,
             "sanitizer": self.sanitizer,
@@ -190,4 +205,106 @@ class Outcome:
             steps_simulated=int(data.get("steps_simulated", 0)),
             strategy_label=data.get("strategy_label"),
             sanitizer=data.get("sanitizer"),
+        )
+
+    def to_wire(self) -> list[Any]:
+        """Compact positional encoding; exact inverse of :meth:`from_wire`.
+
+        Used for worker-pool IPC (pickled) and ``trials.jsonl`` store
+        lines (JSON). Field names are implied by position, numpy
+        counters are converted once with ``tolist()``, and
+        ``crash_steps`` is flattened into an alternating
+        ``[pid, step, pid, step, ...]`` list. Every element is
+        JSON-native, so ``json.dumps(outcome.to_wire())`` is valid and
+        round-trips bit-identically (JSON turns the list into itself).
+        """
+        crash_steps: list[int] = []
+        for pid in sorted(self.crash_steps):
+            crash_steps.append(int(pid))
+            crash_steps.append(int(self.crash_steps[pid]))
+        return [
+            WIRE_VERSION,
+            self.n,
+            self.f,
+            self.seed,
+            self.protocol_name,
+            self.adversary_name,
+            self.completed,
+            self.rumor_gathering_ok,
+            int(self.t_end),
+            self.max_local_step_time,
+            self.max_delivery_time,
+            self.sent.tolist(),
+            self.received.tolist(),
+            self.bytes_sent.tolist(),
+            [int(p) for p in self.crashed],
+            crash_steps,
+            self.sleep_counts.tolist(),
+            self.wake_counts.tolist(),
+            self.steps_simulated,
+            self.strategy_label,
+            self.sanitizer,
+        ]
+
+    @classmethod
+    def from_wire(cls, wire: "list[Any] | tuple[Any, ...]") -> "Outcome":
+        """Rebuild an outcome encoded by :meth:`to_wire`.
+
+        Accepts lists or tuples (JSON decodes to lists, pickle keeps
+        whatever was sent). Raises ``ValueError`` on an unknown wire
+        version rather than guessing at positional semantics.
+        """
+        if not wire or wire[0] != WIRE_VERSION:
+            version = wire[0] if wire else None
+            raise ValueError(
+                f"unsupported outcome wire version {version!r} "
+                f"(supported: {WIRE_VERSION})"
+            )
+        (
+            _version,
+            n,
+            f,
+            seed,
+            protocol_name,
+            adversary_name,
+            completed,
+            rumor_gathering_ok,
+            t_end,
+            max_local_step_time,
+            max_delivery_time,
+            sent,
+            received,
+            bytes_sent,
+            crashed,
+            crash_steps,
+            sleep_counts,
+            wake_counts,
+            steps_simulated,
+            strategy_label,
+            sanitizer,
+        ) = wire
+        return cls(
+            n=int(n),
+            f=int(f),
+            seed=int(seed),
+            protocol_name=protocol_name,
+            adversary_name=adversary_name,
+            completed=bool(completed),
+            rumor_gathering_ok=bool(rumor_gathering_ok),
+            t_end=int(t_end),
+            max_local_step_time=int(max_local_step_time),
+            max_delivery_time=int(max_delivery_time),
+            sent=np.asarray(sent, dtype=np.int64),
+            received=np.asarray(received, dtype=np.int64),
+            bytes_sent=np.asarray(bytes_sent, dtype=np.int64),
+            crashed=tuple(int(p) for p in crashed),
+            crash_steps={
+                int(crash_steps[i]): int(crash_steps[i + 1])
+                for i in range(0, len(crash_steps), 2)
+            },
+            sleep_counts=np.asarray(sleep_counts, dtype=np.int64),
+            wake_counts=np.asarray(wake_counts, dtype=np.int64),
+            steps_simulated=int(steps_simulated),
+            strategy_label=strategy_label,
+            sanitizer=sanitizer,
         )

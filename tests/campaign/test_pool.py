@@ -1,0 +1,124 @@
+"""Unit tests for the chunked worker pool."""
+
+import json
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.campaign.pool import WorkerPool, run_trial_batch
+from repro.experiments.config import TrialSpec
+from repro.sim.outcome import Outcome
+
+
+def trial(seed: int = 0, **overrides) -> TrialSpec:
+    base = dict(protocol="flood", adversary="none", n=8, f=0, seed=seed)
+    base.update(overrides)
+    return TrialSpec(**base)
+
+
+def wires(results):
+    return [json.dumps(r.outcome.to_wire()) for r in results]
+
+
+# -- chunk auto-tuning -----------------------------------------------------------
+
+
+def test_chunk_size_auto_tunes_to_waves_per_worker():
+    pool = WorkerPool(4)
+    # 4 workers * 4 waves = 16 target chunks.
+    assert pool._chunk_for(16) == 1
+    assert pool._chunk_for(160) == 10
+    # ...but never above the hard cap.
+    assert pool._chunk_for(100_000) == 64
+
+
+def test_chunk_size_can_be_pinned():
+    pool = WorkerPool(4, chunk_size=7)
+    assert pool._chunk_for(10) == 7
+    assert pool._chunk_for(100_000) == 7
+
+
+# -- result semantics ------------------------------------------------------------
+
+
+def test_inline_pool_preserves_submission_order():
+    specs = [trial(seed) for seed in range(5)]
+    with WorkerPool(1) as pool:
+        results = pool.execute(specs)
+    assert [r.spec for r in results] == specs
+    assert all(r.ok for r in results)
+
+
+def test_parallel_chunked_matches_inline():
+    specs = [trial(seed) for seed in range(6)]
+    with WorkerPool(1) as inline_pool:
+        inline = inline_pool.execute(specs)
+    with WorkerPool(2, chunk_size=2) as pool:
+        chunked = pool.execute(specs)
+    assert [r.spec for r in chunked] == specs
+    assert wires(chunked) == wires(inline)
+
+
+def test_error_carries_the_full_worker_traceback():
+    specs = [trial(0), trial(0, adversary="no-such-adversary"), trial(1)]
+    with WorkerPool(1) as pool:
+        ok1, failed, ok2 = pool.execute(specs)
+    assert ok1.ok and ok2.ok and not failed.ok
+    assert "Traceback (most recent call last)" in failed.error
+    assert "no-such-adversary" in failed.error
+
+
+def test_run_trial_batch_returns_tagged_wire_pairs():
+    batch = run_trial_batch([trial(0), trial(0, protocol="no-such-protocol")])
+    assert [tag for tag, _ in batch] == ["ok", "error"]
+    outcome = Outcome.from_wire(batch[0][1])
+    assert outcome.n == 8 and outcome.completed
+    assert "Traceback" in batch[1][1]
+
+
+def test_trial_timeout_fails_the_trial_not_the_batch():
+    # A 50-process trial takes milliseconds; a microsecond budget
+    # must trip while the spec stays otherwise valid.
+    specs = [trial(0), trial(1, n=50, f=15, adversary="ugf")]
+    with WorkerPool(1, trial_timeout=1e-6) as pool:
+        results = pool.execute(specs)
+    assert all(not r.ok for r in results)
+    assert all("TrialTimeout" in r.error for r in results)
+    with WorkerPool(1, trial_timeout=60.0) as pool:
+        assert all(r.ok for r in pool.execute(specs))
+
+
+# -- broken-pool recovery --------------------------------------------------------
+
+
+class _BrokenExecutor:
+    """Stub executor whose every future dies like an OOM-killed worker."""
+
+    def __init__(self):
+        self.submitted = 0
+
+    def submit(self, fn, *args, **kwargs):
+        self.submitted += 1
+        future = Future()
+        future.set_exception(BrokenProcessPool("a worker died abruptly"))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def test_broken_pool_recovers_chunks_inline():
+    specs = [trial(seed) for seed in range(8)]
+    with WorkerPool(1) as inline_pool:
+        expected = wires(inline_pool.execute(specs))
+    pool = WorkerPool(2, chunk_size=2)
+    broken = _BrokenExecutor()
+    pool._executor = broken
+    try:
+        results = pool.execute(specs)
+    finally:
+        pool.close()
+    # Every chunk was submitted, failed, and re-ran inline — results
+    # are complete, correct, and still in submission order.
+    assert broken.submitted == 4
+    assert [r.spec for r in results] == specs
+    assert wires(results) == expected

@@ -130,3 +130,48 @@ def test_interleaved_writers_do_not_corrupt_the_store(tmp_path):
     assert fresh.get(trial_key(spec_a)) is not None
     assert fresh.get(trial_key(spec_b)) is not None
     assert fresh.skipped_lines == 0
+
+
+# -- wire-format records ---------------------------------------------------------
+
+
+def test_new_records_are_wire_format(tmp_path):
+    store = TrialStore(tmp_path)
+    spec = trial()
+    store.put(trial_key(spec), spec_fingerprint(spec), run_trial(spec))
+    record = json.loads((tmp_path / "trials.jsonl").read_text())
+    assert isinstance(record["wire"], list)
+    assert "outcome" not in record
+
+
+def test_legacy_dict_records_still_load(tmp_path):
+    spec = trial()
+    key = trial_key(spec)
+    outcome = run_trial(spec)
+    legacy = {
+        "key": key,
+        "spec": spec_fingerprint(spec),
+        "outcome": outcome.to_dict(),
+    }
+    (tmp_path / "trials.jsonl").write_text(
+        json.dumps(legacy, separators=(",", ":")) + "\n"
+    )
+    got = TrialStore(tmp_path).get(key)
+    assert got is not None
+    assert got.to_dict() == outcome.to_dict()
+
+
+def test_put_many_appends_every_record_atomically(tmp_path):
+    specs = [trial(seed) for seed in range(3)]
+    items = [
+        (trial_key(s), spec_fingerprint(s), run_trial(s)) for s in specs
+    ]
+    with TrialStore(tmp_path) as store:
+        store.put_many(items)
+    lines = (tmp_path / "trials.jsonl").read_text().splitlines()
+    assert len(lines) == 3
+    reloaded = TrialStore(tmp_path)
+    for (key, _, outcome), spec in zip(items, specs):
+        got = reloaded.get(key)
+        assert got is not None
+        assert np.array_equal(got.sent, outcome.sent)

@@ -57,9 +57,12 @@ def test_fingerprints_rebuild_the_spec(cache):
 
 
 def test_tampered_outcome_is_a_mismatch(cache):
+    from dataclasses import replace
+
     path, lines = _lines(cache)
     record = json.loads(lines[0])
-    record["outcome"]["t_end"] = record["outcome"]["t_end"] + 1
+    outcome = Outcome.from_wire(record["wire"])
+    record["wire"] = replace(outcome, t_end=outcome.t_end + 1).to_wire()
     lines[0] = json.dumps(record, separators=(",", ":"))
     path.write_text("\n".join(lines) + "\n")
     audit = audit_cache(cache)
@@ -67,6 +70,19 @@ def test_tampered_outcome_is_a_mismatch(cache):
     assert audit.counts == {"mismatch": 1, "ok": SWEEP.n_trials - 1}
     bad = next(r for r in audit.records if r.status == "mismatch")
     assert "t_end" in bad.detail
+
+
+def test_legacy_dict_records_still_audit_ok(cache):
+    # PR-1 caches stored the outcome as a field dict under "outcome";
+    # they must keep auditing cleanly next to wire records.
+    path, lines = _lines(cache)
+    record = json.loads(lines[0])
+    record["outcome"] = Outcome.from_wire(record.pop("wire")).to_dict()
+    lines[0] = json.dumps(record, separators=(",", ":"))
+    path.write_text("\n".join(lines) + "\n")
+    audit = audit_cache(cache)
+    assert audit.ok
+    assert audit.counts == {"ok": SWEEP.n_trials}
 
 
 def test_tampered_key_is_caught(cache):

@@ -52,7 +52,7 @@ def test_check_flags_a_tampered_cache(tmp_path, capsys):
     path = cache / "trials.jsonl"
     lines = path.read_text().splitlines()
     record = json.loads(lines[0])
-    record["outcome"]["t_end"] += 7  # forge a result
+    record["wire"][8] += 7  # forge t_end (wire slot 8)
     lines[0] = json.dumps(record, separators=(",", ":"))
     path.write_text("\n".join(lines) + "\n")
 

@@ -49,11 +49,24 @@ def test_bool_reflects_pending():
     assert box
 
 
-def test_drain_returns_fresh_list():
+def test_drain_recycles_lists_by_swapping():
+    """The returned list is valid until the next drain, then recycled.
+
+    Two backing lists alternate: consecutive drains return distinct
+    objects (the engine reads a drained inbox while the mailbox may
+    already collect new arrivals), and the list handed out two drains
+    ago is reused rather than reallocated.
+    """
     box = Mailbox()
     box.put(_msg(0))
     first = box.drain()
+    assert [m.payload for m in first] == [0]
     box.put(_msg(1))
     second = box.drain()
     assert first is not second
-    assert len(first) == 1 and len(second) == 1
+    assert [m.payload for m in second] == [1]
+    # Third drain recycles the first list's storage (swap, no alloc).
+    box.put(_msg(2))
+    third = box.drain()
+    assert third is first
+    assert [m.payload for m in third] == [2]

@@ -113,3 +113,80 @@ def test_pending_iterates_in_arrival_order():
     timing.set_delivery_time(0, 1)
     net.send(0, 2, "early", now=0)
     assert [m.payload for m in net.pending()] == ["early", "late"]
+
+
+# -- per-receiver in-flight accounting -------------------------------------------
+
+
+def inflight_invariant(net: Network, n: int = 4) -> bool:
+    """The aggregate counter is always the sum of the per-receiver ones."""
+    return net.inflight_to_correct == sum(net.inflight_to(r) for r in range(n))
+
+
+def test_per_receiver_counters_track_sends_and_deliveries():
+    net, _, _ = make_network()
+    net.send(0, 1, "a", now=0)
+    net.send(0, 1, "b", now=0)
+    net.send(2, 3, "c", now=0)
+    assert net.inflight_to(1) == 2 and net.inflight_to(3) == 1
+    assert net.inflight_to(0) == 0
+    assert inflight_invariant(net)
+    collect(net, 1)
+    assert net.inflight_to(1) == 0 and net.inflight_to(3) == 0
+    assert inflight_invariant(net)
+
+
+def test_crash_mid_flight_settles_only_the_victim():
+    net, _, _ = make_network()
+    net.send(0, 1, "to-victim", now=0)
+    net.send(0, 1, "to-victim-too", now=0)
+    net.send(0, 3, "to-survivor", now=0)
+    net.on_crash(1)
+    assert net.inflight_to(1) == 0
+    assert net.inflight_to(3) == 1
+    assert net.inflight_to_correct == 1
+    assert inflight_invariant(net)
+    # Arrival step: the victim's messages drop without re-discounting,
+    # the survivor's delivers; nothing goes negative.
+    delivered = collect(net, 1)
+    assert [m.payload for m in delivered] == ["to-survivor"]
+    assert net.inflight_to_correct == 0
+    assert inflight_invariant(net)
+
+
+def test_send_to_already_crashed_receiver_is_never_counted():
+    net, _, _ = make_network()
+    net.on_crash(1)
+    net.send(0, 1, "dead-letter", now=0)
+    assert net.inflight_to(1) == 0
+    assert net.inflight_to_correct == 0
+    collect(net, 1)  # the drop must not drive counters negative
+    assert net.inflight_to_correct == 0
+    assert inflight_invariant(net)
+
+
+def test_inflight_invariant_under_random_crash_interleavings():
+    import random
+
+    rng = random.Random(7)
+    net, timing, _ = make_network(8)
+    alive = set(range(8))
+    now = 0
+    for _ in range(300):
+        action = rng.random()
+        if action < 0.6:
+            sender = rng.randrange(8)
+            receiver = rng.choice([p for p in range(8) if p != sender])
+            timing.set_delivery_time(sender, rng.randint(1, 5))
+            net.send(sender, receiver, "x", now=now)
+        elif action < 0.8 and len(alive) > 1:
+            victim = rng.choice(sorted(alive))
+            alive.discard(victim)
+            net.on_crash(victim)
+        else:
+            step = net.next_arrival_step()
+            if step is not None:
+                now = max(now, step)
+                collect(net, now)
+        assert inflight_invariant(net, 8)
+        assert all(net.inflight_to(r) == 0 for r in range(8) if r not in alive)

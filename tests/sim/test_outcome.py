@@ -78,3 +78,41 @@ def test_bandwidth_sums_bytes():
 def test_summary_mentions_truncation():
     assert "TRUNCATED" in make_outcome(completed=False).summary()
     assert "M=13" in make_outcome().summary()
+
+
+# -- wire format -----------------------------------------------------------------
+
+
+def test_wire_round_trip_preserves_every_field():
+    outcome = make_outcome(
+        strategy_label="str-2.1.0",
+        sanitizer={"mode": "warn", "total_violations": 0},
+    )
+    back = Outcome.from_wire(outcome.to_wire())
+    assert back.to_dict() == outcome.to_dict()
+    assert back.crash_steps == outcome.crash_steps
+
+
+def test_wire_survives_json_byte_identically():
+    import json
+
+    outcome = make_outcome()
+    wire = outcome.to_wire()
+    decoded = json.loads(json.dumps(wire))
+    assert decoded == wire
+    assert Outcome.from_wire(decoded).to_dict() == outcome.to_dict()
+
+
+def test_wire_rejects_unknown_versions():
+    wire = make_outcome().to_wire()
+    wire[0] = 999
+    with pytest.raises(ValueError, match="wire version"):
+        Outcome.from_wire(wire)
+    with pytest.raises(ValueError, match="wire version"):
+        Outcome.from_wire([])
+
+
+def test_wire_and_dict_agree():
+    outcome = make_outcome()
+    assert Outcome.from_wire(outcome.to_wire()).to_dict() == outcome.to_dict()
+    assert Outcome.from_dict(outcome.to_dict()).to_wire() == outcome.to_wire()

@@ -366,3 +366,35 @@ def test_parser_rejects_unknown_protocol():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_sweep_accepts_trial_timeout(capsys):
+    code = main(
+        ["sweep", "--protocol", "flood", "--adversary", "none",
+         "--n", "8", "--seeds", "2", "--workers", "1",
+         "--no-cache", "--trial-timeout", "60"]
+    )
+    assert code == 0
+    assert "n,f," in capsys.readouterr().out
+
+
+def test_bench_smoke_grid_writes_report(tmp_path, capsys):
+    import json
+
+    code = main(
+        ["bench", "--grid", "smoke", "--workers", "1",
+         "--out", str(tmp_path), "--baseline", str(tmp_path / "none.json")]
+    )
+    assert code == 0
+    reports = list(tmp_path.glob("BENCH_*.json"))
+    assert len(reports) == 1
+    report = json.loads(reports[0].read_text())
+    assert report["schema"] == 1
+    assert set(report["stages"]) == {
+        "engine_inline", "cold_parallel", "warm_replay",
+        "wire_format", "dispatch",
+    }
+    assert all(s["rate"] > 0 for s in report["stages"].values())
+    assert report["env"]["cpu_count"] >= 1
+    out = capsys.readouterr().out
+    assert "wrote" in out and "engine_inline" in out
