@@ -1,11 +1,14 @@
 """End-to-end throughput benchmark of the campaign execution stack.
 
-``repro-ugf bench`` runs five stages against a throwaway cache and
+``repro-ugf bench`` runs six stages against a throwaway cache and
 reports a rate (units/second) for each:
 
 - ``engine_inline``  — ``run_trial`` in-process over the grid: the
   simulation kernel plus protocol layer, no pool, no cache. The
   number every other stage is implicitly compared against.
+- ``engine_metrics`` — the same grid with a live metrics registry
+  (docs/OBSERVABILITY.md); the gap to ``engine_inline`` is the
+  instrumentation overhead.
 - ``cold_parallel``  — the same grid through a :class:`Campaign` with
   a worker pool and an empty store: chunked dispatch, wire-format
   IPC, batched fsync — the production cold-sweep path.
@@ -132,6 +135,23 @@ def _stage_engine_inline(grid: BenchGrid) -> dict[str, Any]:
     t0 = time.perf_counter()
     for spec in specs:
         run_trial(spec)
+    return _stage(time.perf_counter() - t0, len(specs), "trials")
+
+
+def _stage_engine_metrics(grid: BenchGrid) -> dict[str, Any]:
+    """The engine_inline grid again with a live metrics registry.
+
+    The rate here against ``engine_inline`` is the observability tax;
+    ``benchmarks/bench_obs.py`` gates the same ratio at < 5%.
+    """
+    from repro.experiments.runner import run_trial
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    specs = list(_sweep_spec(grid).trials())
+    t0 = time.perf_counter()
+    for spec in specs:
+        run_trial(spec, metrics=registry)
     return _stage(time.perf_counter() - t0, len(specs), "trials")
 
 
@@ -281,6 +301,8 @@ def run_bench(
     stages: dict[str, dict[str, Any]] = {}
     note("engine_inline")
     stages["engine_inline"] = _stage_engine_inline(grid)
+    note("engine_metrics")
+    stages["engine_metrics"] = _stage_engine_metrics(grid)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         cache_dir = pathlib.Path(tmp) / "cache"
         note("cold_parallel")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 from dataclasses import dataclass, replace
 
 from repro.campaign.keys import spec_fingerprint, trial_key
@@ -32,6 +33,10 @@ from repro.campaign.store import TrialStore
 from repro.errors import CampaignError
 from repro.experiments.config import SweepSpec, TrialSpec
 from repro.sim.outcome import Outcome
+
+#: Longest error string carried into a telemetry record; full worker
+#: tracebacks stay on the TrialResult, telemetry only needs the gist.
+_TELEMETRY_ERROR_CHARS = 240
 
 __all__ = ["Campaign", "TrialResult", "default_cache_dir", "ENV_CACHE_DIR"]
 
@@ -102,6 +107,16 @@ class Campaign:
         ignore it, so cached outcomes (sanitized or not) are still
         served — only trials that actually *execute* run under the
         monitors, and their reports are persisted with the outcome.
+    metrics:
+        Observability switch (docs/OBSERVABILITY.md): ``True``/``"on"``
+        enables the session :class:`~repro.obs.registry.MetricsRegistry`
+        (engine spans, cache counters, store I/O spans, worker
+        registries merged per chunk) plus — when the campaign has a
+        cache dir — a structured ``telemetry.jsonl`` stream alongside
+        the trial store. ``None`` defers to ``$REPRO_METRICS``; off by
+        default. Like the sanitizer, metrics are instrumentation, not
+        trial identity: outcomes and cache keys are byte-identical
+        either way.
     """
 
     def __init__(
@@ -114,29 +129,55 @@ class Campaign:
         progress: ProgressCallback | None = None,
         trial_timeout: float | None = None,
         sanitize: str | None = None,
+        metrics=None,
     ) -> None:
+        from repro.obs.registry import resolve_metrics
+
         self.use_cache = use_cache
         self.fresh = fresh
         self.progress = progress
         self.sanitize = sanitize
-        self.store = TrialStore(cache_dir) if (cache_dir is not None and use_cache) else None
-        self.pool = WorkerPool(workers, trial_timeout=trial_timeout)
+        self.metrics = resolve_metrics(metrics)
+        self.store = (
+            TrialStore(cache_dir, metrics=self.metrics)
+            if (cache_dir is not None and use_cache)
+            else None
+        )
+        self.pool = WorkerPool(
+            workers, trial_timeout=trial_timeout, metrics=self.metrics
+        )
         self.stats = CampaignStats()
         self._memo: dict[str, Outcome] = {}
+        self.telemetry = None
+        if self.metrics is not None and cache_dir is not None:
+            from repro.obs.telemetry import TelemetrySink, telemetry_path
+
+            self.telemetry = TelemetrySink(telemetry_path(cache_dir))
 
     # -- lookup ------------------------------------------------------------------
 
     def _lookup(self, key: str | None) -> Outcome | None:
         if key is None:
             return None
+        m = self.metrics
         hit = self._memo.get(key)
         if hit is not None:
+            if m is not None:
+                m.count("campaign.memo_hits")
             return hit
         if self.store is not None and not self.fresh:
-            outcome = self.store.get(key)
+            if m is not None:
+                lookup_t0 = time.perf_counter()
+                outcome = self.store.get(key)
+                m.observe_span("campaign.cache_lookup", time.perf_counter() - lookup_t0)
+                m.count("campaign.store_hits" if outcome is not None else "campaign.cache_misses")
+            else:
+                outcome = self.store.get(key)
             if outcome is not None:
                 self._memo[key] = outcome
             return outcome
+        if m is not None:
+            m.count("campaign.cache_misses")
         return None
 
     # -- execution ---------------------------------------------------------------
@@ -152,11 +193,40 @@ class Campaign:
         callback = progress if progress is not None else self.progress
         total = len(specs)
         done = 0
+        batch_counts = {"executed": 0, "cached": 0, "failed": 0}
+        batch_t0 = time.perf_counter() if self.metrics is not None else 0.0
 
-        def emit(kind: str, spec: TrialSpec, error: str | None = None) -> None:
+        def emit(
+            kind: str,
+            spec: TrialSpec,
+            error: str | None = None,
+            outcome: Outcome | None = None,
+            seconds: float | None = None,
+        ) -> None:
             nonlocal done
             done += 1
             self.stats.count(kind)
+            batch_counts[kind] += 1
+            if self.metrics is not None:
+                self.metrics.count(f"campaign.trials_{kind}")
+            if self.telemetry is not None:
+                record = {
+                    "status": kind,
+                    "protocol": spec.protocol,
+                    "adversary": spec.adversary,
+                    "n": spec.n,
+                    "f": spec.f,
+                    "seed": spec.seed,
+                }
+                if seconds is not None:
+                    record["seconds"] = round(seconds, 6)
+                if outcome is not None:
+                    record["completed"] = outcome.completed
+                    record["t_end"] = int(outcome.t_end)
+                    record["messages"] = int(outcome.sent.sum())
+                if error is not None:
+                    record["error"] = error[:_TELEMETRY_ERROR_CHARS]
+                self.telemetry.emit("trial", **record)
             if callback is not None:
                 callback(
                     ProgressEvent(
@@ -177,7 +247,7 @@ class Campaign:
             outcome = self._lookup(key)
             if outcome is not None:
                 results[i] = TrialResult(spec=spec, outcome=outcome, cached=True)
-                emit("cached", spec)
+                emit("cached", spec, outcome=outcome)
             elif key is not None and key in first_pending:
                 duplicates.append((i, first_pending[key]))
             else:
@@ -209,7 +279,12 @@ class Campaign:
                             if len(to_persist) >= _STORE_FLUSH_EVERY:
                                 flush_store()
                     results[i] = TrialResult(spec=spec, outcome=result.outcome)
-                    emit("executed", spec)
+                    emit(
+                        "executed",
+                        spec,
+                        outcome=result.outcome,
+                        seconds=result.seconds,
+                    )
                 else:
                     results[i] = TrialResult(spec=spec, outcome=None, error=result.error)
                     emit("failed", spec, result.error)
@@ -224,7 +299,7 @@ class Campaign:
                 results[i] = TrialResult(
                     spec=primary.spec, outcome=primary.outcome, cached=True
                 )
-                emit("cached", primary.spec)
+                emit("cached", primary.spec, outcome=primary.outcome)
             else:
                 results[i] = TrialResult(
                     spec=primary.spec, outcome=None, error=primary.error
@@ -232,6 +307,16 @@ class Campaign:
                 emit("failed", primary.spec, primary.error)
 
         assert all(r is not None for r in results)
+        if self.metrics is not None:
+            batch_seconds = time.perf_counter() - batch_t0
+            self.metrics.observe_span("campaign.run_trials", batch_seconds)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "phase",
+                    trials=total,
+                    seconds=round(batch_seconds, 6),
+                    **batch_counts,
+                )
         return results  # type: ignore[return-value]
 
     def run_trial(self, spec: TrialSpec) -> Outcome:
@@ -268,6 +353,12 @@ class Campaign:
         self.pool.close()
         if self.store is not None:
             self.store.close()
+        if self.telemetry is not None:
+            # The session's merged registry goes last so `stats` can
+            # reconstruct the whole run from the telemetry stream alone.
+            if self.metrics is not None and len(self.metrics):
+                self.telemetry.emit("registry", metrics=self.metrics.to_wire())
+            self.telemetry.close()
 
     def __enter__(self) -> "Campaign":
         return self

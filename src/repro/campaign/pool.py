@@ -102,6 +102,9 @@ class ExecutionResult:
     spec: TrialSpec
     outcome: Outcome | None
     error: str | None = None
+    #: Wall-clock execution time, measured only when metrics are on
+    #: (None otherwise, and always None for cache-served trials).
+    seconds: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -138,36 +141,81 @@ def _deadline(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _execute_one(spec: TrialSpec, trial_timeout: float | None) -> ExecutionResult:
-    """Run one trial, capturing any failure as a full traceback string."""
+def _execute_one(
+    spec: TrialSpec, trial_timeout: float | None, metrics=None
+) -> ExecutionResult:
+    """Run one trial, capturing any failure as a full traceback string.
+
+    With a *metrics* registry the trial is additionally timed
+    (``campaign.trial`` span) — the registry is write-only, so the
+    outcome is bit-identical with or without it.
+    """
+    import time
+
     from repro.experiments.runner import run_trial
 
+    t0 = time.perf_counter() if metrics is not None else 0.0
     try:
         with _deadline(trial_timeout):
-            return ExecutionResult(spec=spec, outcome=run_trial(spec))
+            outcome = run_trial(spec, metrics=metrics)
     except Exception:
+        if metrics is not None:
+            metrics.count("campaign.trial_failures")
         return ExecutionResult(
             spec=spec, outcome=None, error=traceback.format_exc()
         )
+    seconds = None
+    if metrics is not None:
+        seconds = time.perf_counter() - t0
+        metrics.observe_span("campaign.trial", seconds)
+    return ExecutionResult(spec=spec, outcome=outcome, seconds=seconds)
 
 
 def run_trial_batch(
-    specs: list[TrialSpec], trial_timeout: float | None = None
-) -> list[tuple[str, Any]]:
+    specs: list[TrialSpec],
+    trial_timeout: float | None = None,
+    collect_metrics: bool = False,
+) -> "list[tuple[str, Any]] | dict[str, Any]":
     """Worker entry point: run a chunk of trials in submission order.
 
     Returns one ``("ok", wire)`` or ``("error", traceback)`` pair per
     spec — the compact wire encoding keeps the result pickle small and
     skips ndarray reconstruction on the worker side of the boundary.
+
+    With ``collect_metrics`` the chunk runs against a fresh per-chunk
+    :class:`~repro.obs.registry.MetricsRegistry` and the return value
+    becomes the extended chunk wire format::
+
+        {"v": 1, "results": [...pairs...], "seconds": [...],
+         "metrics": <registry wire>}
+
+    so the dispatching campaign can merge worker registries into its
+    session registry and attach per-trial wall times to telemetry.
+    The metrics-off shape is unchanged — byte-for-byte the pre-metrics
+    IPC payload — and consumers accept both (legacy tolerance).
     """
+    metrics = None
+    if collect_metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
     results: list[tuple[str, Any]] = []
+    seconds: list[float | None] = []
     for spec in specs:
-        result = _execute_one(spec, trial_timeout)
+        result = _execute_one(spec, trial_timeout, metrics)
+        seconds.append(result.seconds)
         if result.outcome is not None:
             results.append(("ok", result.outcome.to_wire()))
         else:
             results.append(("error", result.error))
-    return results
+    if metrics is None:
+        return results
+    return {
+        "v": 1,
+        "results": results,
+        "seconds": seconds,
+        "metrics": metrics.to_wire(),
+    }
 
 
 def _warm_worker() -> None:
@@ -199,10 +247,16 @@ class WorkerPool:
         *,
         trial_timeout: float | None = None,
         chunk_size: int | None = None,
+        metrics=None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.trial_timeout = trial_timeout
         self.chunk_size = chunk_size
+        #: Session MetricsRegistry (or None = metrics off). Inline
+        #: trials write into it directly; parallel chunks return a
+        #: per-chunk registry in the chunk wire format which is merged
+        #: here as each chunk completes.
+        self.metrics = metrics
         self._executor: ProcessPoolExecutor | None = None
 
     @property
@@ -243,9 +297,10 @@ class WorkerPool:
         artifact stream regardless of worker scheduling.
         """
         specs = list(specs)
+        collect = self.metrics is not None
         if not self.parallel or len(specs) <= 1:
             for spec in specs:
-                yield _execute_one(spec, self.trial_timeout)
+                yield _execute_one(spec, self.trial_timeout, self.metrics)
             return
 
         chunk = self._chunk_for(len(specs))
@@ -259,7 +314,7 @@ class WorkerPool:
             if batch is None:
                 return False
             future = self._ensure_executor().submit(
-                run_trial_batch, batch, self.trial_timeout
+                run_trial_batch, batch, self.trial_timeout, collect
             )
             window.append((batch, future))
             return True
@@ -269,22 +324,45 @@ class WorkerPool:
         while window:
             batch, future = window.popleft()
             try:
-                outcomes = future.result()
+                payload = future.result()
             except BrokenProcessPool:
                 # A worker died (OOM kill, hard crash). Rebuild the
                 # executor lazily and recover this chunk inline rather
                 # than failing the whole campaign; sibling in-flight
                 # chunks recover the same way as their futures fail.
                 self._discard_executor()
-                outcomes = run_trial_batch(batch, self.trial_timeout)
+                payload = run_trial_batch(batch, self.trial_timeout, collect)
             submit_next()
-            for spec, (tag, payload) in zip(batch, outcomes):
+            outcomes, seconds = self._unpack_chunk(payload, len(batch))
+            for spec, (tag, result), secs in zip(batch, outcomes, seconds):
                 if tag == "ok":
                     yield ExecutionResult(
-                        spec=spec, outcome=Outcome.from_wire(payload)
+                        spec=spec,
+                        outcome=Outcome.from_wire(result),
+                        seconds=secs,
                     )
                 else:
-                    yield ExecutionResult(spec=spec, outcome=None, error=payload)
+                    yield ExecutionResult(spec=spec, outcome=None, error=result)
+
+    def _unpack_chunk(
+        self, payload: Any, n_specs: int
+    ) -> tuple[list[tuple[str, Any]], list[float | None]]:
+        """Accept both chunk wire shapes (see :func:`run_trial_batch`).
+
+        The plain-list legacy shape carries no timings; the extended
+        dict shape additionally delivers the worker's per-chunk
+        registry, merged into the session registry here.
+        """
+        if isinstance(payload, dict):
+            results = payload["results"]
+            seconds = payload.get("seconds") or [None] * n_specs
+            wire = payload.get("metrics")
+            if wire is not None and self.metrics is not None:
+                from repro.obs.registry import MetricsRegistry
+
+                self.metrics.merge(MetricsRegistry.from_wire(wire))
+            return results, seconds
+        return payload, [None] * n_specs
 
     def execute(self, specs: list[TrialSpec]) -> list[ExecutionResult]:
         """Run *specs*, returning results in submission order."""

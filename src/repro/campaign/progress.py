@@ -64,3 +64,12 @@ class CampaignStats:
             f"{self.total} trials: {self.executed} executed, "
             f"{self.cached} cached, {self.failed} failed"
         )
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-safe form for telemetry records and ``stats --json``."""
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+        }

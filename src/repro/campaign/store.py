@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
 from typing import Any, Iterable
 
 try:  # POSIX-only; on other platforms appends are merely unlocked.
@@ -54,11 +55,19 @@ _FILENAME = "trials.jsonl"
 
 
 class TrialStore:
-    """Content-addressed, append-only persistence for outcomes."""
+    """Content-addressed, append-only persistence for outcomes.
 
-    def __init__(self, cache_dir: str | os.PathLike) -> None:
+    *metrics* is an optional write-only
+    :class:`~repro.obs.registry.MetricsRegistry`: store I/O is timed
+    as ``store.load`` / ``store.append`` spans and record counts are
+    tracked, so ``repro-ugf stats`` can show where campaign wall-clock
+    goes between engine time and persistence.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, *, metrics=None) -> None:
         self.cache_dir = pathlib.Path(cache_dir)
         self.path = self.cache_dir / _FILENAME
+        self.metrics = metrics
         #: Raw outcome payloads by key (wire lists or legacy dicts);
         #: outcomes deserialise lazily on get.
         self._index: dict[str, Any] | None = None
@@ -71,6 +80,18 @@ class TrialStore:
     def _load(self) -> dict[str, Any]:
         if self._index is not None:
             return self._index
+        if self.metrics is not None:
+            with self.metrics.span("store.load"):
+                index = self._load_index()
+            self.metrics.count("store.records_loaded", len(index))
+            if self.skipped_lines:
+                self.metrics.count("store.lines_skipped", self.skipped_lines)
+        else:
+            index = self._load_index()
+        self._index = index
+        return index
+
+    def _load_index(self) -> dict[str, Any]:
         index: dict[str, Any] = {}
         self.skipped_lines = 0
         if self.path.exists():
@@ -94,7 +115,6 @@ class TrialStore:
                     # Last write wins; duplicates are harmless (the
                     # trial is deterministic, so they are identical).
                     index[key] = payload
-        self._index = index
         return index
 
     # -- queries -----------------------------------------------------------------
@@ -152,6 +172,8 @@ class TrialStore:
             )
         if not lines:
             return
+        metrics = self.metrics
+        append_t0 = time.perf_counter() if metrics is not None else 0.0
         if self._fh is None:
             try:
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -171,6 +193,10 @@ class TrialStore:
         finally:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)
+        if metrics is not None:
+            metrics.observe_span("store.append", time.perf_counter() - append_t0)
+            metrics.count("store.records_appended", len(lines))
+            metrics.count("store.fsyncs")
         index = self._load()
         for key, wire in wires:
             index[key] = wire

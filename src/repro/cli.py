@@ -114,6 +114,17 @@ def _sanitize_spec(args: argparse.Namespace) -> str | None:
     return getattr(args, "sanitize", None)
 
 
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_const",
+        const="on",
+        default=None,
+        help="collect metrics and run telemetry (docs/OBSERVABILITY.md); "
+        "default: $REPRO_METRICS or off",
+    )
+
+
 def _make_campaign(args: argparse.Namespace):
     """Build the campaign session the cache flags describe."""
     from repro.campaign import Campaign, default_cache_dir
@@ -131,7 +142,19 @@ def _make_campaign(args: argparse.Namespace):
         fresh=args.fresh,
         trial_timeout=getattr(args, "trial_timeout", None),
         sanitize=_sanitize_spec(args),
+        metrics=getattr(args, "metrics", None),
     )
+
+
+def _note_telemetry(campaign) -> None:
+    """Tell the user where the run's telemetry went (stderr, so stdout
+    stays machine-readable)."""
+    if campaign.telemetry is not None and campaign.telemetry.records_written:
+        print(
+            f"telemetry: {campaign.telemetry.path} "
+            f"(inspect with: repro-ugf stats {campaign.telemetry.path.parent})",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline timing environment: 'homogeneous' (default) or 'jitter[:<max_delta>,<max_d>]'",
     )
     _add_sanitize_flag(p_run)
+    _add_metrics_flag(p_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a Figure 3 panel")
     p_fig.add_argument("panel", choices=sorted(PANELS))
@@ -168,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_fig)
     _add_campaign_flags(p_fig)
     _add_sanitize_flag(p_fig)
+    _add_metrics_flag(p_fig)
 
     p_sweep = sub.add_parser("sweep", help="run a custom sweep")
     p_sweep.add_argument("--protocol", required=True, choices=available_protocols())
@@ -184,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_sweep)
     _add_campaign_flags(p_sweep)
     _add_sanitize_flag(p_sweep)
+    _add_metrics_flag(p_sweep)
 
     p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
     p_trade.add_argument("--protocol", required=True, choices=available_protocols())
@@ -204,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_rep)
     _add_campaign_flags(p_rep)
     _add_sanitize_flag(p_rep)
+    _add_metrics_flag(p_rep)
 
     p_check = sub.add_parser(
         "check",
@@ -226,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--alpha", type=int, default=1, help="Theorem 1 alpha parameter"
+    )
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="summarise a run's metrics and telemetry (written by --metrics)",
+    )
+    p_stats.add_argument(
+        "run_dir",
+        type=pathlib.Path,
+        nargs="?",
+        default=None,
+        help="directory holding telemetry.jsonl (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-ugf); a telemetry.jsonl path also works",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON instead of tables"
+    )
+    p_stats.add_argument(
+        "--top", type=int, default=10, help="spans shown in the hot-spot table"
     )
 
     p_ins = sub.add_parser(
@@ -310,8 +356,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import render_registry, resolve_metrics
+
     # Instantiate eagerly so bad names fail before the run starts.
     make_adversary(args.adversary)
+    metrics = resolve_metrics(getattr(args, "metrics", None))
     outcome = run_trial(
         TrialSpec(
             protocol=args.protocol,
@@ -322,7 +371,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             environment=args.environment,
             sanitize=_sanitize_spec(args),
-        )
+        ),
+        metrics=metrics,
     )
     print(outcome.summary())
     if outcome.sanitizer is not None:
@@ -335,6 +385,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"  T_end = {outcome.t_end}, delta = {outcome.max_local_step_time}, "
             f"d = {outcome.max_delivery_time}"
         )
+    if metrics is not None and len(metrics):
+        print()
+        print(render_registry(metrics))
     return 0
 
 
@@ -345,6 +398,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             args.panel, full=args.full or None, seeds=seeds, campaign=campaign
         )
         stats = campaign.stats.summary()
+    _note_telemetry(campaign)
     print(panel_table(result))
     print()
     print(shape_summary(result))
@@ -386,6 +440,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with _make_campaign(args) as campaign:
         result = campaign.run_sweep(spec)
         stats = campaign.stats.summary()
+    _note_telemetry(campaign)
     sys.stdout.write(sweep_csv(result))
     # Stats go to stderr so stdout stays machine-readable CSV.
     print(stats, file=sys.stderr)
@@ -437,6 +492,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         report = run_full_reproduction(
             args.scale, progress=print, campaign=campaign
         )
+    _note_telemetry(campaign)
     text = render_markdown(report)
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(text)
@@ -473,6 +529,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print()
     print(audit.summary())
     return 0 if audit.ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.campaign import default_cache_dir
+    from repro.obs import load_run_stats, telemetry_path
+    from repro.obs.stats import render_run_stats, run_stats_json
+
+    run_dir = args.run_dir if args.run_dir is not None else default_cache_dir()
+    try:
+        stats = load_run_stats(run_dir)
+    except FileNotFoundError:
+        print(
+            f"no telemetry at {telemetry_path(run_dir)} — produce one with "
+            "a --metrics campaign, e.g. 'repro-ugf sweep ... --metrics'",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(run_stats_json(stats), indent=2, sort_keys=True))
+    else:
+        print(render_run_stats(stats, top=args.top))
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -594,6 +674,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {path}")
     baseline_path = find_baseline(args.baseline)
     if baseline_path is None or not baseline_path.exists():
+        # Under --check a missing baseline must fail loudly: silently
+        # returning 0 would let CI "pass" while gating against nothing.
+        if args.check:
+            wanted = args.baseline if args.baseline is not None else (
+                "benchmarks/baselines/ (no BENCH_*.json committed)"
+            )
+            print(f"BASELINE MISSING: {wanted} — --check has nothing to gate "
+                  "against; run 'repro-ugf bench' and commit the report as a "
+                  "baseline, or drop --check", file=sys.stderr)
+            return 1
         print("no baseline found; skipping comparison", file=sys.stderr)
         return 0
     import json as _json
@@ -604,8 +694,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             _json.loads(baseline_path.read_text()),
             tolerance=args.tolerance,
         )
-    except (ValueError, _json.JSONDecodeError) as exc:
-        print(f"cannot compare against {baseline_path}: {exc}", file=sys.stderr)
+    except (OSError, ValueError, _json.JSONDecodeError) as exc:
+        print(
+            f"BASELINE UNREADABLE: cannot compare against {baseline_path}: {exc}",
+            file=sys.stderr,
+        )
         return 1 if args.check else 0
     print(f"\nvs baseline {baseline_path.name} (tolerance {args.tolerance:.0%}):")
     print(render_diff(diffs))
@@ -656,6 +749,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     if args.command == "decompose":

@@ -39,8 +39,15 @@ __all__ = [
 ]
 
 
-def run_trial(spec: TrialSpec) -> Outcome:
-    """Execute one trial described by *spec*."""
+def run_trial(spec: TrialSpec, *, metrics=None) -> Outcome:
+    """Execute one trial described by *spec*.
+
+    *metrics* is an optional :class:`~repro.obs.registry.MetricsRegistry`
+    the engine writes instrumentation into (the campaign layer passes
+    its session registry inline, or a per-chunk registry in workers);
+    ``None`` defers to ``$REPRO_METRICS``. Outcomes are identical
+    either way — metrics are write-only observability.
+    """
     protocol = make_protocol(spec.protocol, **dict(spec.protocol_kwargs))
     adversary = make_adversary(spec.adversary, **dict(spec.adversary_kwargs))
     sim = Simulator(
@@ -52,6 +59,7 @@ def run_trial(spec: TrialSpec) -> Outcome:
         max_steps=spec.max_steps,
         environment=spec.environment,
         sanitize=spec.sanitize,
+        metrics=metrics,
     )
     return sim.run()
 

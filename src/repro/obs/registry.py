@@ -1,0 +1,381 @@
+"""The metrics registry: counters, gauges, histograms, span timers.
+
+A :class:`MetricsRegistry` is a process-local bag of named metrics.
+It is deliberately boring — plain dicts, no locks, no background
+threads, no third-party client — because its two jobs are to cost
+(almost) nothing on the simulator hot path and to merge losslessly
+across the campaign worker pool:
+
+- **counters** are monotonically increasing ints (``count``);
+- **gauges** are last-write-wins floats (``gauge``);
+- **histograms** are fixed-bucket: bounds are chosen at first
+  observation and never rebalanced, so merging two histograms from
+  different workers is element-wise addition — no reservoir, no
+  rebucketing, no approximation drift across merges;
+- **spans** are histograms of wall-clock durations with a dedicated
+  namespace (``with registry.span("engine.step"): ...``), so the
+  ``stats`` CLI can rank "where did the time go" separately from
+  data-valued histograms.
+
+Registries serialise through a schema-versioned positional wire
+encoding (:meth:`MetricsRegistry.to_wire`), the same discipline as
+:meth:`repro.sim.outcome.Outcome.to_wire`: workers return their chunk
+registry in the chunk wire format and the campaign merges them into
+the session registry.
+
+Instrumentation must never perturb results: nothing in this module
+reads the simulation RNG, and a registry is only ever written to —
+the engine takes no decisions from it. The differential battery in
+``tests/obs`` pins that contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from bisect import bisect_right
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ENV_METRICS",
+    "METRICS_WIRE_VERSION",
+    "DEFAULT_TIME_BOUNDS",
+    "DEFAULT_VALUE_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "resolve_metrics",
+]
+
+#: Environment variable enabling metrics when no explicit setting is
+#: given (same resolution discipline as ``REPRO_SANITIZE``).
+ENV_METRICS = "REPRO_METRICS"
+
+#: Bump on any layout change to :meth:`MetricsRegistry.to_wire`; a
+#: reader never guesses at positional semantics.
+METRICS_WIRE_VERSION = 1
+
+#: Geometric bucket bounds for span durations, in seconds: 1µs .. 10s.
+DEFAULT_TIME_BOUNDS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Geometric bucket bounds for data-valued histograms (counts, sizes).
+DEFAULT_VALUE_BOUNDS = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e9,
+)
+
+_FALSEY = frozenset({"", "0", "off", "false", "no", "none"})
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max sidecars.
+
+    ``counts[i]`` holds observations ``<= bounds[i]`` (and above
+    ``bounds[i-1]``); the final slot is the overflow bucket. Because
+    bounds are fixed at construction, two histograms with equal bounds
+    merge by element-wise addition — the property worker-pool
+    aggregation rests on.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_TIME_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram bounds must be strictly increasing, got {bounds!r}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile: the upper edge of the bucket
+        holding the q-th observation, clamped to the observed max
+        (``max`` for the overflow bucket). Approximate by
+        construction, exact enough to rank spans."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                if i < len(self.bounds):
+                    edge = self.bounds[i]
+                    return edge if self.max is None else min(edge, self.max)
+                return self.max
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds!r} vs {other.bounds!r}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def to_wire(self) -> list[Any]:
+        return [
+            list(self.bounds),
+            list(self.counts),
+            self.count,
+            self.total,
+            self.min,
+            self.max,
+        ]
+
+    @classmethod
+    def from_wire(cls, wire: "list[Any] | tuple[Any, ...]") -> "Histogram":
+        bounds, counts, count, total, lo, hi = wire
+        hist = cls(tuple(bounds))
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram wire carries {len(counts)} buckets for "
+                f"{len(bounds)} bounds"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(count)
+        hist.total = float(total)
+        hist.min = None if lo is None else float(lo)
+        hist.max = None if hi is None else float(hi)
+        return hist
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe digest used by telemetry and ``stats --json``."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class _Span:
+    """Context manager timing one block into the span namespace."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._registry.observe_span(
+            self._name, time.perf_counter() - self._t0
+        )
+
+
+class MetricsRegistry:
+    """Process-local metrics, mergeable across workers.
+
+    Not thread-safe by design: each process (main loop, pool worker)
+    owns its registry and registries meet only through :meth:`merge`.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms", "spans")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: dict[str, Histogram] = {}
+
+    # -- writing -----------------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment counter *name* by *value* (negative increments are
+        a contract violation — counters only go up)."""
+        if value < 0:
+            raise ConfigurationError(
+                f"counter {name!r} cannot decrease (got increment {value})"
+            )
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: tuple[float, ...] = DEFAULT_VALUE_BOUNDS,
+    ) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
+
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Record one timed block; the hot-path form of :meth:`span`."""
+        hist = self.spans.get(name)
+        if hist is None:
+            hist = self.spans[name] = Histogram(DEFAULT_TIME_BOUNDS)
+        hist.observe(seconds)
+
+    def span(self, name: str) -> _Span:
+        """``with registry.span("engine.step"): ...``"""
+        return _Span(self, name)
+
+    def span_histogram(self, name: str) -> Histogram:
+        """The (created-on-demand) histogram behind span *name*.
+
+        Hot loops hoist this lookup out of the loop and call
+        ``hist.observe(dt)`` directly — one dict probe per run instead
+        of one per iteration (part of the < 5% overhead contract).
+        """
+        hist = self.spans.get(name)
+        if hist is None:
+            hist = self.spans[name] = Histogram(DEFAULT_TIME_BOUNDS)
+        return hist
+
+    # -- reading -----------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def top_spans(self, n: int = 10) -> list[tuple[str, Histogram]]:
+        """Spans ranked by total time spent, descending."""
+        ranked = sorted(
+            self.spans.items(), key=lambda kv: kv[1].total, reverse=True
+        )
+        return ranked[:n]
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self.counters
+        yield from self.gauges
+        yield from self.histograms
+        yield from self.spans
+
+    def __len__(self) -> int:
+        return (
+            len(self.counters)
+            + len(self.gauges)
+            + len(self.histograms)
+            + len(self.spans)
+        )
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other* into this registry; returns self for chaining."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        for target, source in (
+            (self.histograms, other.histograms),
+            (self.spans, other.spans),
+        ):
+            for name, hist in source.items():
+                mine = target.get(name)
+                if mine is None:
+                    # Copy through the wire so merged registries never
+                    # alias the source's mutable bucket lists.
+                    target[name] = Histogram.from_wire(hist.to_wire())
+                else:
+                    mine.merge(hist)
+        return self
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_wire(self) -> list[Any]:
+        """Compact positional JSON-safe encoding; inverse of
+        :meth:`from_wire`. Keys are sorted so equal registries encode
+        to equal bytes — the property the differential battery diffs."""
+        return [
+            METRICS_WIRE_VERSION,
+            sorted(self.counters.items()),
+            sorted(self.gauges.items()),
+            [[k, h.to_wire()] for k, h in sorted(self.histograms.items())],
+            [[k, h.to_wire()] for k, h in sorted(self.spans.items())],
+        ]
+
+    @classmethod
+    def from_wire(cls, wire: "list[Any] | tuple[Any, ...]") -> "MetricsRegistry":
+        if not wire or wire[0] != METRICS_WIRE_VERSION:
+            version = wire[0] if wire else None
+            raise ValueError(
+                f"unsupported metrics wire version {version!r} "
+                f"(supported: {METRICS_WIRE_VERSION})"
+            )
+        _version, counters, gauges, histograms, spans = wire
+        registry = cls()
+        registry.counters = {str(k): int(v) for k, v in counters}
+        registry.gauges = {str(k): float(v) for k, v in gauges}
+        registry.histograms = {
+            str(k): Histogram.from_wire(h) for k, h in histograms
+        }
+        registry.spans = {str(k): Histogram.from_wire(h) for k, h in spans}
+        return registry
+
+    def snapshot(self) -> dict[str, Any]:
+        """Nested JSON-safe digest for telemetry and ``stats --json``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+            "spans": {k: h.summary() for k, h in sorted(self.spans.items())},
+        }
+
+
+def resolve_metrics(
+    spec: "MetricsRegistry | str | bool | None",
+) -> MetricsRegistry | None:
+    """Resolve a metrics setting into a registry (or None = off).
+
+    - a :class:`MetricsRegistry` passes through (the campaign hands
+      its session registry to the pool, the pool to the engine);
+    - ``True`` / ``"on"`` / ``"1"`` build a fresh registry;
+    - ``False`` / ``"off"`` / ``"0"`` disable metrics;
+    - ``None`` defers to ``$REPRO_METRICS`` and then to off — the same
+      resolution order the sanitizer uses for ``$REPRO_SANITIZE``.
+    """
+    if isinstance(spec, MetricsRegistry):
+        return spec
+    if spec is None:
+        env = os.environ.get(ENV_METRICS, "").strip().lower()
+        return MetricsRegistry() if env and env not in _FALSEY else None
+    if isinstance(spec, bool):
+        return MetricsRegistry() if spec else None
+    if isinstance(spec, str):
+        return MetricsRegistry() if spec.strip().lower() not in _FALSEY else None
+    raise ConfigurationError(
+        f"metrics must be a MetricsRegistry, bool, str or None, got {spec!r}"
+    )

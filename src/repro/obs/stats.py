@@ -1,0 +1,242 @@
+"""Aggregation and rendering behind ``repro-ugf stats <run-dir>``.
+
+``load_run_stats`` folds every session's records of a run directory's
+``telemetry.jsonl`` into one :class:`RunStats`: all ``registry``
+records merge into a single :class:`~repro.obs.registry.MetricsRegistry`
+(the merge is exact — fixed-bucket histograms add element-wise), trial
+records aggregate into per-status counts and per-(protocol, adversary)
+rollups, and phase records are kept verbatim.
+
+``render_run_stats`` turns that into the aligned-ASCII report the CLI
+prints: top-N spans by total time, counter and gauge tables, histogram
+summaries, and the trial rollup. ``run_stats_json`` is the
+machine-readable twin behind ``stats --json``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.telemetry import TelemetryRecord, read_telemetry, telemetry_path
+
+__all__ = [
+    "RunStats",
+    "load_run_stats",
+    "render_registry",
+    "render_run_stats",
+    "run_stats_json",
+]
+
+
+@dataclass
+class RunStats:
+    """Everything ``stats`` knows about one run directory."""
+
+    path: str
+    registry: MetricsRegistry
+    #: Merged registry records seen (0 = registry tables unavailable).
+    registry_records: int
+    trials: list[dict[str, Any]] = field(default_factory=list)
+    phases: list[dict[str, Any]] = field(default_factory=list)
+    #: Undecodable telemetry lines skipped by the reader.
+    skipped_lines: int = 0
+    #: Records of kinds this version does not know (future writers).
+    foreign_records: int = 0
+
+    @property
+    def trial_status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for trial in self.trials:
+            status = str(trial.get("status", "unknown"))
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+
+def load_run_stats(run_dir: "str | os.PathLike") -> RunStats:
+    """Aggregate the telemetry stream of *run_dir*.
+
+    Raises ``FileNotFoundError`` when the directory has no telemetry —
+    the CLI turns that into a clear "run with --metrics first" message.
+    """
+    target = telemetry_path(run_dir)
+    if not target.exists():
+        raise FileNotFoundError(
+            f"no {target.name} under {target.parent} — run a campaign with "
+            "--metrics (or REPRO_METRICS=1) to produce telemetry"
+        )
+    records, skipped = read_telemetry(target)
+    stats = RunStats(
+        path=str(target),
+        registry=MetricsRegistry(),
+        registry_records=0,
+        skipped_lines=skipped,
+    )
+    for record in records:
+        if record.kind == "trial":
+            stats.trials.append(record.data)
+        elif record.kind == "phase":
+            stats.phases.append(record.data)
+        elif record.kind == "registry":
+            merged = _registry_of(record)
+            if merged is not None:
+                stats.registry.merge(merged)
+                stats.registry_records += 1
+            else:
+                stats.skipped_lines += 1
+        else:
+            stats.foreign_records += 1
+    return stats
+
+
+def _registry_of(record: TelemetryRecord) -> MetricsRegistry | None:
+    wire = record.data.get("metrics")
+    if not isinstance(wire, (list, tuple)):
+        return None
+    try:
+        return MetricsRegistry.from_wire(wire)
+    except (ValueError, TypeError, KeyError):
+        return None
+
+
+# -- rendering ---------------------------------------------------------------------
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    from repro.experiments.report import format_table
+
+    return format_table(headers, rows)
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}µs"
+
+
+def _fmt_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def _span_rows(
+    spans: list[tuple[str, Histogram]], *, time_valued: bool = True
+) -> list[list[str]]:
+    fmt = _fmt_seconds if time_valued else _fmt_value
+    return [
+        [
+            name,
+            f"{h.count:,}",
+            fmt(h.total) if time_valued else _fmt_value(h.total),
+            fmt(h.mean),
+            fmt(h.quantile(0.5)),
+            fmt(h.quantile(0.95)),
+            fmt(h.max),
+        ]
+        for name, h in spans
+    ]
+
+
+def render_registry(registry: MetricsRegistry, *, top: int = 10) -> str:
+    """Aligned ASCII tables for one registry (spans, counters, gauges,
+    histograms) — the body shared by ``stats`` and ``run --metrics``."""
+    sections: list[str] = []
+    spans = registry.top_spans(top)
+    if spans:
+        sections.append(
+            f"top {len(spans)} spans by total time\n"
+            + _table(
+                ["span", "count", "total", "mean", "p50", "p95", "max"],
+                _span_rows(spans),
+            )
+        )
+    if registry.counters:
+        rows = [
+            [name, f"{value:,}"]
+            for name, value in sorted(registry.counters.items())
+        ]
+        sections.append("counters\n" + _table(["counter", "value"], rows))
+    if registry.gauges:
+        rows = [
+            [name, _fmt_value(value)]
+            for name, value in sorted(registry.gauges.items())
+        ]
+        sections.append("gauges\n" + _table(["gauge", "value"], rows))
+    if registry.histograms:
+        sections.append(
+            "histograms\n"
+            + _table(
+                ["histogram", "count", "total", "mean", "p50", "p95", "max"],
+                _span_rows(sorted(registry.histograms.items()), time_valued=False),
+            )
+        )
+    if not sections:
+        sections.append("(registry is empty)")
+    return "\n\n".join(sections)
+
+
+def render_run_stats(stats: RunStats, *, top: int = 10) -> str:
+    """The full human-readable ``stats`` report."""
+    lines = [f"telemetry: {stats.path}"]
+    counts = stats.trial_status_counts
+    if stats.trials:
+        by_status = ", ".join(
+            f"{counts[k]} {k}" for k in sorted(counts)
+        )
+        lines.append(
+            f"trials: {len(stats.trials)} ({by_status}) "
+            f"across {len(stats.phases)} phase(s)"
+        )
+    exec_seconds = [
+        t["seconds"]
+        for t in stats.trials
+        if isinstance(t.get("seconds"), (int, float))
+    ]
+    if exec_seconds:
+        lines.append(
+            f"executed wall-clock: total {_fmt_seconds(sum(exec_seconds))}, "
+            f"slowest {_fmt_seconds(max(exec_seconds))}"
+        )
+    if stats.skipped_lines:
+        lines.append(f"skipped {stats.skipped_lines} unreadable line(s)")
+    if stats.foreign_records:
+        lines.append(
+            f"{stats.foreign_records} record(s) of unknown kind (newer writer?)"
+        )
+    header = "\n".join(lines)
+    if stats.registry_records == 0:
+        return (
+            header
+            + "\n\n(no registry records yet — the campaign that wrote this "
+            "telemetry has not closed)"
+        )
+    return header + "\n\n" + render_registry(stats.registry, top=top)
+
+
+def run_stats_json(stats: RunStats, *, top: int = 10) -> dict[str, Any]:
+    """Machine-readable twin of :func:`render_run_stats`."""
+    return {
+        "path": stats.path,
+        "trials": {
+            "total": len(stats.trials),
+            "by_status": stats.trial_status_counts,
+        },
+        "phases": stats.phases,
+        "skipped_lines": stats.skipped_lines,
+        "foreign_records": stats.foreign_records,
+        "registry_records": stats.registry_records,
+        "top_spans": [
+            {"name": name, **hist.summary()}
+            for name, hist in stats.registry.top_spans(top)
+        ],
+        "metrics": stats.registry.snapshot(),
+    }

@@ -1,0 +1,163 @@
+"""Structured run telemetry: a ``telemetry.jsonl`` stream per run.
+
+A campaign running with metrics enabled streams one JSON record per
+line into ``<cache_dir>/telemetry.jsonl``, next to the trial store:
+
+- ``{"v": 1, "kind": "trial", ...}`` — one per finished trial
+  (executed, cached or failed), carrying the spec coordinates, how it
+  was satisfied, and — for executed trials — wall-clock seconds plus
+  headline outcome numbers;
+- ``{"v": 1, "kind": "phase", ...}`` — one per ``run_trials`` batch:
+  totals, per-kind counts, wall seconds;
+- ``{"v": 1, "kind": "registry", "metrics": <wire>}`` — the session's
+  merged :class:`~repro.obs.registry.MetricsRegistry` at campaign
+  close, in the metrics wire encoding.
+
+The file is append-only and sessions simply add more records, so a
+run directory accumulates its history the same way ``trials.jsonl``
+does. The reader is legacy-tolerant with the same posture as the
+outcome wire format: corrupt or truncated lines are skipped (and
+counted), records without a ``"v"`` tag are accepted as version 0
+(un-versioned writers predate the tag), and unknown kinds or newer
+versions are surfaced as records rather than errors — a newer writer
+never breaks an older reader.
+
+Telemetry is observability output, never an input: nothing reads it
+back into the execution path, so it cannot perturb outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = [
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_VERSION",
+    "TelemetryRecord",
+    "TelemetrySink",
+    "read_telemetry",
+    "telemetry_path",
+]
+
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Bump on breaking record-shape changes; readers keep accepting every
+#: version they know and pass newer ones through untouched.
+TELEMETRY_VERSION = 1
+
+
+def telemetry_path(run_dir: "str | os.PathLike") -> pathlib.Path:
+    """The telemetry stream of a run/cache directory.
+
+    Accepts the directory or the ``telemetry.jsonl`` file itself, so
+    ``repro-ugf stats`` works on either.
+    """
+    path = pathlib.Path(run_dir)
+    if path.suffix == ".jsonl":
+        return path
+    return path / TELEMETRY_FILENAME
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryRecord:
+    """One decoded telemetry line."""
+
+    version: int
+    kind: str
+    data: dict[str, Any]
+
+
+class TelemetrySink:
+    """Append-only JSONL writer for telemetry records.
+
+    The file is opened lazily on the first emit (a metrics-on campaign
+    that runs zero trials leaves no artifact) and every line is
+    flushed when written — telemetry is diagnostic, so it trades the
+    store's fsync durability for negligible overhead.
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = pathlib.Path(path)
+        self._fh = None
+        self.records_written = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Write one versioned record; silently drops on I/O failure
+        (observability must never fail the run it observes)."""
+        record = {"v": TELEMETRY_VERSION, "kind": kind}
+        record.update(fields)
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            self.records_written += 1
+        except OSError:
+            self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_telemetry(
+    path: "str | os.PathLike",
+) -> tuple[list[TelemetryRecord], int]:
+    """Load every readable record of a telemetry stream.
+
+    Returns ``(records, skipped)`` where *skipped* counts lines that
+    could not be decoded (corrupt, truncated by a crash, or not an
+    object). Legacy un-versioned records load as version 0; records
+    missing a ``kind`` load with kind ``"unknown"`` rather than being
+    dropped, so foreign-but-valid JSON stays inspectable.
+    """
+    records: list[TelemetryRecord] = []
+    skipped = 0
+    target = telemetry_path(path)
+    if not target.exists():
+        return records, skipped
+    with target.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(raw, dict):
+                skipped += 1
+                continue
+            version = raw.get("v", 0)
+            if not isinstance(version, int):
+                skipped += 1
+                continue
+            kind = raw.get("kind")
+            if not isinstance(kind, str):
+                kind = "unknown"
+            data = {k: v for k, v in raw.items() if k not in ("v", "kind")}
+            records.append(TelemetryRecord(version=version, kind=kind, data=data))
+    return records, skipped
+
+
+def records_of_kind(
+    records: Iterable[TelemetryRecord], kind: str
+) -> list[TelemetryRecord]:
+    """Convenience filter used by the stats aggregator."""
+    return [r for r in records if r.kind == kind]

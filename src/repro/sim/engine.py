@@ -50,7 +50,8 @@ is returned flagged ``completed=False``.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 import numpy as np
 
@@ -86,6 +87,9 @@ class SimulationReport:
     outcome: Outcome
     trace: TraceRecorder
     runtimes: list[ProcessRuntime]
+    #: The metrics registry the run wrote into, when metrics were on
+    #: (see :mod:`repro.obs`); None for uninstrumented runs.
+    metrics: object | None = field(default=None)
 
 
 class Simulator:
@@ -104,6 +108,7 @@ class Simulator:
         environment=None,
         sanitize=None,
         max_trace_events: int | None = None,
+        metrics=None,
     ) -> None:
         if n <= 1:
             raise ConfigurationError(f"an all-to-all system needs N >= 2, got N={n}")
@@ -132,10 +137,20 @@ class Simulator:
         from repro.check.sanitizer import build_sanitizer
 
         self.sanitizer = build_sanitizer(sanitize)
+        # The metrics registry plugs into the same kernel hook sites as
+        # the sanitizer; `None` resolves against REPRO_METRICS. It is
+        # write-only instrumentation: nothing below ever reads it, so
+        # outcomes are byte-identical with metrics on or off (pinned by
+        # the differential battery in tests/obs).
+        from repro.obs.registry import resolve_metrics
+
+        self.metrics = resolve_metrics(metrics)
         self.trace = TraceRecorder(
             n, record_events=record_events, max_events=max_trace_events
         )
-        self.network = Network(n, self.timing, self.trace, sanitizer=self.sanitizer)
+        self.network = Network(
+            n, self.timing, self.trace, sanitizer=self.sanitizer, metrics=self.metrics
+        )
         self.mailboxes = [Mailbox() for _ in range(n)]
         self.runtimes = [ProcessRuntime(pid) for pid in range(n)]
         self.budget = CrashBudget(f)
@@ -249,6 +264,8 @@ class Simulator:
                     f"scheduling stalled: process {rho} was due at {step}, now {now}"
                 )
             due.append(rho)
+        if self.metrics is not None and due:
+            self.metrics.count("engine.local_steps", len(due))
         san = self.sanitizer
         for rho in due:
             inbox = self.mailboxes[rho].drain()
@@ -315,6 +332,10 @@ class Simulator:
         if self._ran:
             raise SimulationError("a Simulator instance is single-use; build a new one")
         self._ran = True
+        m = self.metrics
+        run_t0 = perf_counter() if m is not None else 0.0
+        # Hoisted histogram: one dict probe per run, not per step.
+        step_hist = m.span_histogram("engine.step") if m is not None else None
 
         # Global step 0: adversary setup, then the first local steps begin.
         self.adversary.setup(self.view, self.controls)
@@ -340,13 +361,32 @@ class Simulator:
             self.clock.advance_to(nxt)
             now = self.clock.now
             self.step_sends = []
+            if m is not None:
+                # Inlined span (no context-manager allocation): this is
+                # the hot path the < 5% overhead gate protects.
+                step_t0 = perf_counter()
             self.adversary.before_step(self.view, self.controls)
             self.network.deliver_due(now, self._deposit)
             self._run_local_steps(now)
             self.adversary.after_step(self.view, self.controls)
+            if step_hist is not None:
+                step_hist.observe(perf_counter() - step_t0)
             self._steps_simulated += 1
 
-        return self._finalize(completed)
+        outcome = self._finalize(completed)
+        if m is not None:
+            m.observe_span("engine.run", perf_counter() - run_t0)
+            m.count("engine.trials")
+            m.count("engine.steps_simulated", self._steps_simulated)
+            if not completed:
+                m.count("engine.truncated_runs")
+            m.count("engine.messages_sent", int(self.trace.sent.sum()))
+            m.count("engine.messages_received", int(self.trace.received.sum()))
+            m.count("engine.bytes_sent", int(self.trace.bytes_sent.sum()))
+            m.count("engine.crashes", len(outcome.crashed))
+            m.observe("engine.t_end", outcome.t_end)
+            self.network.flush_metrics()
+        return outcome
 
     # ------------------------------------------------------------------ results
 
@@ -424,6 +464,7 @@ def simulate(
     environment=None,
     sanitize=None,
     max_trace_events: int | None = None,
+    metrics=None,
 ) -> SimulationReport:
     """Convenience wrapper: build a :class:`Simulator`, run it, bundle results."""
     sim = Simulator(
@@ -437,6 +478,9 @@ def simulate(
         environment=environment,
         sanitize=sanitize,
         max_trace_events=max_trace_events,
+        metrics=metrics,
     )
     outcome = sim.run()
-    return SimulationReport(outcome=outcome, trace=sim.trace, runtimes=sim.runtimes)
+    return SimulationReport(
+        outcome=outcome, trace=sim.trace, runtimes=sim.runtimes, metrics=sim.metrics
+    )

@@ -25,6 +25,7 @@ double-decrement hazard).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterator
 
 from repro._typing import GlobalStep, ProcessId
@@ -44,21 +45,36 @@ class Network:
         "_timing",
         "_trace",
         "_sanitizer",
+        "_metrics",
         "_buckets",
         "_inflight_to_correct",
         "_inflight_by_receiver",
         "_crashed",
         "_omitted",
         "_last_delivered_step",
+        "_m_sends",
+        "_m_omits",
+        "_m_delivered",
+        "_m_dropped",
+        "_deliver_hist",
     )
 
     def __init__(
-        self, n: int, timing: TimingTable, trace: TraceRecorder, *, sanitizer=None
+        self,
+        n: int,
+        timing: TimingTable,
+        trace: TraceRecorder,
+        *,
+        sanitizer=None,
+        metrics=None,
     ) -> None:
         self._n = n
         self._timing = timing
         self._trace = trace
         self._sanitizer = sanitizer
+        # Write-only observability (see repro.obs); never read here, so
+        # delivery order and outcomes cannot depend on it.
+        self._metrics = metrics
         self._buckets: dict[GlobalStep, list[Message]] = {}
         self._inflight_to_correct = 0
         # In-flight messages per (correct) receiver; zeroed at crash.
@@ -66,6 +82,15 @@ class Network:
         self._crashed: set[ProcessId] = set()
         self._omitted: set[ProcessId] = set()
         self._last_delivered_step: GlobalStep = 0
+        # Metric accumulators: plain int adds on the per-message path;
+        # folded into the registry once per run by flush_metrics().
+        self._m_sends = 0
+        self._m_omits = 0
+        self._m_delivered = 0
+        self._m_dropped = 0
+        self._deliver_hist = (
+            metrics.span_histogram("network.deliver") if metrics is not None else None
+        )
 
     # -- sending ---------------------------------------------------------------
 
@@ -93,12 +118,16 @@ class Network:
         self._trace.on_send(now, sender, receiver, size)
         if self._sanitizer is not None:
             self._sanitizer.on_send(now, msg)
+        if self._metrics is not None:
+            self._m_sends += 1
         if sender in self._omitted:
             # An omission adversary silenced this sender: the message
             # is paid for (it counts toward M_rho) but never travels.
             self._trace.on_omit(now, sender, receiver)
             if self._sanitizer is not None:
                 self._sanitizer.on_omit(now, msg)
+            if self._metrics is not None:
+                self._m_omits += 1
             return msg
         self._buckets.setdefault(arrives, []).append(msg)
         if receiver not in self._crashed:
@@ -126,7 +155,11 @@ class Network:
         bucket = self._buckets.pop(now, None)
         if not bucket:
             return []
+        deliver_hist = self._deliver_hist
+        if deliver_hist is not None:
+            deliver_t0 = perf_counter()
         delivered: list[Message] = []
+        dropped = 0
         san = self._sanitizer
         for msg in bucket:
             if msg.receiver in self._crashed:
@@ -136,6 +169,7 @@ class Network:
                 self._trace.on_drop(now, msg.sender, msg.receiver)
                 if san is not None:
                     san.on_drop(now, msg)
+                dropped += 1
                 continue
             self._inflight_to_correct -= 1
             self._inflight_by_receiver[msg.receiver] -= 1
@@ -144,7 +178,33 @@ class Network:
             self._trace.on_deliver(now, msg.sender, msg.receiver)
             if san is not None:
                 san.on_deliver(now, msg)
+        if deliver_hist is not None:
+            deliver_hist.observe(perf_counter() - deliver_t0)
+            self._m_delivered += len(delivered)
+            self._m_dropped += dropped
         return delivered
+
+    def flush_metrics(self) -> None:
+        """Fold the per-message accumulators into the registry.
+
+        Called once by the engine at end of run: per-message events are
+        too hot for a registry ``count()`` each (the < 5% overhead gate
+        in ``benchmarks/bench_obs.py``), so they accumulate as plain
+        ints and land in the registry here.
+        """
+        m = self._metrics
+        if m is None:
+            return
+        for name, value in (
+            ("network.sends", self._m_sends),
+            ("network.omits", self._m_omits),
+            ("network.delivered", self._m_delivered),
+            ("network.dropped_to_crashed", self._m_dropped),
+        ):
+            if value:
+                m.count(name, value)
+        self._m_sends = self._m_omits = 0
+        self._m_delivered = self._m_dropped = 0
 
     # -- omission ---------------------------------------------------------------
 

@@ -43,3 +43,6 @@ def null_adversary() -> NullAdversary:
 def _isolated_trial_cache(tmp_path_factory, monkeypatch):
     """Keep CLI/campaign default caching away from the real user cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("trial-cache")))
+    # Metrics default to off in tests regardless of the outer shell;
+    # the obs battery turns them on explicitly.
+    monkeypatch.delenv("REPRO_METRICS", raising=False)

@@ -1,0 +1,62 @@
+"""The observability overhead contract: metrics-on must stay cheap.
+
+Runs the same best-of-R measurement as ``benchmarks/bench_obs.py``
+(imported from the file, so the gate and the CI smoke check cannot
+drift apart) and asserts the metrics-on engine overhead stays under
+5% on one representative attacked trial. Best-of timing damps
+scheduler noise; the engine's inlined span timing and the network's
+int accumulators exist precisely to keep this margin wide.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_BENCH_OBS = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "bench_obs.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_obs():
+    spec = importlib.util.spec_from_file_location("bench_obs", _BENCH_OBS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_metrics_overhead_under_five_percent(bench_obs):
+    rounds = bench_obs._measure_rounds(seeds=2, repeats=5)
+    overhead = bench_obs.paired_overhead_pct(rounds)
+    assert overhead < 5.0, (
+        f"metrics-on engine overhead {overhead:.1f}% breaches the 5% "
+        f"contract (paired rounds: {rounds}); see benchmarks/bench_obs.py"
+    )
+
+
+def test_paired_overhead_takes_the_quietest_round(bench_obs):
+    # One clean round (2% here) outvotes rounds a scheduler spike hit.
+    rounds = [(1.0, 1.30), (1.0, 1.02), (1.0, 1.25)]
+    assert bench_obs.paired_overhead_pct(rounds) == pytest.approx(2.0)
+
+
+def test_gate_script_fails_on_regression(bench_obs, capsys, monkeypatch):
+    # Deterministic trip-wire: with canned timings showing 50% overhead
+    # in every round the gate must exit 1 (a true regression inflates
+    # all rounds, so min-pairing cannot hide it).
+    monkeypatch.setattr(
+        bench_obs, "_measure_rounds", lambda seeds, repeats: [(1.0, 1.5)] * 3
+    )
+    assert bench_obs.main([]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+def test_gate_script_passes_within_bound(bench_obs, capsys, monkeypatch):
+    monkeypatch.setattr(
+        bench_obs, "_measure_rounds", lambda seeds, repeats: [(1.0, 1.02)] * 3
+    )
+    assert bench_obs.main([]) == 0
+    assert "+2.0%" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Seeded-random round-trip properties for the wire encodings.
+
+No hypothesis here (deliberately — the generators would add little
+over a seeded ``numpy`` RNG for flat payload shapes): each test draws
+a few hundred randomized payloads from ``np.random.default_rng`` with
+a fixed seed, so failures replay exactly.
+
+Properties pinned:
+
+- ``MetricsRegistry`` wire round-trips losslessly, including empty
+  registries, zero and huge (``2**62``) counters, and empty histograms;
+- merging registries commutes with the wire encoding
+  (``wire(a.merge(b)) == wire(from_wire(wire(a)).merge(from_wire(wire(b))))``);
+- ``Outcome`` wire round-trips losslessly through JSON over randomized
+  payloads, and un-versioned / unknown-version wires raise;
+- legacy telemetry records (un-versioned, missing kinds) keep loading.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.registry import DEFAULT_TIME_BOUNDS, DEFAULT_VALUE_BOUNDS
+from repro.obs.telemetry import TELEMETRY_FILENAME, read_telemetry
+from repro.sim.outcome import Outcome
+
+SEED = 0xC0FFEE
+
+
+def _random_registry(rng: np.random.Generator) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for i in range(int(rng.integers(0, 6))):
+        # Zero and huge increments are both legal counter territory.
+        value = int(rng.choice([0, 1, 7, 10**6, 2**62]))
+        reg.count(f"counter.{i}", value)
+    for i in range(int(rng.integers(0, 4))):
+        reg.gauge(f"gauge.{i}", float(rng.normal() * 10**3))
+    for i in range(int(rng.integers(0, 4))):
+        # Bounds are a deterministic function of the name: mergeable
+        # registries must agree on bounds per histogram, as real
+        # producers do (value bounds for data, time bounds for spans).
+        bounds = DEFAULT_VALUE_BOUNDS if i % 2 == 0 else DEFAULT_TIME_BOUNDS
+        for _ in range(int(rng.integers(0, 8))):  # 0 → empty histogram
+            reg.observe(f"hist.{i}", float(abs(rng.normal()) * 100), bounds)
+    for i in range(int(rng.integers(0, 4))):
+        for _ in range(int(rng.integers(0, 8))):
+            reg.observe_span(f"span.{i}", float(abs(rng.normal()) * 0.01))
+    return reg
+
+
+class TestRegistryRoundTrip:
+    def test_random_registries_round_trip_through_json(self):
+        rng = np.random.default_rng(SEED)
+        for _ in range(200):
+            reg = _random_registry(rng)
+            wire = json.loads(json.dumps(reg.to_wire()))
+            clone = MetricsRegistry.from_wire(wire)
+            assert clone.to_wire() == reg.to_wire()
+
+    def test_empty_registry_round_trips(self):
+        reg = MetricsRegistry()
+        assert MetricsRegistry.from_wire(reg.to_wire()).to_wire() == reg.to_wire()
+
+    def test_merge_commutes_with_wire(self):
+        rng = np.random.default_rng(SEED + 1)
+        for _ in range(100):
+            a, b = _random_registry(rng), _random_registry(rng)
+            direct = MetricsRegistry.from_wire(a.to_wire()).merge(
+                MetricsRegistry.from_wire(b.to_wire())
+            )
+            via_wire = MetricsRegistry.from_wire(
+                json.loads(json.dumps(a.to_wire()))
+            ).merge(MetricsRegistry.from_wire(json.loads(json.dumps(b.to_wire()))))
+            assert direct.to_wire() == via_wire.to_wire()
+
+    def test_merge_counter_totals_are_exact_at_huge_magnitudes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("big", 2**62)
+        b.count("big", 2**62)
+        a.merge(b)
+        assert a.counter_value("big") == 2**63  # no float truncation
+        clone = MetricsRegistry.from_wire(a.to_wire())
+        assert clone.counter_value("big") == 2**63
+
+    def test_unversioned_registry_wire_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_wire([[], [], [], []])
+
+    def test_empty_histogram_round_trips(self):
+        hist = Histogram()
+        clone = Histogram.from_wire(json.loads(json.dumps(hist.to_wire())))
+        assert clone.count == 0
+        assert clone.min is None and clone.max is None
+        assert clone.to_wire() == hist.to_wire()
+
+
+def _random_outcome(rng: np.random.Generator) -> Outcome:
+    n = int(rng.integers(1, 40))
+    f = int(rng.integers(0, n))
+    crashed = tuple(
+        sorted(int(p) for p in rng.choice(n, size=f, replace=False))
+    )
+    counters = rng.choice([0, 1, 3, 10**9, 2**62], size=n)
+    return Outcome(
+        n=n,
+        f=f,
+        seed=int(rng.integers(0, 2**31)),
+        protocol_name=str(rng.choice(["push-pull", "ears", "flood"])),
+        adversary_name=str(rng.choice(["none", "ugf", "str-2.1.1"])),
+        completed=bool(rng.random() < 0.9),
+        rumor_gathering_ok=bool(rng.random() < 0.9),
+        t_end=int(rng.integers(0, 10**6)),
+        max_local_step_time=int(rng.integers(1, 100)),
+        max_delivery_time=int(rng.integers(1, 100)),
+        sent=np.asarray(counters, dtype=np.int64),
+        received=np.asarray(rng.integers(0, 10**6, size=n), dtype=np.int64),
+        bytes_sent=np.asarray(rng.integers(0, 10**9, size=n), dtype=np.int64),
+        crashed=crashed,
+        crash_steps={p: int(rng.integers(0, 10**6)) for p in crashed},
+        sleep_counts=np.asarray(rng.integers(0, 100, size=n), dtype=np.int64),
+        wake_counts=np.asarray(rng.integers(0, 100, size=n), dtype=np.int64),
+        steps_simulated=int(rng.integers(0, 10**6)),
+        strategy_label=[None, "str-2.1.0", "str-1"][int(rng.integers(0, 3))],
+        sanitizer=None if rng.random() < 0.7 else {"mode": "warn", "total_violations": 0},
+    )
+
+
+class TestOutcomeRoundTrip:
+    def test_random_outcomes_round_trip_through_json(self):
+        rng = np.random.default_rng(SEED + 2)
+        for _ in range(150):
+            outcome = _random_outcome(rng)
+            wire = outcome.to_wire()
+            clone = Outcome.from_wire(json.loads(json.dumps(wire)))
+            assert clone.to_wire() == wire
+            assert clone.to_dict() == outcome.to_dict()
+
+    def test_wire_bytes_are_deterministic(self):
+        rng = np.random.default_rng(SEED + 3)
+        outcome = _random_outcome(rng)
+        a = json.dumps(outcome.to_wire(), separators=(",", ":"))
+        b = json.dumps(
+            Outcome.from_wire(outcome.to_wire()).to_wire(), separators=(",", ":")
+        )
+        assert a == b
+
+    def test_unversioned_outcome_wire_raises(self):
+        rng = np.random.default_rng(SEED + 4)
+        wire = _random_outcome(rng).to_wire()
+        with pytest.raises(ValueError):
+            Outcome.from_wire(wire[1:])  # version stripped
+        with pytest.raises(ValueError):
+            Outcome.from_wire([])
+
+    def test_unknown_outcome_wire_version_raises(self):
+        rng = np.random.default_rng(SEED + 5)
+        wire = _random_outcome(rng).to_wire()
+        wire[0] = 999
+        with pytest.raises(ValueError):
+            Outcome.from_wire(wire)
+
+
+class TestLegacyTelemetryRecords:
+    def test_randomized_legacy_records_keep_loading(self, tmp_path):
+        rng = np.random.default_rng(SEED + 6)
+        path = tmp_path / TELEMETRY_FILENAME
+        lines = []
+        expected_kinds = []
+        for _ in range(100):
+            record: dict = {"x": int(rng.integers(0, 10**6))}
+            if rng.random() < 0.5:  # versioned or legacy
+                record["v"] = int(rng.integers(1, 5))
+            if rng.random() < 0.7:  # kind present or missing
+                record["kind"] = str(rng.choice(["trial", "phase", "future"]))
+                expected_kinds.append(record["kind"])
+            else:
+                expected_kinds.append("unknown")
+            lines.append(json.dumps(record))
+        path.write_text("\n".join(lines) + "\n")
+        records, skipped = read_telemetry(path)
+        assert skipped == 0
+        assert [r.kind for r in records] == expected_kinds
+        assert all(r.version >= 0 for r in records)

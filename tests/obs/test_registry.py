@@ -1,0 +1,218 @@
+"""Unit tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    METRICS_WIRE_VERSION,
+    Histogram,
+    MetricsRegistry,
+    resolve_metrics,
+)
+from repro.obs.registry import DEFAULT_TIME_BOUNDS, DEFAULT_VALUE_BOUNDS
+
+
+class TestHistogram:
+    def test_observe_tracks_exact_sidecars(self):
+        hist = Histogram((1.0, 10.0))
+        for v in (0.5, 2.0, 5.0, 100.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(107.5)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(107.5 / 4)
+        # Buckets: <=1, <=10, overflow.
+        assert hist.counts == [1, 2, 1]
+
+    def test_quantile_is_bucket_edge_clamped_to_max(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+        hist.observe(3.0)
+        # One observation in the (1, 10] bucket: every quantile is the
+        # bucket's upper edge clamped to the observed max.
+        assert hist.quantile(0.5) == 3.0
+        assert hist.quantile(1.0) == 3.0
+        hist.observe(50.0)
+        assert hist.quantile(0.95) == 50.0
+
+    def test_quantile_of_empty_is_none(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(1.5)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(ConfigurationError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(())
+
+    def test_merge_is_elementwise_addition(self):
+        a, b = Histogram((1.0, 10.0)), Histogram((1.0, 10.0))
+        a.observe(0.5)
+        a.observe(5.0)
+        b.observe(20.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.min == 0.5
+        assert a.max == 20.0
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_merge_into_empty(self):
+        a, b = Histogram((1.0,)), Histogram((1.0,))
+        b.observe(0.25)
+        a.merge(b)
+        assert (a.count, a.min, a.max) == (1, 0.25, 0.25)
+
+    def test_wire_round_trip(self):
+        hist = Histogram(DEFAULT_VALUE_BOUNDS)
+        for v in (0.0, 3.0, 1e7):
+            hist.observe(v)
+        clone = Histogram.from_wire(hist.to_wire())
+        assert clone.to_wire() == hist.to_wire()
+        assert clone.counts is not hist.counts
+
+    def test_wire_rejects_bucket_mismatch(self):
+        wire = Histogram((1.0, 2.0)).to_wire()
+        wire[1] = [0, 0]  # 2 buckets for 2 bounds: needs 3
+        with pytest.raises(ValueError):
+            Histogram.from_wire(wire)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 4)
+        assert reg.counter_value("a") == 5
+        assert reg.counter_value("missing") == 0
+
+    def test_counters_reject_negative_increments(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().count("a", -1)
+
+    def test_gauges_are_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 7.0)
+        assert reg.gauges["g"] == 7.0
+
+    def test_span_context_manager_records_duration(self):
+        reg = MetricsRegistry()
+        with reg.span("block"):
+            pass
+        assert reg.spans["block"].count == 1
+        assert reg.spans["block"].total >= 0.0
+        assert reg.spans["block"].bounds == tuple(DEFAULT_TIME_BOUNDS)
+
+    def test_observe_span_is_equivalent_to_span(self):
+        reg = MetricsRegistry()
+        reg.observe_span("block", 0.5)
+        reg.observe_span("block", 1.5)
+        assert reg.spans["block"].count == 2
+        assert reg.spans["block"].total == pytest.approx(2.0)
+
+    def test_top_spans_ranked_by_total_time(self):
+        reg = MetricsRegistry()
+        reg.observe_span("cheap", 0.001)
+        reg.observe_span("hot", 2.0)
+        reg.observe_span("mid", 0.5)
+        names = [name for name, _ in reg.top_spans(2)]
+        assert names == ["hot", "mid"]
+
+    def test_len_and_iter_cover_all_namespaces(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 5.0)
+        reg.observe_span("s", 0.1)
+        assert len(reg) == 4
+        assert sorted(reg) == ["c", "g", "h", "s"]
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("shared", 2)
+        b.count("shared", 3)
+        b.count("only_b")
+        a.observe_span("s", 0.1)
+        b.observe_span("s", 0.2)
+        b.observe("h", 9.0)
+        a.merge(b)
+        assert a.counter_value("shared") == 5
+        assert a.counter_value("only_b") == 1
+        assert a.spans["s"].count == 2
+        assert a.histograms["h"].count == 1
+
+    def test_merge_does_not_alias_source_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe_span("s", 0.1)
+        a.merge(b)
+        b.observe_span("s", 0.2)
+        assert a.spans["s"].count == 1
+        assert b.spans["s"].count == 2
+
+    def test_wire_round_trip_and_key_sorting(self):
+        reg = MetricsRegistry()
+        reg.count("z")
+        reg.count("a", 10)
+        reg.gauge("g", 2.5)
+        reg.observe("values", 123.0)
+        reg.observe_span("timed", 0.25)
+        wire = reg.to_wire()
+        assert wire[0] == METRICS_WIRE_VERSION
+        assert [k for k, _ in wire[1]] == ["a", "z"]
+        clone = MetricsRegistry.from_wire(wire)
+        assert clone.to_wire() == wire
+
+    def test_from_wire_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_wire([999, [], [], [], []])
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_wire([])
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.count("c", 3)
+        reg.observe_span("s", 0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"] == {"c": 3}
+        assert snap["spans"]["s"]["count"] == 1
+
+
+class TestResolveMetrics:
+    def test_registry_passes_through(self):
+        reg = MetricsRegistry()
+        assert resolve_metrics(reg) is reg
+
+    @pytest.mark.parametrize("spec", [True, "on", "1", "yes"])
+    def test_truthy_specs_build_fresh_registry(self, spec):
+        reg = resolve_metrics(spec)
+        assert isinstance(reg, MetricsRegistry)
+        assert len(reg) == 0
+
+    @pytest.mark.parametrize("spec", [False, "off", "0", "", "none", "no"])
+    def test_falsey_specs_disable(self, spec):
+        assert resolve_metrics(spec) is None
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert resolve_metrics(None) is None
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        assert isinstance(resolve_metrics(None), MetricsRegistry)
+        monkeypatch.setenv("REPRO_METRICS", "off")
+        assert resolve_metrics(None) is None
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(ConfigurationError):
+            resolve_metrics(3.14)

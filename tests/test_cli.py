@@ -391,7 +391,7 @@ def test_bench_smoke_grid_writes_report(tmp_path, capsys):
     report = json.loads(reports[0].read_text())
     assert report["schema"] == 1
     assert set(report["stages"]) == {
-        "engine_inline", "cold_parallel", "warm_replay",
+        "engine_inline", "engine_metrics", "cold_parallel", "warm_replay",
         "wire_format", "dispatch",
     }
     assert all(s["rate"] > 0 for s in report["stages"].values())
