@@ -117,6 +117,14 @@ class Campaign:
         default. Like the sanitizer, metrics are instrumentation, not
         trial identity: outcomes and cache keys are byte-identical
         either way.
+    fault_plan:
+        Armed chaos :class:`~repro.chaos.plan.FaultPlan` — fault
+        injection for robustness testing (docs/ROBUSTNESS.md). The
+        plan is stamped with this process's pid (worker-only faults
+        never fire in the owning process) and armed on the pool (trial
+        faults, in workers and inline) and the store (fsync failures,
+        torn tails). ``None`` — the default — constructs no injector
+        at all: the chaos plane costs nothing when off.
     """
 
     def __init__(
@@ -130,6 +138,7 @@ class Campaign:
         trial_timeout: float | None = None,
         sanitize: str | None = None,
         metrics=None,
+        fault_plan=None,
     ) -> None:
         from repro.obs.registry import resolve_metrics
 
@@ -138,13 +147,24 @@ class Campaign:
         self.progress = progress
         self.sanitize = sanitize
         self.metrics = resolve_metrics(metrics)
+        self.fault_plan = (
+            fault_plan.with_origin(os.getpid()) if fault_plan is not None else None
+        )
+        self._injector = None
+        if self.fault_plan is not None:
+            from repro.chaos.inject import FaultInjector
+
+            self._injector = FaultInjector(self.fault_plan)
         self.store = (
-            TrialStore(cache_dir, metrics=self.metrics)
+            TrialStore(cache_dir, metrics=self.metrics, injector=self._injector)
             if (cache_dir is not None and use_cache)
             else None
         )
         self.pool = WorkerPool(
-            workers, trial_timeout=trial_timeout, metrics=self.metrics
+            workers,
+            trial_timeout=trial_timeout,
+            metrics=self.metrics,
+            fault_plan=self.fault_plan,
         )
         self.stats = CampaignStats()
         self._memo: dict[str, Outcome] = {}
@@ -353,6 +373,13 @@ class Campaign:
         self.pool.close()
         if self.store is not None:
             self.store.close()
+            if self._injector is not None:
+                # store.tear fires here, where a real kill -9 would
+                # leave its damage: after the final append, before the
+                # next session reads the store back.
+                torn = self._injector.maybe_tear(self.store.path)
+                if torn and self.metrics is not None:
+                    self.metrics.count("chaos.torn_bytes", torn)
         if self.telemetry is not None:
             # The session's merged registry goes last so `stats` can
             # reconstruct the whole run from the telemetry stream alone.

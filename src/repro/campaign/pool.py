@@ -46,12 +46,13 @@ from __future__ import annotations
 import os
 import threading
 import traceback
+import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 try:  # POSIX-only; the timeout knob degrades gracefully elsewhere.
     import signal
@@ -60,6 +61,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.experiments.config import TrialSpec
 from repro.sim.outcome import Outcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.inject import FaultInjector
+    from repro.chaos.plan import FaultPlan
 
 __all__ = [
     "WorkerPool",
@@ -111,21 +116,46 @@ class ExecutionResult:
         return self.outcome is not None
 
 
+#: One warning per process when the timeout knob cannot be honoured;
+#: the *counter* (``pool.timeout_unavailable``) still ticks per trial.
+_timeout_warned = False
+
+
+def _note_timeout_unavailable(reason: str, metrics) -> None:
+    global _timeout_warned
+    if metrics is not None:
+        metrics.count("pool.timeout_unavailable")
+    if not _timeout_warned:
+        _timeout_warned = True
+        warnings.warn(
+            f"trial_timeout is unavailable {reason}: trials run unbounded "
+            "(the timeout relies on SIGALRM in a POSIX main thread)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 @contextmanager
-def _deadline(seconds: float | None):
+def _deadline(seconds: float | None, metrics=None):
     """Raise :class:`TrialTimeout` if the body runs longer than *seconds*.
 
     Implemented with ``SIGALRM``/``setitimer``: cheap, interrupts pure
     Python loops (the divergent-trial failure mode), and available in
     exactly the context pool workers execute in (POSIX main thread).
     Anywhere else — Windows, a caller running campaigns from a side
-    thread — the timeout silently degrades to "no timeout".
+    thread — the timeout degrades to "no timeout", but no longer
+    silently: the degradation warns once per process and counts every
+    affected trial as ``pool.timeout_unavailable``.
     """
-    if (
-        not seconds
-        or signal is None
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds:
+        yield
+        return
+    if signal is None:
+        _note_timeout_unavailable("on this platform", metrics)
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        _note_timeout_unavailable("off the main thread", metrics)
         yield
         return
 
@@ -142,13 +172,18 @@ def _deadline(seconds: float | None):
 
 
 def _execute_one(
-    spec: TrialSpec, trial_timeout: float | None, metrics=None
+    spec: TrialSpec,
+    trial_timeout: float | None,
+    metrics=None,
+    injector: "FaultInjector | None" = None,
 ) -> ExecutionResult:
     """Run one trial, capturing any failure as a full traceback string.
 
     With a *metrics* registry the trial is additionally timed
     (``campaign.trial`` span) — the registry is write-only, so the
-    outcome is bit-identical with or without it.
+    outcome is bit-identical with or without it. An armed *injector*
+    fires its trial-targeted faults inside the deadline/error-capture
+    scope, so injected failures surface exactly like organic ones.
     """
     import time
 
@@ -156,7 +191,9 @@ def _execute_one(
 
     t0 = time.perf_counter() if metrics is not None else 0.0
     try:
-        with _deadline(trial_timeout):
+        with _deadline(trial_timeout, metrics):
+            if injector is not None:
+                injector.before_trial(spec)
             outcome = run_trial(spec, metrics=metrics)
     except Exception:
         if metrics is not None:
@@ -175,6 +212,7 @@ def run_trial_batch(
     specs: list[TrialSpec],
     trial_timeout: float | None = None,
     collect_metrics: bool = False,
+    fault_plan: "FaultPlan | None" = None,
 ) -> "list[tuple[str, Any]] | dict[str, Any]":
     """Worker entry point: run a chunk of trials in submission order.
 
@@ -199,10 +237,15 @@ def run_trial_batch(
         from repro.obs.registry import MetricsRegistry
 
         metrics = MetricsRegistry()
+    injector = None
+    if fault_plan is not None:
+        from repro.chaos.inject import FaultInjector
+
+        injector = FaultInjector(fault_plan)
     results: list[tuple[str, Any]] = []
     seconds: list[float | None] = []
     for spec in specs:
-        result = _execute_one(spec, trial_timeout, metrics)
+        result = _execute_one(spec, trial_timeout, metrics, injector)
         seconds.append(result.seconds)
         if result.outcome is not None:
             results.append(("ok", result.outcome.to_wire()))
@@ -248,6 +291,7 @@ class WorkerPool:
         trial_timeout: float | None = None,
         chunk_size: int | None = None,
         metrics=None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.trial_timeout = trial_timeout
@@ -257,6 +301,12 @@ class WorkerPool:
         #: per-chunk registry in the chunk wire format which is merged
         #: here as each chunk completes.
         self.metrics = metrics
+        #: Armed chaos plan (or None = chaos off, the default). The
+        #: plan crosses the process boundary with each chunk; workers
+        #: rebuild their injector from it, so injection decisions stay
+        #: the pure (seed, site, trial, attempt) function the plan
+        #: defines. The supervisor swaps this per retry wave.
+        self.fault_plan = fault_plan
         self._executor: ProcessPoolExecutor | None = None
 
     @property
@@ -298,9 +348,22 @@ class WorkerPool:
         """
         specs = list(specs)
         collect = self.metrics is not None
+        plan = self.fault_plan
+        if plan is not None and plan.origin_pid is None:
+            # Stamp the owning process so worker-only faults (kill,
+            # starve) can never fire inline — the degradation ladder's
+            # last rung must always terminate.
+            plan = plan.with_origin(os.getpid())
         if not self.parallel or len(specs) <= 1:
+            injector = None
+            if plan is not None:
+                from repro.chaos.inject import FaultInjector
+
+                injector = FaultInjector(plan)
             for spec in specs:
-                yield _execute_one(spec, self.trial_timeout, self.metrics)
+                yield _execute_one(
+                    spec, self.trial_timeout, self.metrics, injector
+                )
             return
 
         chunk = self._chunk_for(len(specs))
@@ -314,7 +377,7 @@ class WorkerPool:
             if batch is None:
                 return False
             future = self._ensure_executor().submit(
-                run_trial_batch, batch, self.trial_timeout, collect
+                run_trial_batch, batch, self.trial_timeout, collect, plan
             )
             window.append((batch, future))
             return True
@@ -331,7 +394,11 @@ class WorkerPool:
                 # than failing the whole campaign; sibling in-flight
                 # chunks recover the same way as their futures fail.
                 self._discard_executor()
-                payload = run_trial_batch(batch, self.trial_timeout, collect)
+                if self.metrics is not None:
+                    self.metrics.count("pool.broken_pool_recoveries")
+                payload = run_trial_batch(
+                    batch, self.trial_timeout, collect, plan
+                )
             submit_next()
             outcomes, seconds = self._unpack_chunk(payload, len(batch))
             for spec, (tag, result), secs in zip(batch, outcomes, seconds):

@@ -24,7 +24,11 @@ compatibility: a newer writer never breaks an older reader.
 Each append is one ``write()`` of full lines (readers can never
 observe a half-record except after a crash mid-write), then ``flush``
 + ``os.fsync`` so the bytes are on disk — not just in the OS buffer —
-before the put returns, which is what resumability rests on. On POSIX
+before the put returns, which is what resumability rests on. The
+``fsync`` itself retries with backoff (a transiently failing disk is
+absorbed, a persistently failing one raises), and the first append of
+a session newline-terminates any torn tail a crash left behind so the
+damage never spreads into fresh records (docs/ROBUSTNESS.md). On POSIX
 the append additionally holds an exclusive ``flock`` on the store
 file, so concurrent campaigns (two terminals, a CI matrix sharing a
 cache volume) cannot interleave their lines. :meth:`TrialStore.put_many`
@@ -53,6 +57,13 @@ __all__ = ["TrialStore"]
 
 _FILENAME = "trials.jsonl"
 
+#: Durability attempts per batch: ``fsync`` gets this many tries
+#: (small exponential backoff between them) before the append fails.
+_FSYNC_ATTEMPTS = 4
+
+#: Base backoff between fsync attempts, seconds (doubles per attempt).
+_FSYNC_BACKOFF = 0.01
+
 
 class TrialStore:
     """Content-addressed, append-only persistence for outcomes.
@@ -62,12 +73,21 @@ class TrialStore:
     as ``store.load`` / ``store.append`` spans and record counts are
     tracked, so ``repro-ugf stats`` can show where campaign wall-clock
     goes between engine time and persistence.
+
+    *injector* is an optional armed
+    :class:`~repro.chaos.inject.FaultInjector`: its ``store.fsync``
+    hook sits inside the durability retry loop (so injected fsync
+    failures exercise the same bounded-retry path real ``EIO`` takes).
+    ``None`` — the default — skips the chaos plane entirely.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike, *, metrics=None) -> None:
+    def __init__(
+        self, cache_dir: str | os.PathLike, *, metrics=None, injector=None
+    ) -> None:
         self.cache_dir = pathlib.Path(cache_dir)
         self.path = self.cache_dir / _FILENAME
         self.metrics = metrics
+        self.injector = injector
         #: Raw outcome payloads by key (wire lists or legacy dicts);
         #: outcomes deserialise lazily on get.
         self._index: dict[str, Any] | None = None
@@ -178,6 +198,7 @@ class TrialStore:
             try:
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
                 self._fh = self.path.open("a", encoding="utf-8")
+                self._terminate_torn_tail()
             except OSError as exc:
                 raise CampaignError(
                     f"cannot write trial cache under {self.cache_dir}: {exc}"
@@ -189,7 +210,7 @@ class TrialStore:
             # One write() of whole lines: no torn records mid-batch.
             self._fh.write("\n".join(lines) + "\n")
             self._fh.flush()
-            os.fsync(fd)
+            self._durable_fsync(fd)
         finally:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)
@@ -200,6 +221,53 @@ class TrialStore:
         index = self._load()
         for key, wire in wires:
             index[key] = wire
+
+    def _terminate_torn_tail(self) -> None:
+        """Newline-terminate a torn final record before the first append.
+
+        A crash mid-append can leave the file ending in a fragment with
+        no trailing newline; appending straight onto it would merge the
+        fragment with the next record and corrupt *that* too. Writing
+        one ``"\\n"`` first confines the damage to the already-lost
+        fragment (which the reader skips), so torn tails never compound
+        across sessions. ``repro-ugf doctor --repair`` removes the dead
+        fragment outright.
+        """
+        if self._fh is None or self._fh.tell() == 0:
+            return
+        with self.path.open("rb") as raw:
+            raw.seek(-1, os.SEEK_END)
+            terminated = raw.read(1) == b"\n"
+        if not terminated:
+            self._fh.write("\n")
+            self._fh.flush()
+            if self.metrics is not None:
+                self.metrics.count("store.torn_tails_terminated")
+
+    def _durable_fsync(self, fd: int) -> None:
+        """``fsync`` with a bounded retry (exponential backoff).
+
+        A transiently failing disk — or an injected ``store.fsync``
+        fault — is absorbed by retrying the sync; the written bytes
+        are still in the file object/OS buffer, so no record is lost.
+        A persistently failing disk still raises ``CampaignError``
+        after the last attempt: durability is a contract, not a hope.
+        """
+        for attempt in range(_FSYNC_ATTEMPTS):
+            try:
+                if self.injector is not None:
+                    self.injector.check_fsync(attempt)
+                os.fsync(fd)
+                return
+            except OSError as exc:
+                if self.metrics is not None:
+                    self.metrics.count("store.fsync_retries")
+                if attempt + 1 == _FSYNC_ATTEMPTS:
+                    raise CampaignError(
+                        f"cannot make the trial store durable after "
+                        f"{_FSYNC_ATTEMPTS} fsync attempts: {exc}"
+                    ) from exc
+                time.sleep(_FSYNC_BACKOFF * (2 ** attempt))
 
     def close(self) -> None:
         if self._fh is not None:

@@ -1,0 +1,202 @@
+"""The fault-injection plane: hook points armed by a :class:`FaultPlan`.
+
+A :class:`FaultInjector` is the runtime face of a plan. The campaign
+layer calls its hooks at the same kind of kernel hook points the
+sanitizer (PR 2) and the metrics registry (PR 4) use — guarded,
+write-only-unless-armed, and absent by default: a campaign without a
+plan never constructs an injector, and every integration site is a
+``None`` check, so the chaos plane costs nothing when it is off.
+
+Hook sites and their real-world analogue:
+
+========================  =====================================================
+``before_trial(spec)``    transient infrastructure exceptions, OOM-killed
+                          workers (``SIGKILL`` to the executing process),
+                          starved pools (the worker stalls before running)
+``check_fsync(retry)``    a disk that returns ``EIO`` from ``fsync``
+``maybe_tear(path)``      ``kill -9`` mid-append: the final store record is
+                          left torn on disk
+========================  =====================================================
+
+Injected trial failures surface exactly like organic ones — a full
+traceback in the execution result — so the supervisor's classifier is
+exercised on the same wire real faults travel. The worker-only guard
+(see :mod:`repro.chaos.plan`) keeps kill/starve faults out of the
+process that owns the campaign, which is what makes the degradation
+ladder's inline rung always terminate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING
+
+try:  # POSIX-only; worker.kill degrades to a no-op elsewhere.
+    import signal
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    signal = None  # type: ignore[assignment]
+
+from repro.chaos.plan import (
+    FaultPlan,
+    InjectedFsyncError,
+    InjectedPoisonError,
+    InjectedTransientError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import TrialSpec
+
+__all__ = ["FaultInjector", "tear_tail"]
+
+
+def _trial_token(spec: "TrialSpec") -> str:
+    """The stable identity of one trial for injection draws.
+
+    Chunking, worker scheduling and retries must not move a fault from
+    one trial to another, so the token is the spec's coordinates — the
+    same fields the content address hashes — rather than any runtime
+    position.
+    """
+    return (
+        f"{spec.protocol}/{spec.adversary}/n{spec.n}/f{spec.f}/s{spec.seed}"
+    )
+
+
+def tear_tail(path, *, fraction: float = 0.5) -> int:
+    """Truncate *path* mid-way through its final record.
+
+    Returns the number of bytes removed (0 when the file has no
+    complete final record to tear). Exactly the on-disk state a
+    ``kill -9`` during an append leaves behind: a trailing fragment
+    that is not valid JSON and does not end in a newline.
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0
+    if size < 2:
+        return 0
+    with open(path, "rb") as fh:
+        # The last record spans from the newline before the trailing
+        # one to the end of the file; read a bounded window to find it.
+        window = min(size, 65536)
+        fh.seek(size - window)
+        tail = fh.read(window)
+    body = tail[:-1] if tail.endswith(b"\n") else tail
+    cut = body.rfind(b"\n")
+    record_start = size - len(body) + cut + 1 if cut >= 0 else size - len(body)
+    record_len = size - record_start
+    if record_len < 2:
+        return 0
+    torn = max(1, record_len - max(1, record_len // 2))
+    with open(path, "ab") as fh:
+        fh.truncate(size - torn)
+    return torn
+
+
+class FaultInjector:
+    """Process-local fault dispatcher for one :class:`FaultPlan`.
+
+    Built wherever trials execute (inline in the campaign process, or
+    per chunk in a worker from the pickled plan); all state it keeps is
+    derived from the plan plus monotone local counters for store
+    events, which only ever occur in the campaign's own process.
+    """
+
+    __slots__ = (
+        "plan",
+        "_trial_rules",
+        "_fsync_rules",
+        "_tear_rules",
+        "_append_index",
+        "_tear_index",
+        "_torn",
+    )
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        trial_sites = ("worker.starve", "worker.kill", "trial.exception", "trial.poison")
+        #: Trial rules in firing order: a stall happens before a kill,
+        #: a kill preempts an exception.
+        self._trial_rules = tuple(
+            rule for site in trial_sites for rule in plan.rules_for(site)
+        )
+        self._fsync_rules = plan.rules_for("store.fsync")
+        self._tear_rules = plan.rules_for("store.tear")
+        self._append_index = 0
+        self._tear_index = 0
+        self._torn = 0
+
+    # -- trial execution ---------------------------------------------------------
+
+    def before_trial(self, spec: "TrialSpec") -> None:
+        """Fire any armed trial-targeted fault for *spec*.
+
+        Called inside the trial's error-capture (and timeout) scope, so
+        an injected exception is recorded with a full traceback and an
+        injected stall is interrupted by the per-trial deadline.
+        """
+        if not self._trial_rules:
+            return
+        token = _trial_token(spec)
+        pid = os.getpid()
+        for rule in self._trial_rules:
+            if rule.seeds is not None and spec.seed not in rule.seeds:
+                continue
+            if not self.plan.fires(rule, token, pid=pid):
+                continue
+            if rule.site == "worker.starve":
+                time.sleep(rule.delay)
+            elif rule.site == "worker.kill":
+                if signal is not None:  # pragma: no branch
+                    os.kill(pid, signal.SIGKILL)  # never returns
+            elif rule.site == "trial.exception":
+                raise InjectedTransientError(
+                    f"injected transient fault at {token} "
+                    f"(plan {self.plan.name!r}, attempt {self.plan.attempt})"
+                )
+            else:  # trial.poison
+                raise InjectedPoisonError(
+                    f"injected deterministic fault at {token} "
+                    f"(plan {self.plan.name!r}; this failure repeats on retry)"
+                )
+
+    # -- trial store -------------------------------------------------------------
+
+    def check_fsync(self, retry: int) -> None:
+        """Raise in place of a durable ``fsync`` when armed.
+
+        *retry* is the store's own bounded-retry attempt for this
+        batch; it takes the attempt slot in the draw, so a rule with
+        ``attempts=2`` fails the first two durability attempts and lets
+        the third through — the store's backoff absorbs the fault.
+        """
+        if not self._fsync_rules:
+            return
+        if retry == 0:
+            self._append_index += 1
+        token = f"append{self._append_index - 1}"
+        for rule in self._fsync_rules:
+            if self.plan.fires(rule, token, attempt=retry):
+                raise InjectedFsyncError(
+                    f"injected fsync failure on {token} retry {retry} "
+                    f"(plan {self.plan.name!r})"
+                )
+
+    def maybe_tear(self, path) -> int:
+        """Tear the store's final record at session close when armed.
+
+        At most one tear per injector: a crash destroys one tail, and
+        the battery's recovery pass must be able to converge.
+        """
+        if not self._tear_rules or self._torn:
+            return 0
+        token = f"close{self._tear_index}"
+        self._tear_index += 1
+        for rule in self._tear_rules:
+            if self.plan.fires(rule, token):
+                self._torn = tear_tail(path)
+                return self._torn
+        return 0

@@ -11,6 +11,8 @@ Examples::
     repro-ugf ablate f --protocol push-pull -n 100
     repro-ugf sweep --protocol ears --n 10 20 --seeds 3 --sanitize strict
     repro-ugf check ~/.cache/repro-ugf
+    repro-ugf doctor ~/.cache/repro-ugf --repair
+    repro-ugf sweep --protocol flood --n 8 --seeds 3 --supervise --fault-plan plan.json
     repro-ugf bench --grid smoke --check
 
 The experiment commands (``sweep``, ``figure``, ``report``) execute
@@ -24,6 +26,12 @@ previously cached results (but still records new ones), and
 ``--sanitize`` runs trials under the execution-model sanitizer
 (docs/SANITIZER.md) and ``check`` audits a trial cache offline —
 content addresses, sanitized replay, and Theorem 1 cell verdicts.
+
+``doctor`` scans a run directory for crash damage (torn store tails,
+bad content addresses) and ``--repair`` heals what is reversible;
+``--fault-plan`` / ``--supervise`` belong to the chaos harness
+(docs/ROBUSTNESS.md): inject faults deterministically and run the
+sweep under retry/quarantine supervision.
 """
 
 from __future__ import annotations
@@ -64,6 +72,14 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="kill any single trial exceeding this wall-clock budget "
         "(reported as a failure; default: unbounded)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=pathlib.Path,
+        default=None,
+        metavar="PLAN.json",
+        help="arm the chaos fault-injection plane from a JSON fault plan "
+        "(docs/ROBUSTNESS.md) — for robustness testing of the harness itself",
     )
 
 
@@ -135,6 +151,12 @@ def _make_campaign(args: argparse.Namespace):
         cache_dir = args.cache_dir
     else:
         cache_dir = default_cache_dir()
+    fault_plan = None
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path is not None:
+        from repro.chaos import FaultPlan
+
+        fault_plan = FaultPlan.load(plan_path)
     return Campaign(
         cache_dir=cache_dir,
         workers=getattr(args, "workers", None),
@@ -143,6 +165,7 @@ def _make_campaign(args: argparse.Namespace):
         trial_timeout=getattr(args, "trial_timeout", None),
         sanitize=_sanitize_spec(args),
         metrics=getattr(args, "metrics", None),
+        fault_plan=fault_plan,
     )
 
 
@@ -206,6 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="baseline timing environment (see 'run --environment')",
     )
+    p_sweep.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under the chaos supervisor: transient failures retry with "
+        "backoff down a degradation ladder, deterministic ones land in "
+        "quarantine.jsonl and the sweep completes degraded (exit 3) instead "
+        "of aborting",
+    )
+    p_sweep.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="retry budget per trial under --supervise (default: 3)",
+    )
     _add_cache_flags(p_sweep)
     _add_campaign_flags(p_sweep)
     _add_sanitize_flag(p_sweep)
@@ -253,6 +290,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--alpha", type=int, default=1, help="Theorem 1 alpha parameter"
+    )
+
+    p_doc = sub.add_parser(
+        "doctor",
+        help="scan a run directory for store damage — torn tails, bad "
+        "content addresses, undecodable payloads; --repair heals what is "
+        "reversible",
+    )
+    p_doc.add_argument(
+        "run_dir",
+        type=pathlib.Path,
+        nargs="?",
+        default=None,
+        help="run/cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ugf)",
+    )
+    p_doc.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate a torn tail / newline-terminate an unterminated "
+        "final record, then rescan",
     )
 
     p_stats = sub.add_parser(
@@ -437,13 +494,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         environment=args.environment,
     )
+    supervisor = None
     with _make_campaign(args) as campaign:
-        result = campaign.run_sweep(spec)
+        if args.supervise:
+            from repro.chaos import RetryPolicy, Supervisor
+            from repro.experiments.runner import aggregate_sweep
+
+            with Supervisor(
+                campaign, policy=RetryPolicy(max_retries=args.max_retries)
+            ) as supervisor:
+                run = supervisor.run_trials(list(spec.trials()))
+            print(run.summary(), file=sys.stderr)
+            result = (
+                aggregate_sweep(spec, run.outcomes()) if not run.degraded else None
+            )
+        else:
+            result = campaign.run_sweep(spec)
         stats = campaign.stats.summary()
     _note_telemetry(campaign)
-    sys.stdout.write(sweep_csv(result))
+    if result is not None:
+        sys.stdout.write(sweep_csv(result))
     # Stats go to stderr so stdout stays machine-readable CSV.
     print(stats, file=sys.stderr)
+    if result is None:
+        # Degraded supervised run: the sweep completed, but some cells
+        # are missing trials — point at the quarantine ledger instead
+        # of printing a CSV that silently under-represents them.
+        if supervisor is not None and supervisor.ledger is not None:
+            print(f"quarantine: {supervisor.ledger.path}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -529,6 +608,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print()
     print(audit.summary())
     return 0 if audit.ok else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.campaign import default_cache_dir
+    from repro.chaos import diagnose
+
+    run_dir = args.run_dir if args.run_dir is not None else default_cache_dir()
+    report = diagnose(run_dir, repair=args.repair)
+    for finding in report.findings:
+        print(str(finding), file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -749,6 +840,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "doctor":
+        return _cmd_doctor(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "inspect":

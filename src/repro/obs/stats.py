@@ -41,6 +41,11 @@ class RunStats:
     registry_records: int
     trials: list[dict[str, Any]] = field(default_factory=list)
     phases: list[dict[str, Any]] = field(default_factory=list)
+    #: Supervisor robustness history (docs/ROBUSTNESS.md): one record
+    #: per retry wave / quarantined trial / supervised-run verdict.
+    retries: list[dict[str, Any]] = field(default_factory=list)
+    quarantines: list[dict[str, Any]] = field(default_factory=list)
+    verdicts: list[dict[str, Any]] = field(default_factory=list)
     #: Undecodable telemetry lines skipped by the reader.
     skipped_lines: int = 0
     #: Records of kinds this version does not know (future writers).
@@ -79,6 +84,12 @@ def load_run_stats(run_dir: "str | os.PathLike") -> RunStats:
             stats.trials.append(record.data)
         elif record.kind == "phase":
             stats.phases.append(record.data)
+        elif record.kind == "retry":
+            stats.retries.append(record.data)
+        elif record.kind == "quarantine":
+            stats.quarantines.append(record.data)
+        elif record.kind == "verdict":
+            stats.verdicts.append(record.data)
         elif record.kind == "registry":
             merged = _registry_of(record)
             if merged is not None:
@@ -206,6 +217,21 @@ def render_run_stats(stats: RunStats, *, top: int = 10) -> str:
             f"executed wall-clock: total {_fmt_seconds(sum(exec_seconds))}, "
             f"slowest {_fmt_seconds(max(exec_seconds))}"
         )
+    if stats.retries or stats.quarantines or stats.verdicts:
+        retried = sum(
+            int(r.get("trials", 0))
+            for r in stats.retries
+            if isinstance(r.get("trials"), int)
+        )
+        line = (
+            f"robustness: {retried} retried trial(s) across "
+            f"{len(stats.retries)} wave(s), {len(stats.quarantines)} "
+            "quarantined"
+        )
+        if stats.verdicts:
+            last = stats.verdicts[-1].get("verdict", "?")
+            line += f" — last supervised verdict: {last}"
+        lines.append(line)
     if stats.skipped_lines:
         lines.append(f"skipped {stats.skipped_lines} unreadable line(s)")
     if stats.foreign_records:
@@ -231,6 +257,11 @@ def run_stats_json(stats: RunStats, *, top: int = 10) -> dict[str, Any]:
             "by_status": stats.trial_status_counts,
         },
         "phases": stats.phases,
+        "robustness": {
+            "retry_waves": stats.retries,
+            "quarantined": len(stats.quarantines),
+            "verdicts": [v.get("verdict") for v in stats.verdicts],
+        },
         "skipped_lines": stats.skipped_lines,
         "foreign_records": stats.foreign_records,
         "registry_records": stats.registry_records,

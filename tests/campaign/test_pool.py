@@ -1,9 +1,12 @@
 """Unit tests for the chunked worker pool."""
 
 import json
+import threading
+import warnings
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.campaign import pool as pool_mod
 from repro.campaign.pool import WorkerPool, run_trial_batch
 from repro.experiments.config import TrialSpec
 from repro.sim.outcome import Outcome
@@ -122,3 +125,76 @@ def test_broken_pool_recovers_chunks_inline():
     assert broken.submitted == 4
     assert [r.spec for r in results] == specs
     assert wires(results) == expected
+
+
+def test_sigkilled_worker_mid_chunk_recovers_and_pool_survives():
+    # Not a stub: an armed worker.kill plan SIGKILLs the live worker
+    # process while it executes seed 1, mid-chunk. The resulting
+    # BrokenProcessPool must be recovered inline (where the pid guard
+    # disarms the kill) with no result lost, and the pool must come
+    # back for the next batch.
+    from repro.chaos.plan import FaultPlan, FaultRule
+    from repro.obs.registry import MetricsRegistry
+
+    plan = FaultPlan(
+        seed=1, rules=(FaultRule(site="worker.kill", rate=1.0, seeds=(1,)),)
+    )
+    specs = [trial(seed) for seed in range(6)]
+    with WorkerPool(1) as inline_pool:
+        expected = wires(inline_pool.execute(specs))
+    metrics = MetricsRegistry()
+    with WorkerPool(2, chunk_size=2, metrics=metrics, fault_plan=plan) as pool:
+        results = pool.execute(specs)
+        # The kill really happened — recovery ran, results are whole.
+        assert metrics.counters["pool.broken_pool_recoveries"] >= 1
+        assert [r.spec for r in results] == specs
+        assert all(r.ok for r in results)
+        # The executor was rebuilt: a second batch (not targeting the
+        # killed seed) runs in fresh workers without incident.
+        survivors = [trial(seed) for seed in (2, 3, 4, 5)]
+        assert all(r.ok for r in pool.execute(survivors))
+
+
+# -- timeout degradation ---------------------------------------------------------
+
+
+def test_deadline_off_main_thread_warns_once_and_counts(monkeypatch):
+    from repro.obs.registry import MetricsRegistry
+
+    monkeypatch.setattr(pool_mod, "_timeout_warned", False)
+    metrics = MetricsRegistry()
+    caught: list[warnings.WarningMessage] = []
+
+    def body() -> None:
+        with warnings.catch_warnings(record=True) as seen:
+            warnings.simplefilter("always")
+            with pool_mod._deadline(0.1, metrics):
+                pass
+            with pool_mod._deadline(0.1, metrics):
+                pass
+            caught.extend(seen)
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    thread.join()
+    # Every affected trial is counted; the warning fires exactly once.
+    assert metrics.counters["pool.timeout_unavailable"] == 2
+    degradations = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+    assert len(degradations) == 1
+    assert "off the main thread" in str(degradations[0].message)
+
+
+def test_deadline_without_signal_support_warns(monkeypatch):
+    from repro.obs.registry import MetricsRegistry
+
+    monkeypatch.setattr(pool_mod, "signal", None)
+    monkeypatch.setattr(pool_mod, "_timeout_warned", False)
+    metrics = MetricsRegistry()
+    with warnings.catch_warnings(record=True) as seen:
+        warnings.simplefilter("always")
+        with pool_mod._deadline(1.0, metrics):
+            pass
+    assert metrics.counters["pool.timeout_unavailable"] == 1
+    assert any("on this platform" in str(w.message) for w in seen)

@@ -175,3 +175,110 @@ def test_put_many_appends_every_record_atomically(tmp_path):
         got = reloaded.get(key)
         assert got is not None
         assert np.array_equal(got.sent, outcome.sent)
+
+
+# -- torn-tail recovery ----------------------------------------------------------
+
+
+def test_append_onto_torn_tail_self_heals(tmp_path):
+    from repro.chaos.inject import tear_tail
+
+    specs = [trial(0), trial(1)]
+    with TrialStore(tmp_path) as store:
+        for s in specs:
+            store.put(trial_key(s), spec_fingerprint(s), run_trial(s))
+    path = tmp_path / "trials.jsonl"
+    assert tear_tail(path) > 0
+
+    # A fresh session appends straight onto the torn file; the store
+    # must newline-terminate the fragment first so the new record does
+    # not merge into it and get corrupted too.
+    late = trial(2)
+    with TrialStore(tmp_path) as store:
+        store.put(trial_key(late), spec_fingerprint(late), run_trial(late))
+
+    fresh = TrialStore(tmp_path)
+    assert fresh.get(trial_key(specs[0])) is not None  # untouched
+    assert fresh.get(trial_key(specs[1])) is None  # torn: lost, skipped
+    assert fresh.get(trial_key(late)) is not None  # new record intact
+    assert fresh.skipped_lines == 1  # damage confined to the fragment
+
+
+def test_torn_tail_resume_reruns_only_the_lost_trial(tmp_path):
+    from repro.campaign import Campaign
+    from repro.chaos.inject import tear_tail
+
+    specs = [trial(seed) for seed in range(4)]
+    with Campaign(cache_dir=tmp_path, workers=1) as campaign:
+        assert all(r.ok for r in campaign.run_trials(specs))
+    assert tear_tail(tmp_path / "trials.jsonl") > 0
+
+    # Resume: the reader skips the torn record, the campaign re-runs
+    # exactly that one trial, and the healed store serves all four.
+    with Campaign(cache_dir=tmp_path, workers=1) as campaign:
+        results = campaign.run_trials(specs)
+    assert all(r.ok for r in results)
+    assert sum(not r.cached for r in results) == 1
+    assert len(TrialStore(tmp_path)) == 4
+
+
+def test_doctor_repair_truncates_a_torn_tail_cleanly(tmp_path):
+    from repro.chaos.doctor import diagnose
+    from repro.chaos.inject import tear_tail
+
+    specs = [trial(0), trial(1)]
+    with TrialStore(tmp_path) as store:
+        store.put_many(
+            [(trial_key(s), spec_fingerprint(s), run_trial(s)) for s in specs]
+        )
+    tear_tail(tmp_path / "trials.jsonl")
+    report = diagnose(tmp_path, repair=True)
+    assert report.ok and report.repairs
+    # Byte-clean again: one whole-line record, no fragment.
+    raw = (tmp_path / "trials.jsonl").read_bytes()
+    assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+    assert TrialStore(tmp_path).skipped_lines == 0
+
+
+def test_transient_fsync_failure_is_absorbed(tmp_path):
+    from repro.chaos.inject import FaultInjector
+    from repro.chaos.plan import FaultPlan, FaultRule
+    from repro.obs.registry import MetricsRegistry
+
+    plan = FaultPlan(
+        seed=17,
+        rules=(FaultRule(site="store.fsync", rate=1.0, attempts=2),),
+    )
+    metrics = MetricsRegistry()
+    spec = trial(0)
+    with TrialStore(
+        tmp_path, metrics=metrics, injector=FaultInjector(plan)
+    ) as store:
+        store.put(trial_key(spec), spec_fingerprint(spec), run_trial(spec))
+    # Two injected failures, absorbed by the bounded retry; the record
+    # is durable and a fresh reader sees it.
+    assert metrics.counters["store.fsync_retries"] == 2
+    assert TrialStore(tmp_path).get(trial_key(spec)) is not None
+
+
+def test_persistent_fsync_failure_raises_campaign_error(tmp_path):
+    import pytest
+
+    from repro.campaign import store as store_mod
+    from repro.chaos.inject import FaultInjector
+    from repro.chaos.plan import FaultPlan, FaultRule
+    from repro.errors import CampaignError
+
+    plan = FaultPlan(
+        seed=17,
+        rules=(FaultRule(site="store.fsync", rate=1.0, attempts=None),),
+    )
+    spec = trial(0)
+    with TrialStore(tmp_path, injector=FaultInjector(plan)) as store:
+        original_backoff = store_mod._FSYNC_BACKOFF
+        store_mod._FSYNC_BACKOFF = 0.0  # keep the failing test fast
+        try:
+            with pytest.raises(CampaignError, match="fsync attempts"):
+                store.put(trial_key(spec), spec_fingerprint(spec), run_trial(spec))
+        finally:
+            store_mod._FSYNC_BACKOFF = original_backoff

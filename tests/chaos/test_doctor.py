@@ -1,0 +1,189 @@
+"""Tests for ``repro-ugf doctor``: diagnosis and repair of run damage."""
+
+import json
+
+from repro.campaign.keys import spec_fingerprint, trial_key
+from repro.campaign.store import TrialStore
+from repro.chaos.doctor import diagnose
+from repro.chaos.inject import tear_tail
+from repro.chaos.supervisor import QuarantineLedger, quarantine_path
+from repro.cli import main
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+
+
+def trial(seed: int = 0) -> TrialSpec:
+    return TrialSpec(protocol="flood", adversary="none", n=8, f=0, seed=seed)
+
+
+def seeded_store(tmp_path, count: int = 3) -> list[TrialSpec]:
+    specs = [trial(s) for s in range(count)]
+    with TrialStore(tmp_path) as store:
+        store.put_many(
+            [(trial_key(s), spec_fingerprint(s), run_trial(s)) for s in specs]
+        )
+    return specs
+
+
+def kinds(report, severity=None):
+    return {
+        f.kind
+        for f in report.findings
+        if severity is None or f.severity == severity
+    }
+
+
+# -- store scanning --------------------------------------------------------------
+
+
+def test_clean_store_is_clean(tmp_path):
+    seeded_store(tmp_path, count=3)
+    report = diagnose(tmp_path)
+    assert report.ok
+    assert report.records == 3
+    assert report.findings == []
+    assert "verdict: clean" in report.summary()
+
+
+def test_missing_store_is_an_error(tmp_path):
+    report = diagnose(tmp_path)
+    assert not report.ok
+    assert kinds(report, "error") == {"no-store"}
+
+
+def test_torn_tail_is_detected_and_truncated_by_repair(tmp_path):
+    seeded_store(tmp_path, count=3)
+    path = tmp_path / "trials.jsonl"
+    healthy = path.stat().st_size
+    torn = tear_tail(path)
+    assert torn > 0
+
+    report = diagnose(tmp_path)
+    assert not report.ok
+    assert kinds(report, "error") == {"torn-tail"}
+    assert report.records == 2  # the first two lines are still good
+
+    report = diagnose(tmp_path, repair=True)
+    # The report describes the healed store: clean, fragment gone.
+    assert report.ok
+    assert report.repairs and "truncated torn tail" in report.repairs[0]
+    assert report.records == 2
+    assert path.stat().st_size < healthy
+    assert path.read_bytes().endswith(b"\n")
+    # A second opinion agrees the repaired store is clean.
+    assert diagnose(tmp_path).ok
+
+
+def test_unterminated_final_record_is_newline_terminated(tmp_path):
+    seeded_store(tmp_path, count=2)
+    path = tmp_path / "trials.jsonl"
+    data = path.read_bytes()
+    path.write_bytes(data[:-1])  # drop only the trailing newline
+
+    report = diagnose(tmp_path)
+    assert not report.ok
+    assert kinds(report, "error") == {"unterminated-tail"}
+
+    report = diagnose(tmp_path, repair=True)
+    assert report.ok
+    assert report.repairs == ["terminated the final record with a newline"]
+    assert report.records == 2  # no data lost: the record was complete
+    assert path.read_bytes() == data
+
+
+def test_edited_record_fails_its_content_address(tmp_path):
+    seeded_store(tmp_path, count=2)
+    path = tmp_path / "trials.jsonl"
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[0])
+    record["spec"]["seed"] = 999  # edit in place; key no longer matches
+    lines[0] = json.dumps(record, separators=(",", ":"))
+    path.write_text("\n".join(lines) + "\n")
+
+    report = diagnose(tmp_path)
+    assert not report.ok
+    assert kinds(report, "error") == {"bad-address"}
+    assert report.records == 1
+
+
+def test_undecodable_wire_payload_is_an_error(tmp_path):
+    seeded_store(tmp_path, count=1)
+    path = tmp_path / "trials.jsonl"
+    record = json.loads(path.read_text())
+    record["wire"] = [1, 2]
+    path.write_text(json.dumps(record, separators=(",", ":")) + "\n")
+    report = diagnose(tmp_path)
+    assert not report.ok
+    assert kinds(report, "error") == {"bad-wire"}
+
+
+def test_interior_corruption_is_a_warning_not_an_error(tmp_path):
+    seeded_store(tmp_path, count=2)
+    path = tmp_path / "trials.jsonl"
+    lines = path.read_text().splitlines()
+    lines.insert(1, "x" * 20)  # corrupt interior line; reader skips it
+    path.write_text("\n".join(lines) + "\n")
+    report = diagnose(tmp_path)
+    assert report.ok  # data already lost; nothing doctor should break
+    assert kinds(report, "warn") == {"corrupt-line"}
+    assert report.records == 2
+
+
+def test_superseded_rewrites_are_informational(tmp_path):
+    spec = trial(0)
+    with TrialStore(tmp_path) as store:
+        outcome = run_trial(spec)
+        store.put(trial_key(spec), spec_fingerprint(spec), outcome)
+        store.put(trial_key(spec), spec_fingerprint(spec), outcome)
+    report = diagnose(tmp_path)
+    assert report.ok
+    assert kinds(report, "info") == {"duplicate-keys"}
+
+
+# -- cross-checks ----------------------------------------------------------------
+
+
+def test_recovered_quarantine_entries_are_flagged(tmp_path):
+    (spec, *_rest) = seeded_store(tmp_path, count=1)
+    with QuarantineLedger(quarantine_path(tmp_path)) as ledger:
+        ledger.record(
+            spec,
+            error="InjectedTransientError: gone now",
+            classification="transient-exhausted",
+            attempts=3,
+            ladder=["chunked-parallel", "inline"],
+        )
+    report = diagnose(tmp_path)
+    assert report.ok
+    assert report.quarantine_records == 1
+    assert kinds(report, "info") == {"quarantine-recovered"}
+
+
+def test_corrupt_side_ledgers_warn(tmp_path):
+    seeded_store(tmp_path, count=1)
+    quarantine_path(tmp_path).write_text("not json\n")
+    (tmp_path / "telemetry.jsonl").write_text("also not json\n")
+    report = diagnose(tmp_path)
+    assert report.ok
+    assert kinds(report, "warn") == {"quarantine-corrupt", "telemetry-corrupt"}
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def test_doctor_cli_exit_codes_and_repair(tmp_path, capsys):
+    seeded_store(tmp_path, count=3)
+    path = tmp_path / "trials.jsonl"
+    assert main(["doctor", str(tmp_path)]) == 0
+    assert "verdict: clean" in capsys.readouterr().out
+
+    tear_tail(path)
+    assert main(["doctor", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "torn-tail" in captured.err
+    assert "NEEDS ATTENTION" in captured.out
+
+    assert main(["doctor", str(tmp_path), "--repair"]) == 0
+    captured = capsys.readouterr()
+    assert "repaired: truncated torn tail" in captured.out
+    assert main(["doctor", str(tmp_path)]) == 0

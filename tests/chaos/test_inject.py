@@ -1,0 +1,152 @@
+"""Unit tests for the runtime fault-injection hooks."""
+
+import os
+
+import pytest
+
+from repro.chaos import inject as inject_mod
+from repro.chaos.inject import FaultInjector, _trial_token, tear_tail
+from repro.chaos.plan import (
+    FaultPlan,
+    FaultRule,
+    InjectedFsyncError,
+    InjectedPoisonError,
+    InjectedTransientError,
+)
+from repro.experiments.config import TrialSpec
+
+
+def trial(seed: int = 0) -> TrialSpec:
+    return TrialSpec(protocol="flood", adversary="none", n=8, f=0, seed=seed)
+
+
+def injector(*rules: FaultRule, seed: int = 1, attempt: int = 0) -> FaultInjector:
+    return FaultInjector(FaultPlan(seed=seed, rules=rules, attempt=attempt))
+
+
+# -- trial identity --------------------------------------------------------------
+
+
+def test_trial_token_is_positional_state_free():
+    # Same spec → same token, regardless of chunking or retry context.
+    assert _trial_token(trial(3)) == "flood/none/n8/f0/s3"
+    assert _trial_token(trial(3)) == _trial_token(trial(3))
+    assert _trial_token(trial(3)) != _trial_token(trial(4))
+
+
+# -- before_trial ----------------------------------------------------------------
+
+
+def test_transient_exception_fires_then_clears_on_retry():
+    rule = FaultRule(site="trial.exception", rate=1.0, attempts=1)
+    with pytest.raises(InjectedTransientError, match="injected transient"):
+        injector(rule).before_trial(trial())
+    # The retried plan asks the same question at attempt 1: quiet.
+    injector(rule, attempt=1).before_trial(trial())
+
+
+def test_poison_fires_on_every_attempt():
+    rule = FaultRule(site="trial.poison", rate=1.0, attempts=None)
+    for attempt in (0, 1, 7):
+        with pytest.raises(InjectedPoisonError, match="repeats on retry"):
+            injector(rule, attempt=attempt).before_trial(trial())
+
+
+def test_seeds_filter_targets_specific_trials():
+    rule = FaultRule(site="trial.poison", rate=1.0, attempts=None, seeds=(2,))
+    inj = injector(rule)
+    inj.before_trial(trial(0))  # not targeted
+    with pytest.raises(InjectedPoisonError):
+        inj.before_trial(trial(2))
+
+
+def test_starve_sleeps_for_the_rule_delay(monkeypatch):
+    naps = []
+    monkeypatch.setattr(inject_mod.time, "sleep", naps.append)
+    rule = FaultRule(site="worker.starve", rate=1.0, attempts=None, delay=0.75)
+    inj = FaultInjector(FaultPlan(seed=1, rules=(rule,)))
+    inj.before_trial(trial())
+    assert naps == [0.75]
+
+
+def test_worker_kill_is_guarded_in_the_origin_process():
+    # The pid guard is what keeps this very test alive: an armed kill
+    # rule asked from the plan's own origin process must stay quiet.
+    rule = FaultRule(site="worker.kill", rate=1.0, attempts=None)
+    plan = FaultPlan(seed=1, rules=(rule,)).with_origin(os.getpid())
+    FaultInjector(plan).before_trial(trial())  # survives
+
+
+def test_unarmed_injector_is_a_no_op():
+    inj = FaultInjector(FaultPlan(seed=1))
+    inj.before_trial(trial())
+    inj.check_fsync(0)
+    assert inj.maybe_tear("/nonexistent") == 0
+
+
+# -- check_fsync -----------------------------------------------------------------
+
+
+def test_fsync_fault_is_absorbed_by_the_retry_window():
+    rule = FaultRule(site="store.fsync", rate=1.0, attempts=2)
+    inj = injector(rule)
+    # First two durability attempts of the first append fail...
+    for retry in (0, 1):
+        with pytest.raises(InjectedFsyncError):
+            inj.check_fsync(retry)
+    # ...the third is let through (and it is an OSError, so the store's
+    # real retry loop catches it like genuine EIO).
+    inj.check_fsync(2)
+    assert issubclass(InjectedFsyncError, OSError)
+
+
+def test_fsync_draws_advance_per_append():
+    rule = FaultRule(site="store.fsync", rate=0.5, attempts=1)
+    inj = injector(rule, seed=13)
+    verdicts = []
+    for _ in range(16):
+        try:
+            inj.check_fsync(0)
+            verdicts.append(False)
+        except InjectedFsyncError:
+            verdicts.append(True)
+    # A rate-0.5 rule over distinct append tokens must vary.
+    assert any(verdicts) and not all(verdicts)
+
+
+# -- tear_tail -------------------------------------------------------------------
+
+
+def test_tear_tail_truncates_mid_final_record(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    lines = [b'{"key": "a", "wire": [1]}', b'{"key": "b", "wire": [2]}']
+    path.write_bytes(b"\n".join(lines) + b"\n")
+    before = path.stat().st_size
+    torn = tear_tail(path)
+    assert 0 < torn < len(lines[1]) + 1
+    assert path.stat().st_size == before - torn
+    data = path.read_bytes()
+    # The first record survives intact; the tail is a dead fragment.
+    assert data.startswith(lines[0] + b"\n")
+    assert not data.endswith(b"\n")
+
+
+def test_tear_tail_edge_cases(tmp_path):
+    missing = tmp_path / "missing.jsonl"
+    assert tear_tail(missing) == 0
+    empty = tmp_path / "empty.jsonl"
+    empty.write_bytes(b"")
+    assert tear_tail(empty) == 0
+    tiny = tmp_path / "tiny.jsonl"
+    tiny.write_bytes(b"\n")
+    assert tear_tail(tiny) == 0
+
+
+def test_maybe_tear_fires_at_most_once(tmp_path):
+    path = tmp_path / "trials.jsonl"
+    path.write_bytes(b'{"key": "a", "wire": [1]}\n{"key": "b", "wire": [2]}\n')
+    rule = FaultRule(site="store.tear", rate=1.0, attempts=None)
+    inj = injector(rule)
+    assert inj.maybe_tear(path) > 0
+    # One crash tears one tail; recovery must be able to converge.
+    assert inj.maybe_tear(path) == 0

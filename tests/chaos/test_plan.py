@@ -1,0 +1,134 @@
+"""Unit tests for declarative, seeded fault plans."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos.plan import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    shipped_plans,
+)
+from repro.errors import ConfigurationError
+
+
+def kill_rule(**overrides) -> FaultRule:
+    base = dict(site="worker.kill", rate=1.0)
+    base.update(overrides)
+    return FaultRule(**base)
+
+
+# -- validation ------------------------------------------------------------------
+
+
+def test_unknown_site_is_rejected():
+    with pytest.raises(ConfigurationError, match="unknown fault site"):
+        FaultRule(site="disk.melt")
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_rate_outside_unit_interval_is_rejected(rate):
+    with pytest.raises(ConfigurationError, match="fault rate"):
+        FaultRule(site="trial.exception", rate=rate)
+
+
+def test_attempts_below_one_is_rejected():
+    with pytest.raises(ConfigurationError, match="attempts"):
+        FaultRule(site="trial.exception", attempts=0)
+
+
+def test_negative_delay_is_rejected():
+    with pytest.raises(ConfigurationError, match="delay"):
+        FaultRule(site="worker.starve", delay=-1.0)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="unknown fault-rule fields"):
+        FaultRule.from_dict({"site": "trial.exception", "rte": 0.5})
+
+
+# -- determinism -----------------------------------------------------------------
+
+
+def test_fires_is_a_pure_function_of_its_coordinates():
+    plan = FaultPlan(seed=7, rules=(FaultRule(site="trial.exception", rate=0.5),))
+    rule = plan.rules[0]
+    answers = [plan.fires(rule, f"trial{i}") for i in range(64)]
+    # Deterministic: asking again gives the same 64 answers...
+    assert answers == [plan.fires(rule, f"trial{i}") for i in range(64)]
+    # ...and a rate-0.5 rule both fires and stays quiet somewhere.
+    assert any(answers) and not all(answers)
+
+
+def test_different_seeds_give_different_draws():
+    rule = FaultRule(site="trial.exception", rate=0.5)
+    a = FaultPlan(seed=1, rules=(rule,))
+    b = FaultPlan(seed=2, rules=(rule,))
+    tokens = [f"trial{i}" for i in range(64)]
+    assert [a.fires(rule, t) for t in tokens] != [b.fires(rule, t) for t in tokens]
+
+
+def test_attempts_window_clears_on_retry():
+    rule = FaultRule(site="trial.exception", rate=1.0, attempts=1)
+    plan = FaultPlan(seed=3, rules=(rule,))
+    assert plan.fires(rule, "t")
+    assert not plan.with_attempt(1).fires(rule, "t")
+    # attempts=None is a deterministic fault: it never clears.
+    forever = FaultRule(site="trial.poison", rate=1.0, attempts=None)
+    plan = FaultPlan(seed=3, rules=(forever,))
+    assert plan.with_attempt(17).fires(forever, "t")
+
+
+def test_worker_only_sites_stay_quiet_in_the_origin_process():
+    rule = kill_rule()
+    plan = FaultPlan(seed=5, rules=(rule,)).with_origin(os.getpid())
+    assert not plan.fires(rule, "t", pid=os.getpid())
+    assert plan.fires(rule, "t", pid=os.getpid() + 1)
+    # Trial-targeted sites are not guarded: they are safe anywhere.
+    transient = FaultRule(site="trial.exception", rate=1.0)
+    plan = FaultPlan(seed=5, rules=(transient,)).with_origin(os.getpid())
+    assert plan.fires(transient, "t", pid=os.getpid())
+
+
+# -- serialisation ---------------------------------------------------------------
+
+
+def test_plan_round_trips_through_dict_and_file(tmp_path):
+    plan = FaultPlan(
+        seed=11,
+        name="mixed",
+        rules=(
+            kill_rule(seeds=(1, 2)),
+            FaultRule(site="store.fsync", rate=0.25, attempts=2),
+            FaultRule(site="worker.starve", attempts=None, delay=0.5),
+        ),
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    assert FaultPlan.load(path) == plan
+
+
+def test_load_rejects_garbage_and_wrong_versions(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text("not json")
+    with pytest.raises(ConfigurationError, match="cannot read fault plan"):
+        FaultPlan.load(path)
+    with pytest.raises(ConfigurationError, match="cannot read fault plan"):
+        FaultPlan.load(tmp_path / "missing.json")
+    with pytest.raises(ConfigurationError, match="'rules' array"):
+        FaultPlan.from_dict({"seed": 1})
+    with pytest.raises(ConfigurationError, match="version"):
+        FaultPlan.from_dict({"v": 99, "rules": []})
+
+
+def test_shipped_plans_cover_every_fault_site():
+    plans = shipped_plans()
+    armed = {rule.site for plan in plans.values() for rule in plan.rules}
+    assert armed == FAULT_SITES
+    for name, plan in plans.items():
+        assert plan.name == name
+        # Shipped plans must survive the CLI's file round trip.
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
