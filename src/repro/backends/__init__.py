@@ -1,0 +1,29 @@
+"""Pluggable trial-execution backends.
+
+See docs/BACKENDS.md for the contract, the eligibility rules of the
+vectorized batch engine, and how to add a backend.
+"""
+
+from repro.backends.base import Backend, Eligibility
+from repro.backends.batch import BatchBackend, why_ineligible
+from repro.backends.registry import (
+    BACKEND_MODES,
+    available_backends,
+    execute_trial,
+    get_backend,
+    select_backend,
+)
+from repro.backends.scalar import ScalarBackend
+
+__all__ = [
+    "Backend",
+    "Eligibility",
+    "ScalarBackend",
+    "BatchBackend",
+    "BACKEND_MODES",
+    "available_backends",
+    "get_backend",
+    "select_backend",
+    "execute_trial",
+    "why_ineligible",
+]

@@ -1,0 +1,72 @@
+"""The execution-backend contract.
+
+A *backend* is one way of turning :class:`~repro.experiments.config.
+TrialSpec`s into :class:`~repro.sim.outcome.Outcome`s. The scalar
+oracle (:mod:`repro.backends.scalar`) wraps the reference
+:class:`~repro.sim.engine.Simulator` and can run anything; faster
+backends buy throughput by restricting the cells they accept — and
+must declare that restriction through :meth:`Backend.eligible` so the
+campaign router can fall back to the oracle instead of mis-simulating.
+
+The contract every backend must honour (docs/BACKENDS.md):
+
+- **Equivalence.** For every spec the backend declares eligible, the
+  returned outcome must be byte-identical to the scalar oracle's at
+  the wire level: ``json.dumps(outcome.to_wire())`` equal, not merely
+  "statistically the same". The differential battery in
+  ``tests/backends/`` pins this across the protocol×adversary grid.
+- **Purity.** ``run_batch`` must be a pure function of the specs: no
+  cross-trial state, no order dependence, safe to re-run. A batch of
+  one must equal the corresponding slice of any larger batch.
+- **Self-description.** ``eligible`` must be cheap (it runs for every
+  cache-miss spec of a sweep), deterministic, and return the *reason*
+  a spec is rejected — the ``repro-ugf backends`` subcommand surfaces
+  it verbatim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.config import TrialSpec
+from repro.sim.outcome import Outcome
+
+__all__ = ["Backend", "Eligibility"]
+
+
+@dataclass(frozen=True, slots=True)
+class Eligibility:
+    """Whether a backend accepts a spec, and why not when it does not."""
+
+    ok: bool
+    #: Human-readable rejection reason (None when ``ok``). Shown by
+    #: ``repro-ugf backends`` and carried into routing metrics labels.
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class Backend(ABC):
+    """One trial-execution strategy (see module docstring for the laws)."""
+
+    #: Registry identity; also the value recorded in telemetry trial
+    #: records and surfaced by ``doctor``/``stats``.
+    name: str = "?"
+
+    @abstractmethod
+    def eligible(self, spec: TrialSpec) -> Eligibility:
+        """Can this backend execute *spec* with oracle-identical results?"""
+
+    @abstractmethod
+    def run_batch(
+        self, specs: Sequence[TrialSpec], *, metrics=None
+    ) -> list[Outcome]:
+        """Execute *specs*, returning outcomes in input order.
+
+        Every spec must be eligible; callers route first. *metrics* is
+        an optional write-only :class:`~repro.obs.registry.
+        MetricsRegistry` — instrumentation never changes outcomes.
+        """

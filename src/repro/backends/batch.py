@@ -1,0 +1,469 @@
+"""Vectorized numpy batch backend.
+
+Advances hundreds of trials at once for the protocol×adversary cells
+whose dynamics are array-expressible. State lives on a (trial,
+process) grid: knowledge as packed uint8 bit-matrix stacks (trial ×
+process × rumor-bit, the :func:`~repro.protocols.bitset.packed_size`
+layout of :class:`~repro.protocols.bitset.PackedBits`), statuses and
+crashes as masks, and in-flight messages as *waves* — per-trial
+arrival-step arrays plus sender-knowledge snapshots, exploiting the
+fact that in an eligible cell every timing is the baseline
+``delta = d = 1``, so a message decided at a visited step ``t`` is
+emitted at ``t+1`` and arrives at ``t+2``, and only a handful of
+waves are ever outstanding.
+
+**Eligibility.** A cell is batchable when its dynamics are
+deterministic given the seed and stay in baseline lockstep timing:
+
+- protocol ``flood`` or ``round-robin`` (no per-step protocol RNG);
+- adversary ``none``, ``str-1``, ``oblivious`` or ``omission`` —
+  their entire attack is fixed at setup (group sample / crash
+  schedule) from the ``stream("adversary")`` generator, which this
+  backend replays draw-for-draw; none of them retimes;
+- homogeneous environment, sanitizer off (monitors attach to the
+  scalar engine), default protocol/adversary kwargs.
+
+Everything else — randomized protocols, adaptive strategies (UGF,
+str-2.k.0), delay retimings (str-2.k.l), jitter environments,
+sanitized runs — falls back to the scalar oracle via the router.
+
+**Equivalence.** Outcomes are byte-identical at the wire level to the
+scalar oracle, including the subtle fields: ``steps_simulated``
+replays the engine's fast-forward visit sequence (arrival buckets of
+messages to crashed receivers still force a visit; adversary wakeups
+do too; quiescence wins over future scheduled crashes),
+``sleep_counts``/``wake_counts`` count every transition, and
+``t_end`` is the last sleep of the last correct process. The
+differential battery in ``tests/backends/`` pins all of it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend, Eligibility
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.config import TrialSpec
+from repro.protocols.bitset import packed_size
+from repro.sim.outcome import Outcome
+from repro.sim.rng import RandomSource
+
+__all__ = ["BatchBackend", "BATCH_PROTOCOLS", "BATCH_ADVERSARIES"]
+
+#: Protocols with seed-independent, lockstep dynamics.
+BATCH_PROTOCOLS = ("flood", "round-robin")
+
+#: Adversaries whose whole attack is fixed at setup and never retimes.
+BATCH_ADVERSARIES = ("none", "str-1", "oblivious", "omission")
+
+_AWAKE, _ASLEEP, _CRASHED = 0, 1, 2
+_NEVER = 2**62
+
+
+def why_ineligible(spec: TrialSpec) -> str | None:
+    """The reason *spec* cannot run on the batch backend (None = it can).
+
+    Must stay cheap and allocation-light: the campaign router calls it
+    for every cache-miss spec of a sweep.
+    """
+    if spec.protocol not in BATCH_PROTOCOLS:
+        return (
+            f"protocol {spec.protocol!r} is not vectorized "
+            f"(batchable: {', '.join(BATCH_PROTOCOLS)})"
+        )
+    if spec.protocol_kwargs:
+        return "non-default protocol kwargs pin parameters the batch kernel does not model"
+    if spec.adversary not in BATCH_ADVERSARIES:
+        return (
+            f"adversary {spec.adversary!r} adapts or retimes mid-run "
+            f"(batchable: {', '.join(BATCH_ADVERSARIES)})"
+        )
+    if spec.adversary_kwargs:
+        return "non-default adversary kwargs pin parameters the batch kernel does not model"
+    if spec.environment not in (None, "homogeneous"):
+        return (
+            f"environment {spec.environment!r} breaks the lockstep "
+            "delta=d=1 timing the batch kernel assumes"
+        )
+    from repro.check.config import resolve_config
+
+    mode = resolve_config(spec.sanitize).mode
+    if mode != "off":
+        return (
+            f"sanitizer {mode!r} attaches execution monitors only the "
+            "scalar engine carries"
+        )
+    return None
+
+
+class _UnicastWave:
+    """One step's point-to-point sends: target pids + sender snapshots."""
+
+    __slots__ = ("arrival", "target", "snap")
+
+    def __init__(self, arrival: np.ndarray, target: np.ndarray, snap: np.ndarray):
+        self.arrival = arrival  # (T,) int64; -1 = nothing pending
+        self.target = target  # (T, N) int64; -1 = no send by this process
+        self.snap = snap  # (T, N, W) uint8 sender knowledge at send time
+
+    def inflight_to_correct(self, status: np.ndarray) -> np.ndarray:
+        pend = self.arrival >= 0
+        has = self.target >= 0
+        tgt = np.where(has, self.target, 0)
+        alive = np.take_along_axis(status, tgt, axis=1) != _CRASHED
+        return np.where(pend, (has & alive).sum(axis=1), 0)
+
+
+class _FloodWave:
+    """Flood's single all-to-all burst: every sender to every other."""
+
+    __slots__ = ("arrival", "travel", "packed", "count")
+
+    def __init__(self, arrival, travel, packed, count):
+        self.arrival = arrival  # (T,) int64
+        self.travel = travel  # (T, N) bool: senders whose messages travel
+        self.packed = packed  # (T, W) uint8: packbits(travel)
+        self.count = count  # (T,) int64: travel.sum(axis=1)
+
+    def inflight_to_correct(self, status: np.ndarray) -> np.ndarray:
+        pend = self.arrival >= 0
+        alive = status != _CRASHED
+        cnt = self.count * alive.sum(axis=1) - (self.travel & alive).sum(axis=1)
+        return np.where(pend, cnt, 0)
+
+
+def _adversary_setup(adversary: str, seeds: Sequence[int], n: int, f: int):
+    """Replay each trial's setup-time adversary draws, exactly in the
+    scalar engine's order on the ``stream("adversary")`` generator.
+
+    Returns ``(setup_crashes, omitted, schedules)``: per-trial pid
+    arrays crashed at step 0, the omission mask, and per-trial sorted
+    ``[(step, [victims...]), ...]`` crash schedules (oblivious only;
+    step-0 entries already folded into ``setup_crashes``).
+    """
+    T = len(seeds)
+    setup_crashes: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * T
+    omitted = np.zeros((T, n), dtype=bool)
+    schedules: list[list[tuple[int, list[int]]]] = [[] for _ in range(T)]
+    if adversary == "none":
+        return setup_crashes, omitted, schedules
+    if adversary in ("str-1", "omission"):
+        from repro.core.strategies import sample_group
+
+        for i, seed in enumerate(seeds):
+            rng = RandomSource(seed).stream("adversary")
+            group = sample_group(rng, n, f)
+            if adversary == "str-1":
+                setup_crashes[i] = group
+            else:
+                omitted[i, group] = True
+        return setup_crashes, omitted, schedules
+    if adversary == "oblivious":
+        from repro.core.fixed import ObliviousAdversary
+
+        horizon = ObliviousAdversary().horizon
+        for i, seed in enumerate(seeds):
+            rng = RandomSource(seed).stream("adversary")
+            victims = rng.choice(n, size=f, replace=False)
+            steps = rng.integers(0, horizon, size=f)
+            schedule: dict[int, list[int]] = {}
+            for rho, step in zip(victims, steps):
+                schedule.setdefault(int(step), []).append(int(rho))
+            step0 = schedule.pop(0, [])
+            setup_crashes[i] = np.asarray(step0, dtype=np.int64)
+            schedules[i] = sorted(schedule.items())
+        return setup_crashes, omitted, schedules
+    raise SimulationError(f"batch backend cannot set up adversary {adversary!r}")
+
+
+def _run_cell(spec0: TrialSpec, seeds: list[int]) -> list[Outcome]:
+    """Simulate every seed of one (protocol, adversary, N, F) cell at once."""
+    protocol, adversary = spec0.protocol, spec0.adversary
+    n, f, max_steps = spec0.n, spec0.f, spec0.max_steps
+    # Same front-door validation as Simulator.__init__, same wording.
+    if n <= 1:
+        raise ConfigurationError(f"an all-to-all system needs N >= 2, got N={n}")
+    if not 0 <= f < n:
+        raise ConfigurationError(
+            f"crash budget must satisfy 0 <= F < N, got F={f}, N={n}"
+        )
+    if max_steps <= 0:
+        raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+    T = len(seeds)
+    W = packed_size(n)
+    rr = protocol == "round-robin"
+    pids = np.arange(n, dtype=np.int64)
+
+    status = np.zeros((T, n), dtype=np.int8)
+    next_action = np.zeros((T, n), dtype=np.int64)
+    eye = np.packbits(np.eye(n, dtype=bool), axis=1)  # (N, W) own-gossip rows
+    K = np.broadcast_to(eye, (T, n, W)).copy()
+    sent = np.zeros((T, n), dtype=np.int64)
+    received = np.zeros((T, n), dtype=np.int64)
+    sleep_counts = np.zeros((T, n), dtype=np.int64)
+    wake_counts = np.zeros((T, n), dtype=np.int64)
+    last_sleep = np.full((T, n), -1, dtype=np.int64)
+    crash_step = np.full((T, n), -1, dtype=np.int64)
+    k_sent = np.zeros((T, n), dtype=np.int64)  # round-robin schedule position
+    flood_done = np.zeros((T, n), dtype=bool)
+
+    setup_crashes, omitted, schedules = _adversary_setup(adversary, seeds, n, f)
+    for i, group in enumerate(setup_crashes):
+        if group.size:
+            status[i, group] = _CRASHED
+            next_action[i, group] = _NEVER
+            crash_step[i, group] = 0
+    sched_ptr = np.zeros(T, dtype=np.int64)
+    sched_next = np.full(T, _NEVER, dtype=np.int64)
+    for i, entries in enumerate(schedules):
+        if entries:
+            sched_next[i] = entries[0][0]
+
+    now = np.zeros(T, dtype=np.int64)
+    live = np.ones(T, dtype=bool)
+    completed = np.zeros(T, dtype=bool)
+    steps_sim = np.zeros(T, dtype=np.int64)
+    waves: list[_UnicastWave | _FloodWave] = []
+
+    def deliver(wave, due_trials: np.ndarray) -> None:
+        if isinstance(wave, _FloodWave):
+            alive = status != _CRASHED
+            cnt = wave.count[:, None] - wave.travel  # messages addressed to each pid
+            recv = due_trials[:, None] & alive & (cnt > 0)
+            if not recv.any():
+                wave.arrival[due_trials] = -1
+                return
+            received[recv] += cnt[recv]
+            K[recv] |= np.broadcast_to(wave.packed[:, None, :], (T, n, W))[recv]
+            woken = recv & (status == _ASLEEP)
+            if woken.any():
+                status[woken] = _AWAKE
+                next_action[woken] = np.broadcast_to(now[:, None], (T, n))[woken]
+                wake_counts[woken] += 1
+            wave.arrival[due_trials] = -1
+            return
+        tmask = due_trials[:, None] & (wave.target >= 0)
+        wave.arrival[due_trials] = -1
+        if not tmask.any():
+            return
+        ti, si = np.nonzero(tmask)
+        ri = wave.target[ti, si]
+        alive = status[ti, ri] != _CRASHED
+        ti, si, ri = ti[alive], si[alive], ri[alive]
+        if ti.size == 0:
+            return
+        np.add.at(received, (ti, ri), 1)
+        flat_k = K.reshape(T * n, W)
+        flat_s = wave.snap.reshape(T * n, W)
+        np.bitwise_or.at(flat_k, ti * n + ri, flat_s[ti * n + si])
+        got = np.zeros((T, n), dtype=bool)
+        got[ti, ri] = True
+        woken = got & (status == _ASLEEP)
+        if woken.any():
+            status[woken] = _AWAKE
+            next_action[woken] = np.broadcast_to(now[:, None], (T, n))[woken]
+            wake_counts[woken] += 1
+
+    def local_steps() -> None:
+        due = (
+            live[:, None]
+            & (status == _AWAKE)
+            & (next_action == now[:, None])
+        )
+        if not due.any():
+            return
+        if rr:
+            senders = due & (k_sent < n - 1)
+            if senders.any():
+                targets = (pids[None, :] + 1 + k_sent) % n
+                sent[senders] += 1
+                k_sent[senders] += 1
+                travel = senders & ~omitted
+                if travel.any():
+                    trial_has = travel.any(axis=1)
+                    waves.append(
+                        _UnicastWave(
+                            arrival=np.where(trial_has, now + 2, -1),
+                            target=np.where(travel, targets, -1),
+                            snap=np.where(travel[:, :, None], K, 0),
+                        )
+                    )
+            sleepers = due & (k_sent >= n - 1)
+            movers = due & ~sleepers
+            if movers.any():
+                next_action[movers] = np.broadcast_to(now[:, None] + 1, (T, n))[movers]
+        else:
+            senders = due & ~flood_done
+            if senders.any():
+                sent[senders] += n - 1
+                flood_done[senders] = True
+                travel = senders & ~omitted
+                count = travel.sum(axis=1)
+                # A lone travelling sender still fills an arrival bucket
+                # (its messages to the others), so any count > 0 pends.
+                waves.append(
+                    _FloodWave(
+                        arrival=np.where(count > 0, now + 2, -1),
+                        travel=travel,
+                        packed=np.packbits(travel, axis=1),
+                        count=count.astype(np.int64),
+                    )
+                )
+            sleepers = due
+        if sleepers.any():
+            status[sleepers] = _ASLEEP
+            next_action[sleepers] = _NEVER
+            sleep_counts[sleepers] += 1
+            last_sleep[sleepers] = np.broadcast_to(now[:, None], (T, n))[sleepers]
+
+    # Global step 0: adversary setup happened above; first local steps.
+    local_steps()
+    steps_sim += 1
+
+    guard = 0
+    while live.any():
+        guard += 1
+        if guard > max_steps + 70:
+            raise SimulationError(
+                "batch kernel failed to converge (internal scheduling bug)"
+            )
+        # Quiescence first, exactly like the scalar loop: no awake
+        # process and nothing in flight toward a correct one. Future
+        # scheduled crashes do not keep a quiescent run alive.
+        awake_cnt = (status == _AWAKE).sum(axis=1)
+        inflight = np.zeros(T, dtype=np.int64)
+        cand = np.where(status == _AWAKE, next_action, _NEVER).min(axis=1)
+        for wave in waves:
+            inflight += wave.inflight_to_correct(status)
+            pend = wave.arrival >= 0
+            cand = np.where(pend & (wave.arrival < cand), wave.arrival, cand)
+        cand = np.minimum(cand, sched_next)
+        quiesced = live & (awake_cnt == 0) & (inflight == 0)
+        if quiesced.any():
+            completed |= quiesced
+            live &= ~quiesced
+        # No candidate left: quiescent by construction (scalar's
+        # `nxt is None` branch). Beyond max_steps: truncated.
+        exhausted = live & (cand >= _NEVER)
+        if exhausted.any():
+            completed |= exhausted
+            live &= ~exhausted
+        truncated = live & (cand > max_steps)
+        if truncated.any():
+            live &= ~truncated  # completed stays False; t_end = now
+        if not live.any():
+            break
+        now[live] = cand[live]
+        # 1. before_step: oblivious crashes scheduled for this step.
+        due_sched = live & (sched_next == now)
+        if due_sched.any():
+            for i in np.flatnonzero(due_sched):
+                step, victims = schedules[i][sched_ptr[i]]
+                for rho in victims:
+                    if status[i, rho] != _CRASHED:
+                        status[i, rho] = _CRASHED
+                        next_action[i, rho] = _NEVER
+                        crash_step[i, rho] = step
+                sched_ptr[i] += 1
+                sched_next[i] = (
+                    schedules[i][sched_ptr[i]][0]
+                    if sched_ptr[i] < len(schedules[i])
+                    else _NEVER
+                )
+        # 2. deliveries (wake sleeping receivers; they act this step).
+        for wave in waves:
+            due_trials = live & (wave.arrival == now)
+            if due_trials.any():
+                deliver(wave, due_trials)
+        waves = [w for w in waves if (w.arrival >= 0).any()]
+        # 3. local steps for every due process.
+        local_steps()
+        steps_sim[live] += 1
+
+    # ---- per-trial finalize (mirrors Simulator._finalize) ----
+    outcomes: list[Outcome] = []
+    bytes_sent = sent * W  # flood/round-robin payloads are one PackedBits snapshot
+    for i, seed in enumerate(seeds):
+        corr = status[i] != _CRASHED
+        if completed[i]:
+            ls = last_sleep[i][corr]
+            if ls.size and (ls < 0).any():
+                raise SimulationError(
+                    "batch quiescent run left a correct process without a sleep record"
+                )
+            t_end = int(ls.max()) if ls.size else 0
+        else:
+            t_end = int(now[i])
+        correct_packed = np.packbits(corr)
+        gather = bool(completed[i]) and bool(
+            ((K[i][corr] & correct_packed) == correct_packed).all()
+        )
+        crashed = tuple(int(p) for p in np.flatnonzero(~corr))
+        outcomes.append(
+            Outcome(
+                n=n,
+                f=f,
+                seed=int(seed),
+                protocol_name=protocol,
+                adversary_name=adversary,
+                completed=bool(completed[i]),
+                rumor_gathering_ok=gather,
+                t_end=t_end,
+                max_local_step_time=1,
+                max_delivery_time=1,
+                sent=sent[i].copy(),
+                received=received[i].copy(),
+                bytes_sent=bytes_sent[i].copy(),
+                crashed=crashed,
+                crash_steps={p: int(crash_step[i, p]) for p in crashed},
+                sleep_counts=sleep_counts[i].copy(),
+                wake_counts=wake_counts[i].copy(),
+                steps_simulated=int(steps_sim[i]),
+                strategy_label=None,
+            )
+        )
+    return outcomes
+
+
+class BatchBackend(Backend):
+    """The vectorized engine behind ``--backend batch`` / auto routing."""
+
+    name = "batch"
+
+    def eligible(self, spec: TrialSpec) -> Eligibility:
+        reason = why_ineligible(spec)
+        return Eligibility(reason is None, reason)
+
+    def run_batch(
+        self, specs: Sequence[TrialSpec], *, metrics=None
+    ) -> list[Outcome]:
+        specs = list(specs)
+        for spec in specs:
+            reason = why_ineligible(spec)
+            if reason is not None:
+                raise SimulationError(
+                    f"spec is not batch-eligible: {reason} ({spec})"
+                )
+        t0 = time.perf_counter() if metrics is not None else 0.0
+        # Group by cell: trials of a cell differ only by seed and share
+        # every state array; distinct cells vectorize independently.
+        groups: dict[tuple, list[tuple[int, TrialSpec]]] = {}
+        for idx, spec in enumerate(specs):
+            key = (spec.protocol, spec.adversary, spec.n, spec.f, spec.max_steps)
+            groups.setdefault(key, []).append((idx, spec))
+        results: list[Outcome | None] = [None] * len(specs)
+        for members in groups.values():
+            outcomes = _run_cell(
+                members[0][1], [spec.seed for _, spec in members]
+            )
+            for (idx, _), outcome in zip(members, outcomes):
+                results[idx] = outcome
+        if metrics is not None:
+            metrics.observe_span("backend.batch.run", time.perf_counter() - t0)
+            metrics.count("backend.batch.trials", len(specs))
+            metrics.count("backend.batch.cells", len(groups))
+        assert all(o is not None for o in results)
+        return results  # type: ignore[return-value]

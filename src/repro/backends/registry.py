@@ -1,0 +1,82 @@
+"""Backend registry and the single trial-execution entry point.
+
+``experiments.runner.run_trial`` and the campaign router both resolve
+backends here. Modes:
+
+- ``"scalar"`` — force the reference engine for everything.
+- ``"batch"`` — force the vectorized engine; ineligible specs raise.
+- ``"auto"`` — batch where eligible, scalar otherwise (the default
+  for campaigns; single-trial ``run_trial`` defaults to scalar so the
+  pool workers stay on the oracle path).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, Eligibility
+from repro.backends.batch import BatchBackend
+from repro.backends.scalar import ScalarBackend
+from repro.errors import SimulationError
+from repro.experiments.config import TrialSpec
+from repro.sim.outcome import Outcome
+
+__all__ = [
+    "BACKEND_MODES",
+    "available_backends",
+    "get_backend",
+    "select_backend",
+    "execute_trial",
+]
+
+#: Valid values for every ``--backend`` flag / ``Campaign(backend=...)``.
+BACKEND_MODES = ("auto", "scalar", "batch")
+
+_SCALAR = ScalarBackend()
+_BATCH = BatchBackend()
+
+#: Fast paths first: ``auto`` routing picks the first eligible backend.
+_BACKENDS: tuple[Backend, ...] = (_BATCH, _SCALAR)
+
+
+def available_backends() -> tuple[Backend, ...]:
+    """All registered backends, in auto-routing preference order."""
+    return _BACKENDS
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by its registry name."""
+    for backend in _BACKENDS:
+        if backend.name == name:
+            return backend
+    known = ", ".join(b.name for b in _BACKENDS)
+    raise SimulationError(f"unknown backend {name!r} (known: {known})")
+
+
+def select_backend(spec: TrialSpec, mode: str = "auto") -> tuple[Backend, Eligibility]:
+    """Resolve *mode* against *spec*'s eligibility.
+
+    Returns the backend that should run the spec together with the
+    eligibility verdict of the *fast* backend, so callers can count
+    fallbacks and surface reasons. ``mode="batch"`` returns the batch
+    backend even for ineligible specs — ``run_batch`` will raise with
+    the reason; forcing a path means owning its restrictions.
+    """
+    if mode not in BACKEND_MODES:
+        raise SimulationError(
+            f"unknown backend mode {mode!r} (expected one of {BACKEND_MODES})"
+        )
+    verdict = _BATCH.eligible(spec)
+    if mode == "scalar":
+        return _SCALAR, verdict
+    if mode == "batch":
+        return _BATCH, verdict
+    return (_BATCH if verdict else _SCALAR), verdict
+
+
+def execute_trial(
+    spec: TrialSpec, *, mode: str = "scalar", metrics=None
+) -> Outcome:
+    """Run one spec through the backend selected by *mode*."""
+    backend, _ = select_backend(spec, mode)
+    if isinstance(backend, ScalarBackend):
+        return backend.run_one(spec, metrics=metrics)
+    return backend.run_batch([spec], metrics=metrics)[0]

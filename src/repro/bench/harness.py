@@ -19,6 +19,11 @@ reports a rate (units/second) for each:
 - ``dispatch``       — many near-trivial trials through the raw
   :class:`WorkerPool`: per-trial dispatch overhead, which chunking
   exists to amortise.
+- ``batch_backend``  — a batchable cell through the vectorized numpy
+  engine (docs/BACKENDS.md): the fast-path throughput the campaign
+  router buys on eligible cells. ``benchmarks/bench_batch.py`` gates
+  the *ratio* against the scalar oracle; this stage gates the
+  absolute rate like every other.
 
 The report is a JSON document (``BENCH_<stamp>.json``) carrying the
 schema version, the grid, an environment fingerprint (python /
@@ -80,6 +85,8 @@ class BenchGrid:
     dispatch_trials: int = 200
     #: Serialisation round-trips for the wire-format stage.
     wire_iterations: int = 2000
+    #: Trials through the vectorized backend for the batch stage.
+    batch_trials: int = 256
 
     @property
     def n_trials(self) -> int:
@@ -96,6 +103,7 @@ GRIDS: dict[str, BenchGrid] = {
         seeds=(0, 1, 2),
         dispatch_trials=40,
         wire_iterations=500,
+        batch_trials=96,
     ),
     "default": BenchGrid(name="default"),
     "full": BenchGrid(
@@ -104,6 +112,7 @@ GRIDS: dict[str, BenchGrid] = {
         seeds=tuple(range(10)),
         dispatch_trials=500,
         wire_iterations=5000,
+        batch_trials=512,
     ),
 }
 
@@ -235,6 +244,33 @@ def _stage_dispatch(grid: BenchGrid, workers: int | None) -> dict[str, Any]:
     return out
 
 
+def _stage_batch_backend(grid: BenchGrid) -> dict[str, Any]:
+    """The vectorized backend over one batchable cell.
+
+    Uses the largest grid N on a round-robin × str-1 cell — the
+    heaviest batchable dynamics (per-step unicast waves) — so the rate
+    is the conservative end of the fast path, not the flood best case.
+    """
+    from repro.backends import BatchBackend
+    from repro.experiments.config import TrialSpec
+
+    n = grid.n_values[-1]
+    specs = [
+        TrialSpec(
+            protocol="round-robin",
+            adversary="str-1",
+            n=n,
+            f=max(1, round(0.3 * n)),
+            seed=seed,
+        )
+        for seed in range(grid.batch_trials)
+    ]
+    backend = BatchBackend()
+    t0 = time.perf_counter()
+    backend.run_batch(specs)
+    return _stage(time.perf_counter() - t0, len(specs), "trials")
+
+
 def _git_revision(repo_root: pathlib.Path) -> str | None:
     try:
         out = subprocess.run(
@@ -313,6 +349,8 @@ def run_bench(
     stages["wire_format"] = _stage_wire_format(grid)
     note("dispatch")
     stages["dispatch"] = _stage_dispatch(grid, workers)
+    note("batch_backend")
+    stages["batch_backend"] = _stage_batch_backend(grid)
 
     return {
         "schema": SCHEMA_VERSION,
@@ -326,6 +364,7 @@ def run_bench(
             "trials": grid.n_trials,
             "dispatch_trials": grid.dispatch_trials,
             "wire_iterations": grid.wire_iterations,
+            "batch_trials": grid.batch_trials,
         },
         "env": environment_fingerprint(),
         "stages": stages,

@@ -69,6 +69,9 @@ class TrialResult:
     error: str | None = None
     #: True when served without executing (memo or store hit).
     cached: bool = False
+    #: Which execution backend produced the outcome (``"scalar"`` /
+    #: ``"batch"``); None for cached and failed results.
+    backend: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -117,6 +120,19 @@ class Campaign:
         default. Like the sanitizer, metrics are instrumentation, not
         trial identity: outcomes and cache keys are byte-identical
         either way.
+    backend:
+        Execution-backend routing mode (docs/BACKENDS.md). ``"auto"``
+        — the default — sends batch-eligible cache misses to the
+        vectorized engine in cell groups and everything else to the
+        scalar pool; ``"scalar"`` forces the reference engine;
+        ``"batch"`` forces the vectorized engine and *fails* trials it
+        cannot express instead of silently falling back. Routing is
+        per-spec, deterministic, and counted in the metrics registry
+        (``campaign.backend_*``). An armed ``fault_plan`` pins the
+        whole campaign to the scalar path — chaos faults inject at
+        per-trial sites the batch kernel does not have. Backends are
+        wire-equivalent by contract, so the mode never changes
+        outcomes or cache keys.
     fault_plan:
         Armed chaos :class:`~repro.chaos.plan.FaultPlan` — fault
         injection for robustness testing (docs/ROBUSTNESS.md). The
@@ -139,13 +155,20 @@ class Campaign:
         sanitize: str | None = None,
         metrics=None,
         fault_plan=None,
+        backend: str = "auto",
     ) -> None:
+        from repro.backends.registry import BACKEND_MODES
         from repro.obs.registry import resolve_metrics
 
+        if backend not in BACKEND_MODES:
+            raise CampaignError(
+                f"unknown backend mode {backend!r} (expected one of {BACKEND_MODES})"
+            )
         self.use_cache = use_cache
         self.fresh = fresh
         self.progress = progress
         self.sanitize = sanitize
+        self.backend = backend
         self.metrics = resolve_metrics(metrics)
         self.fault_plan = (
             fault_plan.with_origin(os.getpid()) if fault_plan is not None else None
@@ -222,6 +245,7 @@ class Campaign:
             error: str | None = None,
             outcome: Outcome | None = None,
             seconds: float | None = None,
+            backend: str | None = None,
         ) -> None:
             nonlocal done
             done += 1
@@ -240,6 +264,8 @@ class Campaign:
                 }
                 if seconds is not None:
                     record["seconds"] = round(seconds, 6)
+                if backend is not None:
+                    record["backend"] = backend
                 if outcome is not None:
                     record["completed"] = outcome.completed
                     record["t_end"] = int(outcome.t_end)
@@ -286,24 +312,79 @@ class Campaign:
                 self.store.put_many(to_persist)
             to_persist.clear()
 
-        executions = self.pool.iter_execute([spec for _, spec, _ in pending])
+        def record_success(
+            i: int, spec: TrialSpec, key: str | None, outcome: Outcome,
+            seconds: float | None, backend: str,
+        ) -> None:
+            if key is not None:
+                self._memo[key] = outcome
+                if self.store is not None:
+                    to_persist.append((key, spec_fingerprint(spec), outcome))
+                    if len(to_persist) >= _STORE_FLUSH_EVERY:
+                        flush_store()
+            results[i] = TrialResult(spec=spec, outcome=outcome, backend=backend)
+            emit("executed", spec, outcome=outcome, seconds=seconds, backend=backend)
+
+        # ---- backend routing (docs/BACKENDS.md) ----
+        # Deterministic per-spec partition: the batch engine takes the
+        # eligible cache misses as cell groups, the scalar pool takes
+        # the rest. Chaos arms per-trial fault sites that only exist on
+        # the scalar path, so an injector pins the mode.
+        mode = self.backend if self._injector is None else "scalar"
+        batch_items: list[tuple[int, TrialSpec, str | None]] = []
+        scalar_items: list[tuple[int, TrialSpec, str | None]] = []
+        if mode == "scalar":
+            scalar_items = pending
+        else:
+            from repro.backends.registry import get_backend
+
+            fast = get_backend("batch")
+            for item in pending:
+                i, spec, _key = item
+                verdict = fast.eligible(spec)
+                if verdict:
+                    batch_items.append(item)
+                elif mode == "batch":
+                    error = f"batch backend ineligible — {verdict.reason}"
+                    results[i] = TrialResult(spec=spec, outcome=None, error=error)
+                    emit("failed", spec, error)
+                else:
+                    scalar_items.append(item)
+                    if self.metrics is not None:
+                        self.metrics.count("campaign.backend_fallbacks")
+        if self.metrics is not None and pending:
+            self.metrics.count("campaign.backend_batch", len(batch_items))
+            self.metrics.count("campaign.backend_scalar", len(scalar_items))
+
         try:
-            for (i, spec, key), result in zip(pending, executions):
+            if batch_items:
+                exec_t0 = time.perf_counter()
+                try:
+                    outcomes = fast.run_batch(
+                        [spec for _, spec, _ in batch_items], metrics=self.metrics
+                    )
+                except Exception as exc:  # fall back rather than fail the sweep
+                    if self.metrics is not None:
+                        self.metrics.count(
+                            "campaign.backend_batch_errors", len(batch_items)
+                        )
+                    if mode == "batch":
+                        for i, spec, _key in batch_items:
+                            error = f"batch backend error: {exc}"
+                            results[i] = TrialResult(spec=spec, outcome=None, error=error)
+                            emit("failed", spec, error)
+                    else:
+                        scalar_items = sorted(scalar_items + batch_items)
+                else:
+                    per_trial = (time.perf_counter() - exec_t0) / len(batch_items)
+                    for (i, spec, key), outcome in zip(batch_items, outcomes):
+                        record_success(i, spec, key, outcome, per_trial, "batch")
+
+            executions = self.pool.iter_execute([spec for _, spec, _ in scalar_items])
+            for (i, spec, key), result in zip(scalar_items, executions):
                 if result.outcome is not None:
-                    if key is not None:
-                        self._memo[key] = result.outcome
-                        if self.store is not None:
-                            to_persist.append(
-                                (key, spec_fingerprint(spec), result.outcome)
-                            )
-                            if len(to_persist) >= _STORE_FLUSH_EVERY:
-                                flush_store()
-                    results[i] = TrialResult(spec=spec, outcome=result.outcome)
-                    emit(
-                        "executed",
-                        spec,
-                        outcome=result.outcome,
-                        seconds=result.seconds,
+                    record_success(
+                        i, spec, key, result.outcome, result.seconds, "scalar"
                     )
                 else:
                     results[i] = TrialResult(spec=spec, outcome=None, error=result.error)

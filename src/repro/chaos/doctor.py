@@ -71,6 +71,9 @@ class DoctorReport:
     repairs: list[str] = field(default_factory=list)
     quarantine_records: int = 0
     telemetry_records: int = 0
+    #: Executed trials by producing backend, from the telemetry stream.
+    #: Legacy records without a backend id count as "unrecorded".
+    backend_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def errors(self) -> list[DoctorFinding]:
@@ -90,6 +93,14 @@ class DoctorReport:
             lines.append(f"quarantine: {self.quarantine_records} record(s)")
         if self.telemetry_records:
             lines.append(f"telemetry: {self.telemetry_records} record(s)")
+        if self.backend_counts:
+            lines.append(
+                "backends: "
+                + ", ".join(
+                    f"{self.backend_counts[k]} {k}"
+                    for k in sorted(self.backend_counts)
+                )
+            )
         for action in self.repairs:
             lines.append(f"repaired: {action}")
         verdict = "clean" if self.ok else "NEEDS ATTENTION"
@@ -297,6 +308,12 @@ def _cross_check(run_dir: pathlib.Path, report: DoctorReport) -> None:
     if t_path.exists():
         records, t_skipped = read_telemetry(t_path)
         report.telemetry_records = len(records)
+        for rec in records:
+            if rec.kind == "trial" and rec.data.get("status") == "executed":
+                backend = str(rec.data.get("backend", "unrecorded"))
+                report.backend_counts[backend] = (
+                    report.backend_counts.get(backend, 0) + 1
+                )
         if t_skipped:
             report.findings.append(
                 DoctorFinding(

@@ -14,6 +14,8 @@ Examples::
     repro-ugf doctor ~/.cache/repro-ugf --repair
     repro-ugf sweep --protocol flood --n 8 --seeds 3 --supervise --fault-plan plan.json
     repro-ugf bench --grid smoke --check
+    repro-ugf backends --protocol flood --adversary str-1 -n 64 -f 20
+    repro-ugf sweep --protocol round-robin --adversary none --n 50 100 --backend batch
 
 The experiment commands (``sweep``, ``figure``, ``report``) execute
 through the campaign layer's content-addressed trial cache: identical
@@ -130,6 +132,18 @@ def _sanitize_spec(args: argparse.Namespace) -> str | None:
     return getattr(args, "sanitize", None)
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "scalar", "batch"],
+        help="execution backend (docs/BACKENDS.md): 'auto' routes batch-"
+        "eligible cells to the vectorized engine, 'scalar' forces the "
+        "reference engine, 'batch' forces the vectorized engine and fails "
+        "ineligible trials (default: auto)",
+    )
+
+
 def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics",
@@ -166,6 +180,7 @@ def _make_campaign(args: argparse.Namespace):
         sanitize=_sanitize_spec(args),
         metrics=getattr(args, "metrics", None),
         fault_plan=fault_plan,
+        backend=getattr(args, "backend", "auto"),
     )
 
 
@@ -203,6 +218,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sanitize_flag(p_run)
     _add_metrics_flag(p_run)
+    _add_backend_flag(p_run)
+
+    p_back = sub.add_parser(
+        "backends",
+        help="list execution backends; with cell arguments, explain "
+        "which backend the cell routes to and why",
+    )
+    p_back.add_argument(
+        "--protocol",
+        default=None,
+        choices=available_protocols(),
+        help="explain eligibility for this protocol's cell",
+    )
+    p_back.add_argument("--adversary", default="ugf")
+    p_back.add_argument("-n", type=int, default=10, help="number of processes N")
+    p_back.add_argument("-f", type=int, default=3, help="crash budget F")
+    p_back.add_argument("--seed", type=int, default=0)
+    p_back.add_argument("--max-steps", type=int, default=5_000_000)
+    p_back.add_argument("--environment", default=None)
+    _add_sanitize_flag(p_back)
 
     p_fig = sub.add_parser("figure", help="regenerate a Figure 3 panel")
     p_fig.add_argument("panel", choices=sorted(PANELS))
@@ -247,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_flags(p_sweep)
     _add_sanitize_flag(p_sweep)
     _add_metrics_flag(p_sweep)
+    _add_backend_flag(p_sweep)
 
     p_trade = sub.add_parser("tradeoff", help="Theorem 1 trade-off frontier")
     p_trade.add_argument("--protocol", required=True, choices=available_protocols())
@@ -430,6 +466,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sanitize=_sanitize_spec(args),
         ),
         metrics=metrics,
+        backend=getattr(args, "backend", "auto"),
     )
     print(outcome.summary())
     if outcome.sanitizer is not None:
@@ -445,6 +482,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if metrics is not None and len(metrics):
         print()
         print(render_registry(metrics))
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends import available_backends
+
+    backends = available_backends()
+    print("registered backends (auto-routing preference order):")
+    for b in backends:
+        doc = (type(b).__doc__ or "").strip().splitlines()[0]
+        print(f"  {b.name:<8}{doc}")
+    if args.protocol is None:
+        print()
+        print("pass --protocol/--adversary/-n/-f to explain a cell's routing")
+        return 0
+    spec = TrialSpec(
+        protocol=args.protocol,
+        adversary=args.adversary,
+        n=args.n,
+        f=args.f,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        environment=args.environment,
+        sanitize=_sanitize_spec(args),
+    )
+    print()
+    print(
+        f"cell: protocol={spec.protocol} adversary={spec.adversary} "
+        f"N={spec.n} F={spec.f}"
+    )
+    chosen = None
+    for b in backends:
+        verdict = b.eligible(spec)
+        if verdict:
+            print(f"  {b.name}: ok")
+            if chosen is None:
+                chosen = b.name
+        else:
+            print(f"  {b.name}: ineligible — {verdict.reason}, falls back to scalar")
+    print(f"auto routing: {chosen}")
     return 0
 
 
@@ -830,6 +907,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "backends":
+        return _cmd_backends(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "sweep":

@@ -23,11 +23,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.aggregate import RunStatistics, aggregate_runs
-from repro.core.registry import make_adversary
 from repro.errors import CampaignError, IncompleteRunError
 from repro.experiments.config import SweepSpec, TrialSpec
-from repro.protocols.registry import make_protocol
-from repro.sim.engine import Simulator
 from repro.sim.outcome import Outcome
 
 __all__ = [
@@ -39,29 +36,33 @@ __all__ = [
 ]
 
 
-def run_trial(spec: TrialSpec, *, metrics=None) -> Outcome:
+def run_trial(spec: TrialSpec, *, metrics=None, backend: str = "scalar") -> Outcome:
     """Execute one trial described by *spec*.
 
-    *metrics* is an optional :class:`~repro.obs.registry.MetricsRegistry`
-    the engine writes instrumentation into (the campaign layer passes
-    its session registry inline, or a per-chunk registry in workers);
-    ``None`` defers to ``$REPRO_METRICS``. Outcomes are identical
-    either way — metrics are write-only observability.
+    Delegates to the backend layer (:mod:`repro.backends`), the single
+    spec→Outcome path in the codebase. *backend* is a routing mode
+    (``scalar``/``batch``/``auto``); the default keeps single-trial
+    callers — notably the campaign pool workers — on the reference
+    engine, where batching buys nothing and the oracle's sanitizer and
+    chaos hooks all live. *metrics* is an optional
+    :class:`~repro.obs.registry.MetricsRegistry` the engine writes
+    instrumentation into; ``None`` defers to ``$REPRO_METRICS``.
+    Outcomes are identical either way — metrics are write-only
+    observability, and backends are wire-equivalent by contract.
     """
-    protocol = make_protocol(spec.protocol, **dict(spec.protocol_kwargs))
-    adversary = make_adversary(spec.adversary, **dict(spec.adversary_kwargs))
-    sim = Simulator(
-        protocol,
-        adversary,
-        n=spec.n,
-        f=spec.f,
-        seed=spec.seed,
-        max_steps=spec.max_steps,
-        environment=spec.environment,
-        sanitize=spec.sanitize,
-        metrics=metrics,
-    )
-    return sim.run()
+    # Imports are lazy: repro.backends.base needs TrialSpec, and this
+    # module is pulled in by the experiments package init — a top-level
+    # import here would close that cycle. The scalar mode also skips
+    # the registry (and with it the batch kernel's import chain): pool
+    # workers call this per trial and their first-trial latency is on
+    # the dispatch benchmark's critical path.
+    if backend == "scalar":
+        from repro.backends.scalar import ScalarBackend
+
+        return ScalarBackend().run_one(spec, metrics=metrics)
+    from repro.backends.registry import execute_trial
+
+    return execute_trial(spec, mode=backend, metrics=metrics)
 
 
 @dataclass(frozen=True, slots=True)

@@ -59,6 +59,19 @@ class RunStats:
             counts[status] = counts.get(status, 0) + 1
         return counts
 
+    @property
+    def trial_backend_counts(self) -> dict[str, int]:
+        """Executed trials by producing backend. Records predating the
+        backend field land under ``"unrecorded"`` — legacy telemetry
+        stays readable."""
+        counts: dict[str, int] = {}
+        for trial in self.trials:
+            if trial.get("status") != "executed":
+                continue
+            backend = str(trial.get("backend", "unrecorded"))
+            counts[backend] = counts.get(backend, 0) + 1
+        return counts
+
 
 def load_run_stats(run_dir: "str | os.PathLike") -> RunStats:
     """Aggregate the telemetry stream of *run_dir*.
@@ -207,6 +220,12 @@ def render_run_stats(stats: RunStats, *, top: int = 10) -> str:
             f"trials: {len(stats.trials)} ({by_status}) "
             f"across {len(stats.phases)} phase(s)"
         )
+        backends = stats.trial_backend_counts
+        if backends:
+            lines.append(
+                "backends: "
+                + ", ".join(f"{backends[k]} {k}" for k in sorted(backends))
+            )
     exec_seconds = [
         t["seconds"]
         for t in stats.trials
@@ -255,6 +274,7 @@ def run_stats_json(stats: RunStats, *, top: int = 10) -> dict[str, Any]:
         "trials": {
             "total": len(stats.trials),
             "by_status": stats.trial_status_counts,
+            "by_backend": stats.trial_backend_counts,
         },
         "phases": stats.phases,
         "robustness": {

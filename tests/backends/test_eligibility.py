@@ -1,0 +1,121 @@
+"""Eligibility is cheap, deterministic, and carries its reasons."""
+
+import pytest
+
+from repro.backends import (
+    BatchBackend,
+    Eligibility,
+    ScalarBackend,
+    why_ineligible,
+)
+from repro.experiments.config import TrialSpec
+
+BATCH = BatchBackend()
+
+ELIGIBLE = TrialSpec(protocol="flood", adversary="str-1", n=10, f=3, seed=0)
+
+
+def test_scalar_accepts_everything():
+    scalar = ScalarBackend()
+    for spec in (
+        ELIGIBLE,
+        TrialSpec(protocol="push-pull", adversary="ugf", n=10, f=3, seed=0),
+        TrialSpec(protocol="ears", adversary="str-2.1.1", n=10, f=3, seed=0),
+    ):
+        verdict = scalar.eligible(spec)
+        assert verdict and verdict.reason is None
+
+
+def test_eligibility_truthiness():
+    assert Eligibility(True)
+    assert not Eligibility(False, "because")
+
+
+@pytest.mark.parametrize(
+    "spec,needle",
+    [
+        (
+            TrialSpec(protocol="push", adversary="none", n=8, f=2, seed=0),
+            "protocol 'push'",
+        ),
+        (
+            TrialSpec(protocol="flood", adversary="ugf", n=8, f=2, seed=0),
+            "adversary 'ugf'",
+        ),
+        (
+            TrialSpec(protocol="flood", adversary="str-2.1.1", n=8, f=2, seed=0),
+            "adversary 'str-2.1.1'",
+        ),
+        (
+            TrialSpec(
+                protocol="flood", adversary="none", n=8, f=2, seed=0,
+                environment="jitter",
+            ),
+            "environment 'jitter'",
+        ),
+        (
+            TrialSpec(
+                protocol="flood", adversary="none", n=8, f=2, seed=0,
+                sanitize="strict",
+            ),
+            "sanitizer 'strict'",
+        ),
+        (
+            TrialSpec(
+                protocol="round-robin", adversary="none", n=8, f=2, seed=0,
+                protocol_kwargs=(("x", 1),),
+            ),
+            "protocol kwargs",
+        ),
+        (
+            TrialSpec(
+                protocol="flood", adversary="oblivious", n=8, f=2, seed=0,
+                adversary_kwargs=(("horizon", 9),),
+            ),
+            "adversary kwargs",
+        ),
+    ],
+)
+def test_rejections_carry_their_reason(spec, needle):
+    verdict = BATCH.eligible(spec)
+    assert not verdict
+    assert needle in verdict.reason
+    assert why_ineligible(spec) == verdict.reason
+
+
+def test_eligible_cells_have_no_reason(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    for protocol in ("flood", "round-robin"):
+        for adversary in ("none", "str-1", "oblivious", "omission"):
+            spec = TrialSpec(protocol=protocol, adversary=adversary, n=8, f=2, seed=0)
+            verdict = BATCH.eligible(spec)
+            assert verdict and verdict.reason is None
+    homogeneous = TrialSpec(
+        protocol="flood", adversary="none", n=8, f=2, seed=0,
+        environment="homogeneous",
+    )
+    assert BATCH.eligible(homogeneous)
+
+
+def test_sanitizer_environment_pins_scalar(monkeypatch):
+    """$REPRO_SANITIZE reaches trials whose spec leaves sanitize=None,
+    so a sanitizing environment must make every cell fall back — the
+    monitors only exist in the scalar engine."""
+    monkeypatch.setenv("REPRO_SANITIZE", "strict")
+    verdict = BATCH.eligible(ELIGIBLE)
+    assert not verdict and "sanitizer" in verdict.reason
+    monkeypatch.setenv("REPRO_SANITIZE", "off")
+    assert BATCH.eligible(ELIGIBLE)
+
+
+def test_eligibility_is_deterministic(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    specs = [
+        TrialSpec(protocol=p, adversary=a, n=6, f=2, seed=s)
+        for p in ("flood", "push")
+        for a in ("none", "ugf")
+        for s in range(3)
+    ]
+    first = [bool(BATCH.eligible(s)) for s in specs]
+    for _ in range(3):
+        assert [bool(BATCH.eligible(s)) for s in specs] == first

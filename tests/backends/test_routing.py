@@ -1,0 +1,157 @@
+"""Campaign routing: deterministic, silently falling back, and counted."""
+
+import json
+
+import pytest
+
+from repro.backends.registry import execute_trial, get_backend, select_backend
+from repro.campaign import Campaign
+from repro.errors import SimulationError
+from repro.experiments.config import TrialSpec
+from repro.obs.registry import MetricsRegistry
+
+BATCHABLE = [
+    TrialSpec(protocol="flood", adversary="str-1", n=8, f=3, seed=s)
+    for s in range(4)
+]
+SCALAR_ONLY = [
+    TrialSpec(protocol="push", adversary="none", n=8, f=0, seed=s)
+    for s in range(3)
+]
+
+
+def counter(metrics: MetricsRegistry, name: str) -> int:
+    return metrics.counters.get(name, 0)
+
+
+@pytest.fixture(autouse=True)
+def _default_sanitizer_mode(monkeypatch):
+    """Under $REPRO_SANITIZE=strict every spec is batch-ineligible and
+    routing collapses to all-scalar (pinned by test_eligibility); these
+    tests exercise the mixed batch/scalar paths, so they run with the
+    sanitizer at its default."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+
+def test_auto_routes_by_eligibility():
+    metrics = MetricsRegistry()
+    with Campaign(workers=1, metrics=metrics) as campaign:
+        results = campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+    assert all(r.ok for r in results)
+    assert [r.backend for r in results] == ["batch"] * 4 + ["scalar"] * 3
+    assert counter(metrics, "campaign.backend_batch") == 4
+    assert counter(metrics, "campaign.backend_scalar") == 3
+    # The ineligible specs fell back silently — no failures, counted.
+    assert counter(metrics, "campaign.backend_fallbacks") == 3
+
+
+def test_routing_is_deterministic():
+    decisions = []
+    for _ in range(3):
+        with Campaign(workers=1, use_cache=False) as campaign:
+            results = campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+        decisions.append([r.backend for r in results])
+    assert decisions[0] == decisions[1] == decisions[2]
+
+
+def test_routing_never_changes_outcomes():
+    with Campaign(workers=1, backend="auto") as auto_campaign:
+        auto = auto_campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+    with Campaign(workers=1, backend="scalar") as scalar_campaign:
+        forced = scalar_campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+    for a, s in zip(auto, forced):
+        assert json.dumps(a.outcome.to_wire()) == json.dumps(s.outcome.to_wire())
+
+
+def test_forced_scalar_uses_no_batch():
+    metrics = MetricsRegistry()
+    with Campaign(workers=1, metrics=metrics, backend="scalar") as campaign:
+        results = campaign.run_trials(BATCHABLE)
+    assert [r.backend for r in results] == ["scalar"] * len(BATCHABLE)
+    assert counter(metrics, "campaign.backend_batch") == 0
+    assert counter(metrics, "campaign.backend_fallbacks") == 0
+
+
+def test_forced_batch_fails_ineligible_trials():
+    with Campaign(workers=1, backend="batch") as campaign:
+        results = campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+    for r in results[: len(BATCHABLE)]:
+        assert r.ok and r.backend == "batch"
+    for r in results[len(BATCHABLE):]:
+        assert not r.ok
+        assert "ineligible" in r.error
+
+
+def test_unknown_backend_mode_rejected():
+    from repro.errors import CampaignError
+
+    with pytest.raises(CampaignError, match="unknown backend mode"):
+        Campaign(workers=1, backend="gpu")
+
+
+def test_armed_fault_plan_pins_scalar():
+    """Chaos faults inject at per-trial sites the batch kernel lacks, so
+    an armed plan must route everything through the oracle."""
+    from repro.chaos import FaultPlan
+
+    with Campaign(
+        workers=1, fault_plan=FaultPlan(seed=7, rules=())
+    ) as campaign:
+        results = campaign.run_trials(BATCHABLE)
+    assert all(r.ok for r in results)
+    assert [r.backend for r in results] == ["scalar"] * len(BATCHABLE)
+
+
+def test_cached_results_have_no_backend():
+    with Campaign(workers=1) as campaign:
+        first = campaign.run_trials(BATCHABLE)
+        second = campaign.run_trials(BATCHABLE)
+    assert [r.backend for r in first] == ["batch"] * len(BATCHABLE)
+    assert all(r.cached and r.backend is None for r in second)
+
+
+def test_telemetry_records_backend(tmp_path):
+    with Campaign(
+        workers=1, cache_dir=tmp_path, metrics=MetricsRegistry()
+    ) as campaign:
+        campaign.run_trials(BATCHABLE + SCALAR_ONLY)
+    records = [
+        json.loads(line)
+        for line in (tmp_path / "telemetry.jsonl").read_text().splitlines()
+    ]
+    trials = [r for r in records if r.get("kind") == "trial"]
+    assert sorted(
+        r["backend"] for r in trials if r["status"] == "executed"
+    ) == ["batch"] * 4 + ["scalar"] * 3
+
+
+def test_batch_results_persist_and_replay(tmp_path):
+    with Campaign(workers=1, cache_dir=tmp_path) as campaign:
+        first = campaign.run_trials(BATCHABLE)
+    with Campaign(workers=1, cache_dir=tmp_path) as campaign:
+        second = campaign.run_trials(BATCHABLE)
+    assert all(r.cached for r in second)
+    for a, b in zip(first, second):
+        assert json.dumps(a.outcome.to_wire()) == json.dumps(b.outcome.to_wire())
+
+
+def test_execute_trial_modes_agree():
+    spec = BATCHABLE[0]
+    scalar_wire = json.dumps(execute_trial(spec, mode="scalar").to_wire())
+    for mode in ("auto", "batch"):
+        assert json.dumps(execute_trial(spec, mode=mode).to_wire()) == scalar_wire
+    with pytest.raises(SimulationError, match="unknown backend mode"):
+        execute_trial(spec, mode="gpu")
+
+
+def test_select_backend_resolution():
+    fast_spec, slow_spec = BATCHABLE[0], SCALAR_ONLY[0]
+    backend, verdict = select_backend(fast_spec, "auto")
+    assert backend.name == "batch" and verdict
+    backend, verdict = select_backend(slow_spec, "auto")
+    assert backend.name == "scalar" and not verdict
+    assert select_backend(slow_spec, "scalar")[0].name == "scalar"
+    assert select_backend(slow_spec, "batch")[0].name == "batch"
+    assert get_backend("scalar").name == "scalar"
+    with pytest.raises(SimulationError, match="unknown backend"):
+        get_backend("gpu")

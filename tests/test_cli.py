@@ -392,7 +392,7 @@ def test_bench_smoke_grid_writes_report(tmp_path, capsys):
     assert report["schema"] == 1
     assert set(report["stages"]) == {
         "engine_inline", "engine_metrics", "cold_parallel", "warm_replay",
-        "wire_format", "dispatch",
+        "wire_format", "dispatch", "batch_backend",
     }
     assert all(s["rate"] > 0 for s in report["stages"].values())
     assert report["env"]["cpu_count"] >= 1
