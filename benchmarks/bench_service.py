@@ -1,0 +1,144 @@
+"""Campaign-service latency: what does a warm cache hit cost over a socket?
+
+Two faces:
+
+- ``pytest benchmarks/bench_service.py --benchmark-only`` measures the
+  warm-hit round trip (client submit -> daemon store hit -> outcome
+  frame back) as classic pytest-benchmark groups, single-trial and
+  batched;
+- ``python benchmarks/bench_service.py`` is the self-contained smoke
+  check CI runs: it stands up a real daemon on a unix socket, primes
+  the sharded store, times warm-hit round trips (best-of-R to damp
+  scheduler noise), and exits non-zero when the single-trial warm hit
+  exceeds its acceptance bound. The service's pitch is that a fleet
+  of clients shares one cache *cheaply* — a warm hit that costs more
+  than a few dozen milliseconds would be slower than just recomputing
+  small trials locally, so the latency is a contract, not a curiosity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.campaign import Campaign
+from repro.experiments.config import TrialSpec
+from repro.service import ServiceClient
+from repro.service.server import ServiceThread
+
+#: Cheap representative trials: the round trip, not the simulation,
+#: must dominate a warm hit, so small cells keep the signal clean.
+BATCH = 16
+
+
+def specs(count: int = BATCH) -> list[TrialSpec]:
+    return [
+        TrialSpec(protocol="flood", adversary="none", n=8, f=2, seed=seed)
+        for seed in range(count)
+    ]
+
+
+class _LiveService:
+    """A primed daemon + connected client, torn down deterministically."""
+
+    def __enter__(self) -> "_LiveService":
+        self._dir = tempfile.TemporaryDirectory(prefix="bench-service-")
+        root = self._dir.name
+        campaign = Campaign(
+            cache_dir=f"{root}/cache", workers=0, store_backend="sharded"
+        )
+        self.host = ServiceThread(campaign, unix_path=f"{root}/svc.sock")
+        self.host.start()
+        self.client = ServiceClient(self.host.url, timeout=120).connect()
+        self.cold_seconds = self._timed_submit()  # prime the store
+        return self
+
+    def _timed_submit(self, count: int = BATCH) -> float:
+        start = time.perf_counter()
+        replies = self.client.submit(specs(count))
+        elapsed = time.perf_counter() - start
+        assert all(r.wire is not None for r in replies)
+        return elapsed
+
+    def warm_single(self) -> None:
+        (reply,) = self.client.submit(specs(1))
+        assert reply.status == "hit", reply.status
+
+    def warm_batch(self) -> None:
+        replies = self.client.submit(specs())
+        assert all(r.status == "hit" for r in replies)
+
+    def __exit__(self, *exc: object) -> None:
+        self.client.close()
+        self.host.stop()
+        self._dir.cleanup()
+
+
+@pytest.fixture(scope="module")
+def live():
+    with _LiveService() as service:
+        yield service
+
+
+@pytest.mark.benchmark(group="service-warm-hit")
+def test_warm_hit_round_trip(benchmark, live):
+    benchmark(live.warm_single)
+
+
+@pytest.mark.benchmark(group="service-warm-hit")
+def test_warm_hit_batch_round_trip(benchmark, live):
+    benchmark(live.warm_batch)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=20, help="round trips (best wins)"
+    )
+    parser.add_argument(
+        "--fail-over-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="exit 1 if the best warm single-trial round trip costs "
+        "more than MS milliseconds (<= 0 disables the gate)",
+    )
+    args = parser.parse_args(argv)
+
+    with _LiveService() as service:
+        singles, batches = [], []
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            service.warm_single()
+            singles.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            service.warm_batch()
+            batches.append(time.perf_counter() - start)
+        cold = service.cold_seconds
+
+    best_single = min(singles) * 1000.0
+    best_batch = min(batches) * 1000.0
+    print(f"campaign service warm-hit round trip ({service.host.url}):")
+    print(f"  cold batch of {BATCH}   {cold * 1000.0:8.1f} ms")
+    print(f"  warm single (best of {args.repeats})  {best_single:8.2f} ms")
+    print(
+        f"  warm batch of {BATCH} (best)  {best_batch:8.2f} ms "
+        f"({best_batch / BATCH:.2f} ms/trial)"
+    )
+
+    if args.fail_over_ms > 0 and best_single > args.fail_over_ms:
+        print(
+            f"FAIL: warm hit costs {best_single:.2f} ms, "
+            f"over the {args.fail_over_ms:.0f} ms bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,15 @@ from repro.campaign.pool import (
     run_trial_batch,
 )
 from repro.campaign.progress import CampaignStats, ProgressCallback, ProgressEvent
-from repro.campaign.store import TrialStore
+from repro.campaign.sharded import ShardedBackend
+from repro.campaign.store import (
+    STORE_BACKENDS,
+    CompactionReport,
+    JsonlBackend,
+    StoreBackend,
+    TrialStore,
+    discover_store_files,
+)
 
 __all__ = [
     "Campaign",
@@ -51,4 +59,10 @@ __all__ = [
     "ProgressCallback",
     "ProgressEvent",
     "TrialStore",
+    "StoreBackend",
+    "JsonlBackend",
+    "ShardedBackend",
+    "CompactionReport",
+    "STORE_BACKENDS",
+    "discover_store_files",
 ]

@@ -120,6 +120,19 @@ class Campaign:
         default. Like the sanitizer, metrics are instrumentation, not
         trial identity: outcomes and cache keys are byte-identical
         either way.
+    store_backend:
+        Trial-store persistence backend (docs/SERVICE.md): ``"auto"``
+        — the default — detects the on-disk layout (sharded when shard
+        files exist, else the single ``trials.jsonl``); ``"jsonl"`` /
+        ``"sharded"`` force one. The campaign service daemon runs its
+        store sharded.
+    memo_limit:
+        Cap on in-session memo entries (None = unbounded, the
+        default). When set, the oldest memo entries are evicted past
+        the cap — dedup correctness is unaffected (evicted keys are
+        still served by the store), only the resident-memory bound
+        changes. Long-lived processes such as the campaign service
+        daemon set this; batch sessions never need it.
     backend:
         Execution-backend routing mode (docs/BACKENDS.md). ``"auto"``
         — the default — sends batch-eligible cache misses to the
@@ -156,6 +169,8 @@ class Campaign:
         metrics=None,
         fault_plan=None,
         backend: str = "auto",
+        store_backend: str = "auto",
+        memo_limit: int | None = None,
     ) -> None:
         from repro.backends.registry import BACKEND_MODES
         from repro.obs.registry import resolve_metrics
@@ -179,7 +194,12 @@ class Campaign:
 
             self._injector = FaultInjector(self.fault_plan)
         self.store = (
-            TrialStore(cache_dir, metrics=self.metrics, injector=self._injector)
+            TrialStore(
+                cache_dir,
+                metrics=self.metrics,
+                injector=self._injector,
+                backend=store_backend,
+            )
             if (cache_dir is not None and use_cache)
             else None
         )
@@ -190,6 +210,7 @@ class Campaign:
             fault_plan=self.fault_plan,
         )
         self.stats = CampaignStats()
+        self.memo_limit = memo_limit
         self._memo: dict[str, Outcome] = {}
         self.telemetry = None
         if self.metrics is not None and cache_dir is not None:
@@ -198,6 +219,14 @@ class Campaign:
             self.telemetry = TelemetrySink(telemetry_path(cache_dir))
 
     # -- lookup ------------------------------------------------------------------
+
+    def _memoize(self, key: str, outcome: Outcome) -> None:
+        memo = self._memo
+        memo[key] = outcome
+        if self.memo_limit is not None and len(memo) > self.memo_limit:
+            # dicts iterate in insertion order: drop the oldest entries.
+            for stale in list(memo)[: len(memo) - self.memo_limit]:
+                del memo[stale]
 
     def _lookup(self, key: str | None) -> Outcome | None:
         if key is None:
@@ -217,7 +246,7 @@ class Campaign:
             else:
                 outcome = self.store.get(key)
             if outcome is not None:
-                self._memo[key] = outcome
+                self._memoize(key, outcome)
             return outcome
         if m is not None:
             m.count("campaign.cache_misses")
@@ -317,7 +346,7 @@ class Campaign:
             seconds: float | None, backend: str,
         ) -> None:
             if key is not None:
-                self._memo[key] = outcome
+                self._memoize(key, outcome)
                 if self.store is not None:
                     to_persist.append((key, spec_fingerprint(spec), outcome))
                     if len(to_persist) >= _STORE_FLUSH_EVERY:

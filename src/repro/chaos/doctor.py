@@ -35,12 +35,12 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.campaign.store import STORE_FILENAME as _STORE_FILENAME
+from repro.campaign.store import discover_store_files
 from repro.chaos.supervisor import read_quarantine
 from repro.sim.outcome import Outcome
 
 __all__ = ["DoctorFinding", "DoctorReport", "diagnose"]
-
-_STORE_FILENAME = "trials.jsonl"
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,11 +50,18 @@ class DoctorFinding:
     severity: str  # "error" | "warn" | "info"
     kind: str
     detail: str
-    #: 1-based store line (None for findings outside trials.jsonl).
+    #: 1-based store line (None for findings outside the store files).
     line: int | None = None
+    #: Store file the finding is about (its basename) — significant for
+    #: sharded stores, where a line number alone is ambiguous.
+    file: str | None = None
 
     def __str__(self) -> str:
-        where = f"line {self.line}: " if self.line is not None else ""
+        where = ""
+        if self.file is not None and self.line is not None:
+            where = f"{self.file} line {self.line}: "
+        elif self.line is not None:
+            where = f"line {self.line}: "
         return f"[{self.severity}] {where}{self.kind} — {self.detail}"
 
 
@@ -117,7 +124,9 @@ def _recompute_key(fingerprint: dict[str, Any]) -> str | None:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
+def _check_record(
+    line_no: int, line: bytes, report: DoctorReport, file: str | None = None
+) -> None:
     """Validate one complete store line, appending findings."""
     text = line.decode("utf-8", errors="replace").strip()
     if not text:
@@ -131,6 +140,7 @@ def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
                 kind="corrupt-line",
                 detail="not valid JSON; the reader skips it (data lost)",
                 line=line_no,
+                file=file,
             )
         )
         return
@@ -141,6 +151,7 @@ def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
                 kind="foreign-record",
                 detail="valid JSON but not a trial record; the reader skips it",
                 line=line_no,
+                file=file,
             )
         )
         return
@@ -154,6 +165,7 @@ def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
                 kind="foreign-record",
                 detail="record lacks a usable key/payload; the reader skips it",
                 line=line_no,
+                file=file,
             )
         )
         return
@@ -170,6 +182,7 @@ def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
                         "corrupted in place"
                     ),
                     line=line_no,
+                    file=file,
                 )
             )
             return
@@ -185,26 +198,31 @@ def _check_record(line_no: int, line: bytes, report: DoctorReport) -> None:
                 kind="bad-wire",
                 detail=f"outcome payload does not decode ({exc})",
                 line=line_no,
+                file=file,
             )
         )
         return
     report.records += 1
 
 
-def _scan_store(path: pathlib.Path, report: DoctorReport) -> tuple[int, bool]:
-    """Scan ``trials.jsonl``; returns ``(tail_offset, tail_torn)``.
+def _scan_store(
+    path: pathlib.Path, report: DoctorReport, keys_seen: set[str]
+) -> tuple[int, bool]:
+    """Scan one store file; returns ``(tail_offset, tail_torn)``.
 
     *tail_offset* is the byte offset where a defective tail begins
     (-1 when the tail is healthy); *tail_torn* distinguishes an
     unparseable fragment (truncate to repair) from a complete final
     record merely missing its newline (append one to repair).
+    *keys_seen* is shared across the files of a sharded store so the
+    duplicate count is store-wide.
     """
     data = path.read_bytes()
     if not data:
         return -1, False
+    file = path.name
     offset = 0
     line_no = 0
-    keys_seen: set[str] = set()
     while offset < len(data):
         newline = data.find(b"\n", offset)
         line_no += 1
@@ -227,10 +245,11 @@ def _scan_store(path: pathlib.Path, report: DoctorReport) -> tuple[int, bool]:
                             "repair truncates them"
                         ),
                         line=line_no,
+                        file=file,
                     )
                 )
             else:
-                _check_record(line_no, fragment, report)
+                _check_record(line_no, fragment, report, file)
                 report.findings.append(
                     DoctorFinding(
                         severity="error",
@@ -240,20 +259,18 @@ def _scan_store(path: pathlib.Path, report: DoctorReport) -> tuple[int, bool]:
                             "newline; repair terminates it"
                         ),
                         line=line_no,
+                        file=file,
                     )
                 )
             return offset, torn
         before = report.records
-        _check_record(line_no, data[offset:newline], report)
+        _check_record(line_no, data[offset:newline], report, file)
         if report.records > before:
             try:
                 keys_seen.add(json.loads(data[offset:newline])["key"])
             except (json.JSONDecodeError, KeyError, TypeError):
                 pass
         offset = newline + 1
-    report.findings.extend(
-        _duplicate_findings(keys_seen, report)
-    )
     return -1, False
 
 
@@ -324,8 +341,47 @@ def _cross_check(run_dir: pathlib.Path, report: DoctorReport) -> None:
             )
 
 
+def _store_label(run_dir: pathlib.Path, store_files: list[pathlib.Path]) -> str:
+    if len(store_files) == 1:
+        return str(store_files[0])
+    return f"{run_dir} ({len(store_files)} store files)"
+
+
+def _scan_all(
+    store_files: list[pathlib.Path], report: DoctorReport, *, repair: bool
+) -> list[str]:
+    """Scan every store file, healing defective tails when *repair*.
+
+    Returns the repair actions taken (the caller rescans after any).
+    """
+    actions: list[str] = []
+    keys_seen: set[str] = set()
+    for path in store_files:
+        tail_offset, tail_torn = _scan_store(path, report, keys_seen)
+        if repair and tail_offset >= 0:
+            if tail_torn:
+                with open(path, "ab") as fh:
+                    fh.truncate(tail_offset)
+                actions.append(
+                    f"{path.name}: truncated torn tail at byte offset {tail_offset}"
+                )
+            else:
+                with open(path, "ab") as fh:
+                    fh.write(b"\n")
+                actions.append(
+                    f"{path.name}: terminated the final record with a newline"
+                )
+    report.findings.extend(_duplicate_findings(keys_seen, report))
+    return actions
+
+
 def diagnose(run_dir: "str | os.PathLike", *, repair: bool = False) -> DoctorReport:
     """Scan (and with *repair*, heal) a run directory.
+
+    Both store layouts are understood: the single ``trials.jsonl`` and
+    the sharded ``trials-NN.jsonl`` set the campaign service writes —
+    every file :func:`~repro.campaign.store.discover_store_files`
+    reports is scanned, and findings name the file they are in.
 
     Repair is conservative: it truncates a torn tail, terminates an
     unterminated-but-complete one, and touches nothing else. After a
@@ -333,34 +389,29 @@ def diagnose(run_dir: "str | os.PathLike", *, repair: bool = False) -> DoctorRep
     and the CLI's exit code — describe the *healed* state.
     """
     run_dir = pathlib.Path(run_dir)
-    store_path = run_dir / _STORE_FILENAME
-    report = DoctorReport(run_dir=str(run_dir), store_path=str(store_path))
-    if not store_path.exists():
+    store_files = discover_store_files(run_dir)
+    label = (
+        _store_label(run_dir, store_files)
+        if store_files
+        else str(run_dir / _STORE_FILENAME)
+    )
+    report = DoctorReport(run_dir=str(run_dir), store_path=label)
+    if not store_files:
         report.findings.append(
             DoctorFinding(
                 severity="error",
                 kind="no-store",
-                detail=f"no {_STORE_FILENAME} under {run_dir}",
+                detail=f"no {_STORE_FILENAME} or trial shards under {run_dir}",
             )
         )
         return report
 
-    tail_offset, tail_torn = _scan_store(store_path, report)
-    if repair and tail_offset >= 0:
-        if tail_torn:
-            with open(store_path, "ab") as fh:
-                fh.truncate(tail_offset)
-            action = f"truncated torn tail at byte offset {tail_offset}"
-        else:
-            with open(store_path, "ab") as fh:
-                fh.write(b"\n")
-            action = "terminated the final record with a newline"
+    actions = _scan_all(store_files, report, repair=repair)
+    if actions:
         # Rescan: the report (and exit code) must describe the healed
-        # store, and the tail repair may not be the only finding.
-        report = DoctorReport(
-            run_dir=str(run_dir), store_path=str(store_path)
-        )
-        _scan_store(store_path, report)
-        report.repairs.append(action)
+        # store, and the tail repairs may not be the only findings.
+        report = DoctorReport(run_dir=str(run_dir), store_path=label)
+        _scan_all(store_files, report, repair=False)
+        report.repairs.extend(actions)
     _cross_check(run_dir, report)
     return report

@@ -1,7 +1,8 @@
 """Offline replay auditing of a campaign trial cache.
 
 ``repro-ugf check <cache-dir>`` makes the PR-1 campaign store auditable
-after the fact. For every record of ``trials.jsonl`` the auditor
+after the fact. For every record of every store file — the single
+``trials.jsonl`` or the sharded ``trials-NN.jsonl`` set — the auditor
 
 1. parses the record and rebuilds the :class:`TrialSpec` from the
    stored spec fingerprint (the fingerprint was designed to be
@@ -40,8 +41,6 @@ from repro.experiments.config import TrialSpec
 from repro.sim.outcome import Outcome
 
 __all__ = ["RecordAudit", "CacheAudit", "spec_from_fingerprint", "audit_cache"]
-
-_FILENAME = "trials.jsonl"
 
 
 def spec_from_fingerprint(fingerprint: dict[str, Any]) -> TrialSpec:
@@ -174,16 +173,25 @@ def audit_cache(
     alpha: int = 1,
     progress: "Callable[[RecordAudit], None] | None" = None,
 ) -> CacheAudit:
-    """Audit every record of ``<cache_dir>/trials.jsonl``.
+    """Audit every record in *cache_dir*'s trial store.
+
+    Both store layouts are covered — the single ``trials.jsonl`` and
+    the sharded ``trials-NN.jsonl`` files the campaign service writes
+    (every file :func:`~repro.campaign.store.discover_store_files`
+    reports is audited).
 
     ``replay=False`` restricts the audit to structural checks (parse +
     content address), which is cheap enough for very large caches;
     ``max_records`` bounds the audit to the first K records.
     """
-    path = pathlib.Path(cache_dir) / _FILENAME
+    from repro.campaign.store import discover_store_files
+
+    cache_dir = pathlib.Path(cache_dir)
     records: list[RecordAudit] = []
     outcomes: list[Outcome] = []
-    if path.exists():
+    for path in discover_store_files(cache_dir):
+        if max_records is not None and len(records) >= max_records:
+            break
         with path.open("r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
                 if max_records is not None and len(records) >= max_records:
@@ -196,7 +204,7 @@ def audit_cache(
                     progress(records[-1])
     verdicts = audit_theorem1(outcomes, alpha=alpha) if outcomes else []
     return CacheAudit(
-        path=path.parent,
+        path=cache_dir,
         records=tuple(records),
         theorem=tuple(verdicts),
         replayed=replay,

@@ -16,6 +16,8 @@ Examples::
     repro-ugf bench --grid smoke --check
     repro-ugf backends --protocol flood --adversary str-1 -n 64 -f 20
     repro-ugf sweep --protocol round-robin --adversary none --n 50 100 --backend batch
+    repro-ugf serve --cache-dir /shared/cache --port 7341
+    repro-ugf sweep --protocol flood --n 50 --cache-url tcp://127.0.0.1:7341
 
 The experiment commands (``sweep``, ``figure``, ``report``) execute
 through the campaign layer's content-addressed trial cache: identical
@@ -24,6 +26,8 @@ where it stopped. ``--cache-dir`` relocates the cache (default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ugf``), ``--fresh`` ignores
 previously cached results (but still records new ones), and
 ``--no-cache`` disables caching entirely. See docs/CAMPAIGN.md.
+``serve`` turns that cache into a shared daemon and ``--cache-url``
+points any experiment command at it (docs/SERVICE.md).
 
 ``--sanitize`` runs trials under the execution-model sanitizer
 (docs/SANITIZER.md) and ``check`` audits a trial cache offline —
@@ -102,6 +106,22 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore previously cached results on read but still record new ones",
     )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="tcp://HOST:PORT|unix:///PATH",
+        help="execute through a shared campaign-service daemon "
+        "(docs/SERVICE.md, start one with 'repro-ugf serve'); falls back "
+        "to local execution if the daemon is unreachable",
+    )
+    parser.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=["auto", "jsonl", "sharded"],
+        help="trial-store layout (docs/SERVICE.md): 'auto' detects the "
+        "on-disk layout, 'jsonl' is the single-file store, 'sharded' "
+        "splits by content-address prefix with an offset index",
+    )
 
 
 def _sanitize_type(spec: str) -> str:
@@ -171,7 +191,7 @@ def _make_campaign(args: argparse.Namespace):
         from repro.chaos import FaultPlan
 
         fault_plan = FaultPlan.load(plan_path)
-    return Campaign(
+    kwargs = dict(
         cache_dir=cache_dir,
         workers=getattr(args, "workers", None),
         use_cache=not args.no_cache,
@@ -181,7 +201,14 @@ def _make_campaign(args: argparse.Namespace):
         metrics=getattr(args, "metrics", None),
         fault_plan=fault_plan,
         backend=getattr(args, "backend", "auto"),
+        store_backend=getattr(args, "store_backend", "auto"),
     )
+    url = getattr(args, "cache_url", None)
+    if url is not None:
+        from repro.service import ServiceCampaign
+
+        return ServiceCampaign(url, **kwargs)
+    return Campaign(**kwargs)
 
 
 def _note_telemetry(campaign) -> None:
@@ -215,6 +242,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--environment",
         default=None,
         help="baseline timing environment: 'homogeneous' (default) or 'jitter[:<max_delta>,<max_d>]'",
+    )
+    p_run.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="tcp://HOST:PORT|unix:///PATH",
+        help="execute through a shared campaign-service daemon "
+        "(docs/SERVICE.md); falls back to local execution if unreachable",
     )
     _add_sanitize_flag(p_run)
     _add_metrics_flag(p_run)
@@ -432,6 +466,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.25)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign-service daemon: a shared trial cache many "
+        "clients execute against (docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory for the shared sharded trial store "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-ugf)",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1 — loopback only; the "
+        "protocol is unauthenticated, widen deliberately)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="TCP port (default: 7341 when no --unix socket is given; "
+        "0 binds an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--unix",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH.sock",
+        help="also (or only) listen on a unix socket at this path",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, help="worker-pool size for misses"
+    )
+    _add_sanitize_flag(p_serve)
+    _add_metrics_flag(p_serve)
+    _add_backend_flag(p_serve)
+
     p_abl = sub.add_parser("ablate", help="ablation experiments")
     p_abl.add_argument("which", choices=["f", "q", "adversaries"])
     p_abl.add_argument("--protocol", required=True, choices=available_protocols())
@@ -453,21 +527,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     # Instantiate eagerly so bad names fail before the run starts.
     make_adversary(args.adversary)
-    metrics = resolve_metrics(getattr(args, "metrics", None))
-    outcome = run_trial(
-        TrialSpec(
-            protocol=args.protocol,
-            adversary=args.adversary,
-            n=args.n,
-            f=args.f,
-            seed=args.seed,
-            max_steps=args.max_steps,
-            environment=args.environment,
-            sanitize=_sanitize_spec(args),
-        ),
-        metrics=metrics,
-        backend=getattr(args, "backend", "auto"),
+    spec = TrialSpec(
+        protocol=args.protocol,
+        adversary=args.adversary,
+        n=args.n,
+        f=args.f,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        environment=args.environment,
+        sanitize=_sanitize_spec(args),
     )
+    if getattr(args, "cache_url", None) is not None:
+        from repro.service import ServiceCampaign
+
+        with ServiceCampaign(
+            args.cache_url,
+            workers=0,
+            metrics=getattr(args, "metrics", None),
+            backend=getattr(args, "backend", "auto"),
+        ) as campaign:
+            outcome = campaign.run_trial(spec)
+            metrics = campaign.metrics
+    else:
+        metrics = resolve_metrics(getattr(args, "metrics", None))
+        outcome = run_trial(
+            spec,
+            metrics=metrics,
+            backend=getattr(args, "backend", "auto"),
+        )
     print(outcome.summary())
     if outcome.sanitizer is not None:
         total = outcome.sanitizer["total_violations"]
@@ -878,6 +965,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign, default_cache_dir
+    from repro.service.server import DAEMON_MEMO_LIMIT, serve_forever
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    port = args.port
+    unix_path = args.unix
+    if port is None and unix_path is None:
+        port = 7341
+    # trial_timeout stays None: the per-trial SIGALRM watchdog only
+    # works on the main thread, and the daemon executes campaigns on
+    # its scheduler thread.
+    campaign = Campaign(
+        cache_dir=cache_dir,
+        workers=args.workers,
+        sanitize=_sanitize_spec(args),
+        metrics=getattr(args, "metrics", None),
+        backend=getattr(args, "backend", "auto"),
+        store_backend="sharded",
+        memo_limit=DAEMON_MEMO_LIMIT,
+    )
+    print(f"campaign service: store at {cache_dir}", file=sys.stderr)
+    try:
+        serve_forever(
+            campaign,
+            host=args.host if port is not None else None,
+            port=port,
+            unix_path=unix_path,
+            announce=lambda address: print(
+                f"campaign service: listening on {address} "
+                f"(clients: --cache-url {address})",
+                file=sys.stderr,
+            ),
+        )
+    finally:
+        campaign.close()
+    print("campaign service: stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_ablate(args: argparse.Namespace) -> int:
     f = args.f if args.f is not None else round(0.3 * args.n)
     seeds = tuple(range(args.seeds))
@@ -931,6 +1058,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_plot(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "ablate":
         return _cmd_ablate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,403 @@
+"""Client side of the campaign service (docs/SERVICE.md).
+
+:class:`ServiceClient` is a small synchronous NDJSON socket client —
+connect, submit trial-spec batches, read streamed outcome frames. On
+top of it, :class:`ServiceCampaign` subclasses
+:class:`~repro.campaign.Campaign` so every experiment module (and the
+CLI via ``--cache-url``) can execute against the shared daemon without
+changing a line: same :class:`~repro.campaign.campaign.TrialResult`
+surface, byte-identical outcome wires, same stats/progress/telemetry
+behaviour.
+
+Failure posture — the daemon is an *accelerator*, not a dependency: if
+the connection cannot be made or dies mid-batch, the campaign warns
+once, counts ``service.fallbacks``, and reruns the batch through its
+own inherited local path (worker pool, local store). Results are
+correct either way; only the fleet-level dedup is lost.
+"""
+
+from __future__ import annotations
+
+import socket
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from repro.campaign.campaign import Campaign, TrialResult
+from repro.campaign.keys import trial_key
+from repro.campaign.progress import ProgressEvent
+from repro.errors import CampaignError, ConfigurationError
+from repro.experiments.config import TrialSpec
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ServiceAddress,
+    decode_frame,
+    encode_frame,
+    parse_service_url,
+    spec_to_wire,
+)
+from repro.sim.outcome import Outcome
+
+__all__ = ["ServiceError", "ServiceClient", "ServiceCampaign", "TrialReply"]
+
+
+class ServiceError(CampaignError):
+    """The daemon is unreachable or broke protocol.
+
+    Deliberately *not* raised for an individual failing trial — those
+    come back as ordinary failed :class:`TrialReply` / ``TrialResult``
+    entries, exactly as local execution reports them.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class TrialReply:
+    """One trial's answer from the daemon, in submission order."""
+
+    spec: TrialSpec
+    key: str | None
+    #: ``hit`` (store/memo hit server-side), ``computed`` (this request
+    #: paid for the execution), ``dedup`` (attached to another client's
+    #: in-flight computation), ``failed``.
+    status: str
+    wire: list | None = None
+    error: str | None = None
+    backend: str | None = None
+
+    @property
+    def cached(self) -> bool:
+        return self.status in ("hit", "dedup")
+
+
+class ServiceClient:
+    """Synchronous connection to a :class:`~repro.service.server.
+    TrialService` over TCP or a unix socket."""
+
+    def __init__(
+        self,
+        address: "ServiceAddress | str",
+        *,
+        timeout: float | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.address = (
+            parse_service_url(address) if isinstance(address, str) else address
+        )
+        #: Per-reply read timeout once connected. None (the default)
+        #: waits as long as the daemon needs — a cold batch of slow
+        #: trials legitimately takes minutes.
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._next_id = 0
+
+    # -- transport -----------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        try:
+            if self.address.scheme == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.connect_timeout)
+                sock.connect(self.address.path)
+            else:
+                sock = socket.create_connection(
+                    (self.address.host, self.address.port),
+                    timeout=self.connect_timeout,
+                )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach campaign service at {self.address}: {exc}"
+            ) from exc
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _send_frame(self, frame: dict[str, Any]) -> None:
+        self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(encode_frame(frame))
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"send to {self.address} failed: {exc}") from exc
+
+    def _read_frame(self) -> dict[str, Any]:
+        assert self._rfile is not None
+        try:
+            line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"read from {self.address} failed: {exc}") from exc
+        if not line or not line.endswith(b"\n"):
+            self.close()
+            raise ServiceError(f"connection to {self.address} closed mid-frame")
+        try:
+            return decode_frame(line)
+        except ConfigurationError as exc:
+            self.close()
+            raise ServiceError(str(exc)) from exc
+
+    def _roundtrip(self, op: str, **fields: Any) -> dict[str, Any]:
+        self._send_frame({"v": PROTO_VERSION, "op": op, **fields})
+        frame = self._read_frame()
+        if frame.get("op") == "error":
+            raise ServiceError(f"service refused {op!r}: {frame.get('error')}")
+        return frame
+
+    # -- ops -----------------------------------------------------------------------
+
+    def hello(self) -> dict[str, Any]:
+        frame = self._roundtrip("hello")
+        version = frame.get("v")
+        if version != PROTO_VERSION:
+            raise ServiceError(
+                f"service at {self.address} speaks protocol {version!r}, "
+                f"this client speaks {PROTO_VERSION}"
+            )
+        return frame
+
+    def ping(self) -> bool:
+        return self._roundtrip("ping").get("op") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        return self._roundtrip("stats")
+
+    def submit(self, specs: Sequence[TrialSpec]) -> list[TrialReply]:
+        """Run *specs* through the daemon; replies in submission order.
+
+        Streams arrive in completion order and are restored by index.
+        Raises :class:`ServiceError` only for transport/protocol
+        failure — per-trial failures are ``failed`` replies.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        self._next_id += 1
+        req_id = self._next_id
+        self._send_frame(
+            {
+                "v": PROTO_VERSION,
+                "op": "submit",
+                "id": req_id,
+                "trials": [spec_to_wire(spec) for spec in specs],
+            }
+        )
+        replies: list[TrialReply | None] = [None] * len(specs)
+        received = 0
+        while True:
+            frame = self._read_frame()
+            op = frame.get("op")
+            if op == "error":
+                raise ServiceError(f"service error: {frame.get('error')}")
+            if op == "done":
+                if frame.get("id") != req_id:
+                    continue
+                break
+            if op != "outcome" or frame.get("id") != req_id:
+                continue  # stray frame from another request on this socket
+            i = frame.get("i")
+            if not isinstance(i, int) or not 0 <= i < len(specs):
+                raise ServiceError(f"outcome frame with bad index: {i!r}")
+            replies[i] = TrialReply(
+                spec=specs[i],
+                key=frame.get("key"),
+                status=str(frame.get("status")),
+                wire=frame.get("wire"),
+                error=frame.get("error"),
+                backend=frame.get("backend"),
+            )
+            received += 1
+        if received != len(specs) or any(r is None for r in replies):
+            raise ServiceError(
+                f"service answered {received}/{len(specs)} trials before done"
+            )
+        return replies  # type: ignore[return-value]
+
+
+class ServiceCampaign(Campaign):
+    """A campaign whose cache and execution live in the shared daemon.
+
+    Construct with the same keyword arguments as
+    :class:`~repro.campaign.Campaign` plus the service *url*; the local
+    configuration (cache dir, workers, backend mode…) stays live as the
+    fallback path. While the daemon is healthy, ``run_trials`` submits
+    every batch remotely: outcomes come back as wires and are rebuilt
+    with :meth:`Outcome.from_wire`, so results are byte-identical at
+    the ``json.dumps(outcome.to_wire())`` level to inline execution.
+    The in-session memo still applies (a repeated spec never re-crosses
+    the network), and stats/progress/telemetry fire exactly like local
+    runs — with ``via="service"`` on telemetry trial records.
+
+    The first transport failure flips the campaign to local execution
+    for the rest of the session (``service.fallbacks`` counts it, one
+    RuntimeWarning explains it).
+    """
+
+    def __init__(
+        self,
+        url: "str | ServiceAddress",
+        *,
+        client: ServiceClient | None = None,
+        timeout: float | None = None,
+        **campaign_kwargs: Any,
+    ) -> None:
+        super().__init__(**campaign_kwargs)
+        self.client = (
+            client if client is not None else ServiceClient(url, timeout=timeout)
+        )
+        self._remote_ok = True
+
+    # -- remote execution ----------------------------------------------------------
+
+    def _fall_back(self, exc: Exception) -> None:
+        self._remote_ok = False
+        if self.metrics is not None:
+            self.metrics.count("service.fallbacks")
+        warnings.warn(
+            f"campaign service at {self.client.address} unavailable "
+            f"({exc}); falling back to local execution for this session",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.client.close()
+
+    def run_trials(
+        self,
+        specs: Iterable[TrialSpec],
+        *,
+        progress=None,
+    ) -> list[TrialResult]:
+        specs = list(specs)
+        if not self._remote_ok or not self.use_cache or not specs:
+            # --no-cache means "force every execution": dedup through
+            # the shared daemon would defeat the point, so it runs on
+            # the inherited local path.
+            return super().run_trials(specs, progress=progress)
+        for i, spec in enumerate(specs):
+            if self.sanitize is not None and spec.sanitize is None:
+                specs[i] = replace(spec, sanitize=self.sanitize)
+
+        # In-session memo first: repeated specs never re-cross the wire.
+        memo_hits: dict[int, Outcome] = {}
+        remote: list[tuple[int, TrialSpec, str]] = []
+        for i, spec in enumerate(specs):
+            key = trial_key(spec)
+            hit = self._memo.get(key)
+            if hit is not None:
+                if self.metrics is not None:
+                    self.metrics.count("campaign.memo_hits")
+                memo_hits[i] = hit
+            else:
+                remote.append((i, spec, key))
+
+        try:
+            replies = (
+                self.client.submit([spec for _, spec, _ in remote])
+                if remote
+                else []
+            )
+        except (ServiceError, OSError) as exc:
+            self._fall_back(exc)
+            return super().run_trials(specs, progress=progress)
+
+        results: list[TrialResult | None] = [None] * len(specs)
+        for i, outcome in memo_hits.items():
+            results[i] = TrialResult(spec=specs[i], outcome=outcome, cached=True)
+        for (i, spec, key), reply in zip(remote, replies):
+            if reply.wire is not None:
+                try:
+                    outcome = Outcome.from_wire(reply.wire)
+                except Exception as exc:
+                    self._fall_back(
+                        ServiceError(f"undecodable outcome wire: {exc}")
+                    )
+                    return super().run_trials(specs, progress=progress)
+                self._memoize(key, outcome)
+                results[i] = TrialResult(
+                    spec=spec,
+                    outcome=outcome,
+                    cached=reply.cached,
+                    backend=reply.backend,
+                )
+            else:
+                results[i] = TrialResult(
+                    spec=spec, outcome=None, error=reply.error
+                )
+
+        self._emit_batch(results, progress=progress)
+        return results  # type: ignore[return-value]
+
+    def _emit_batch(self, results, *, progress) -> None:
+        """Stats / metrics / telemetry / progress for a remote batch —
+        the same per-trial bookkeeping the inherited path does."""
+        callback = progress if progress is not None else self.progress
+        total = len(results)
+        for done, result in enumerate(results, start=1):
+            if result.outcome is None:
+                kind = "failed"
+            else:
+                kind = "cached" if result.cached else "executed"
+            self.stats.count(kind)
+            if self.metrics is not None:
+                self.metrics.count(f"campaign.trials_{kind}")
+            if self.telemetry is not None:
+                spec = result.spec
+                record = {
+                    "status": kind,
+                    "via": "service",
+                    "protocol": spec.protocol,
+                    "adversary": spec.adversary,
+                    "n": spec.n,
+                    "f": spec.f,
+                    "seed": spec.seed,
+                }
+                if result.backend is not None:
+                    record["backend"] = result.backend
+                if result.outcome is not None:
+                    record["completed"] = result.outcome.completed
+                    record["t_end"] = int(result.outcome.t_end)
+                    record["messages"] = int(result.outcome.sent.sum())
+                if result.error is not None:
+                    record["error"] = result.error[:240]
+                self.telemetry.emit("trial", **record)
+            if callback is not None:
+                callback(
+                    ProgressEvent(
+                        kind=kind,
+                        spec=result.spec,
+                        done=done,
+                        total=total,
+                        error=result.error,
+                    )
+                )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        self.client.close()
+        super().close()

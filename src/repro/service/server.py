@@ -1,0 +1,617 @@
+"""The campaign-service daemon: one shared cache, many clients.
+
+:class:`TrialService` is an asyncio server speaking the NDJSON frame
+protocol of :mod:`repro.service.protocol` over TCP and/or a unix
+socket. It owns exactly one :class:`~repro.campaign.Campaign` — and
+through it the sharded trial store, the worker pool, and the
+scalar/batch backend router — and multiplexes any number of client
+connections onto it.
+
+The scheduling core is the **in-flight table**: ``content address →
+asyncio.Future``. Every submitted trial resolves its key; a key with a
+live future attaches to it (counted ``dedup_inflight`` — the second
+requester never recomputes, it *waits*), a fresh key enqueues for
+execution. A single scheduler task drains the queue in batches and
+runs them through ``Campaign.run_trials`` on a one-thread executor, so
+the campaign — which is not thread-safe — always executes from exactly
+one thread while the event loop keeps accepting frames. Store hits
+inside the campaign stay cheap; real misses fan out across the worker
+pool / batch engine exactly as they do locally. As each batch
+finishes, futures resolve and every waiting connection streams its
+outcome frames in completion order.
+
+Together the two layers give the fleet guarantee (docs/SERVICE.md):
+the store dedups across time, the in-flight table dedups across *now*
+— each unique content address is computed at most once, ever, no
+matter how many clients race.
+
+Failure posture: a malformed frame gets an ``error`` frame, not a
+dropped connection; a failing trial gets a ``failed`` outcome frame
+carrying the worker traceback; a batch-level execution crash fails
+only the futures of that batch. The daemon itself only exits on
+signal or fatal socket error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import pathlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable
+
+from repro.campaign.keys import trial_key
+from repro.errors import CampaignError, ConfigurationError
+from repro.experiments.config import TrialSpec
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    SERVER_NAME,
+    ServiceAddress,
+    decode_frame,
+    encode_frame,
+    spec_from_wire,
+)
+
+__all__ = ["TrialService", "ServiceThread", "serve_forever"]
+
+#: Most trials one scheduler wave hands the campaign. Bounds the
+#: latency a late arrival waits behind a huge batch, while still
+#: giving the batch backend cell groups worth vectorizing.
+_MAX_SCHEDULE_BATCH = 512
+
+#: Memo entries the daemon's campaign retains (see Campaign.memo_limit):
+#: a long-lived process must not accumulate one resident Outcome per
+#: trial it ever served — the sharded store already holds them on disk.
+DAEMON_MEMO_LIMIT = 4096
+
+
+class TrialService:
+    """The daemon: in-flight dedup over one campaign session.
+
+    *campaign* is owned by the caller (``serve_forever`` and
+    :class:`ServiceThread` construct and close theirs); the service
+    only promises to use it from a single executor thread.
+    """
+
+    def __init__(
+        self, campaign, *, max_batch: int = _MAX_SCHEDULE_BATCH
+    ) -> None:
+        self.campaign = campaign
+        self.max_batch = max_batch
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="trial-service"
+        )
+        self._scheduler_task: asyncio.Task | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._unix_path: pathlib.Path | None = None
+        self.addresses: list[ServiceAddress] = []
+        #: Lifetime counters, served by the ``stats`` op. Kept apart
+        #: from the metrics registry so they exist even metrics-off.
+        self.counters: dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "trials": 0,
+            "hits": 0,
+            "computed": 0,
+            "dedup_inflight": 0,
+            "failed": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(
+        self,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: "str | os.PathLike | None" = None,
+    ) -> list[ServiceAddress]:
+        """Bind the requested listeners and start the scheduler.
+
+        ``port=0`` binds an ephemeral TCP port; the actual address is
+        in :attr:`addresses` (and the return value).
+        """
+        if self._scheduler_task is None:
+            self._scheduler_task = asyncio.create_task(
+                self._scheduler(), name="trial-service-scheduler"
+            )
+        if host is not None and port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port,
+                limit=MAX_FRAME_BYTES,
+            )
+            self._servers.append(server)
+            for sock in server.sockets:
+                bound = sock.getsockname()
+                self.addresses.append(
+                    ServiceAddress(scheme="tcp", host=bound[0], port=bound[1])
+                )
+        if unix_path is not None:
+            path = pathlib.Path(unix_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with contextlib.suppress(OSError):
+                path.unlink()
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path), limit=MAX_FRAME_BYTES
+            )
+            self._servers.append(server)
+            self._unix_path = path
+            self.addresses.append(ServiceAddress(scheme="unix", path=str(path)))
+        if not self._servers:
+            raise ConfigurationError(
+                "the service needs a TCP host/port and/or a unix socket path"
+            )
+        return self.addresses
+
+    async def close(self) -> None:
+        """Stop listeners and the scheduler; fail any queued work."""
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        # Cancel live connection handlers: their finally blocks close
+        # the sockets, so a mid-request client sees EOF (a clean
+        # ServiceError) instead of hanging on a dead daemon.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scheduler_task
+            self._scheduler_task = None
+        while not self._queue.empty():
+            key, _spec, fut = self._queue.get_nowait()
+            self._inflight.pop(key, None)
+            if not fut.done():
+                fut.set_exception(CampaignError("service shutting down"))
+        for key, fut in list(self._inflight.items()):
+            if not fut.done():
+                fut.set_exception(CampaignError("service shutting down"))
+        self._inflight.clear()
+        self._executor.shutdown(wait=True)
+        if self._unix_path is not None:
+            with contextlib.suppress(OSError):
+                self._unix_path.unlink()
+            self._unix_path = None
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _claim(self, key: str, spec: TrialSpec):
+        """The future that will hold *key*'s result.
+
+        Returns ``(future, attached)`` — *attached* means an in-flight
+        computation already existed and this requester deduplicated
+        onto it. Runs entirely on the event loop thread with no await,
+        so check-then-claim is atomic.
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.counters["dedup_inflight"] += 1
+            self._count_metric("service.dedup_inflight")
+            return fut, True
+        fut = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        self._queue.put_nowait((key, spec, fut))
+        return fut, False
+
+    async def _scheduler(self) -> None:
+        """Drain the queue in waves through the campaign executor."""
+        loop = asyncio.get_running_loop()
+        while True:
+            items = [await self._queue.get()]
+            while len(items) < self.max_batch:
+                try:
+                    items.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            specs = [spec for _key, spec, _fut in items]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self.campaign.run_trials, specs
+                )
+            except Exception as exc:
+                for key, _spec, fut in items:
+                    self._inflight.pop(key, None)
+                    if not fut.done():
+                        fut.set_exception(
+                            CampaignError(f"batch execution failed: {exc}")
+                        )
+                continue
+            for (key, _spec, fut), result in zip(items, results):
+                self._inflight.pop(key, None)
+                if not fut.done():
+                    fut.set_result(result)
+
+    def _count_metric(self, name: str, value: int = 1) -> None:
+        metrics = getattr(self.campaign, "metrics", None)
+        if metrics is not None:
+            metrics.count(name, value)
+
+    @property
+    def inflight(self) -> int:
+        """Unique content addresses currently being computed."""
+        return len(self._inflight)
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, frame: dict
+    ) -> None:
+        async with lock:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        self._count_metric("service.connections")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        lock = asyncio.Lock()
+        submits: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Frame over the stream limit, or transport death.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = decode_frame(line)
+                except ConfigurationError as exc:
+                    self.counters["errors"] += 1
+                    await self._send(writer, lock, {"v": PROTO_VERSION, "op": "error", "error": str(exc)})
+                    continue
+                version = frame.get("v", PROTO_VERSION)
+                op = frame.get("op")
+                if version != PROTO_VERSION:
+                    self.counters["errors"] += 1
+                    await self._send(
+                        writer,
+                        lock,
+                        {
+                            "v": PROTO_VERSION,
+                            "op": "error",
+                            "error": f"protocol version {version!r} unsupported "
+                            f"(server speaks {PROTO_VERSION})",
+                        },
+                    )
+                    continue
+                if op == "ping":
+                    await self._send(writer, lock, {"v": PROTO_VERSION, "op": "pong"})
+                elif op == "hello":
+                    await self._send(
+                        writer,
+                        lock,
+                        {
+                            "v": PROTO_VERSION,
+                            "op": "hello",
+                            "server": SERVER_NAME,
+                            "store": str(
+                                getattr(
+                                    getattr(self.campaign, "store", None),
+                                    "cache_dir",
+                                    "",
+                                )
+                            ),
+                        },
+                    )
+                elif op == "stats":
+                    await self._send(
+                        writer,
+                        lock,
+                        {
+                            "v": PROTO_VERSION,
+                            "op": "stats",
+                            "counters": dict(self.counters),
+                            "inflight": self.inflight,
+                            "store_records": (
+                                len(self.campaign.store)
+                                if getattr(self.campaign, "store", None)
+                                is not None
+                                else 0
+                            ),
+                        },
+                    )
+                elif op == "submit":
+                    task = asyncio.create_task(
+                        self._handle_submit(frame, writer, lock)
+                    )
+                    submits.add(task)
+                    task.add_done_callback(submits.discard)
+                else:
+                    self.counters["errors"] += 1
+                    await self._send(
+                        writer,
+                        lock,
+                        {
+                            "v": PROTO_VERSION,
+                            "op": "error",
+                            "error": f"unknown op {op!r}",
+                        },
+                    )
+        except asyncio.CancelledError:
+            # Shutdown path: close() cancelled us on purpose; finish
+            # the cleanup below instead of logging a phantom error.
+            pass
+        finally:
+            # The client is gone: its submit streams have nowhere to
+            # go. The *computations* keep running — other clients may
+            # be deduplicated onto the same futures.
+            for submit in submits:
+                submit.cancel()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_submit(
+        self, frame: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        req_id = frame.get("id")
+        trials = frame.get("trials")
+        if not isinstance(trials, list):
+            self.counters["errors"] += 1
+            await self._send(
+                writer,
+                lock,
+                {
+                    "v": PROTO_VERSION,
+                    "op": "error",
+                    "id": req_id,
+                    "error": "submit frame carries no 'trials' list",
+                },
+            )
+            return
+        self.counters["requests"] += 1
+        self.counters["trials"] += len(trials)
+        self._count_metric("service.requests")
+        self._count_metric("service.trials", len(trials))
+        claims: list[tuple[int, str, asyncio.Future, bool]] = []
+        counts = {"hit": 0, "computed": 0, "dedup": 0, "failed": 0}
+        for i, wire in enumerate(trials):
+            try:
+                spec = spec_from_wire(wire)
+                key = trial_key(spec)
+            except ConfigurationError as exc:
+                counts["failed"] += 1
+                self.counters["failed"] += 1
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "v": PROTO_VERSION,
+                        "op": "outcome",
+                        "id": req_id,
+                        "i": i,
+                        "status": "failed",
+                        "error": str(exc),
+                    },
+                )
+                continue
+            fut, attached = self._claim(key, spec)
+            claims.append((i, key, fut, attached))
+
+        async def resolved(i: int, key: str, fut: asyncio.Future, attached: bool):
+            result = await asyncio.shield(fut)
+            return i, key, result, attached
+
+        for coro in asyncio.as_completed(
+            [resolved(*claim) for claim in claims]
+        ):
+            try:
+                i, key, result, attached = await coro
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Batch-level failure surfaced through the future; the
+                # indices it covered get failure frames via the other
+                # coroutines, so report and stop this one.
+                await self._send(
+                    writer,
+                    lock,
+                    {
+                        "v": PROTO_VERSION,
+                        "op": "error",
+                        "id": req_id,
+                        "error": str(exc),
+                    },
+                )
+                continue
+            out: dict[str, Any] = {
+                "v": PROTO_VERSION,
+                "op": "outcome",
+                "id": req_id,
+                "i": i,
+                "key": key,
+            }
+            if result.outcome is not None:
+                status = (
+                    "dedup" if attached else ("hit" if result.cached else "computed")
+                )
+                out["status"] = status
+                out["wire"] = result.outcome.to_wire()
+                if result.backend is not None:
+                    out["backend"] = result.backend
+                counts[status] += 1
+                if status == "hit":
+                    self.counters["hits"] += 1
+                elif status == "computed":
+                    self.counters["computed"] += 1
+            else:
+                out["status"] = "failed"
+                out["error"] = result.error
+                counts["failed"] += 1
+                self.counters["failed"] += 1
+            await self._send(writer, lock, out)
+        await self._send(
+            writer,
+            lock,
+            {"v": PROTO_VERSION, "op": "done", "id": req_id, "counts": counts},
+        )
+
+
+# -- hosting -------------------------------------------------------------------
+
+
+async def _run_service(
+    campaign,
+    *,
+    host: str | None,
+    port: int | None,
+    unix_path,
+    ready,
+    stop_event: asyncio.Event,
+    announce=None,
+) -> None:
+    service = TrialService(campaign)
+    await service.start(host=host, port=port, unix_path=unix_path)
+    if announce is not None:
+        for address in service.addresses:
+            announce(address)
+    ready(service)
+    try:
+        await stop_event.wait()
+    finally:
+        await service.close()
+
+
+def serve_forever(
+    campaign,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    unix_path: "str | os.PathLike | None" = None,
+    announce=None,
+) -> None:
+    """Run the daemon on the current thread until SIGINT/SIGTERM.
+
+    The CLI entry point (``repro-ugf serve``). *announce* is called
+    with each bound :class:`ServiceAddress` once listening.
+    """
+    import signal
+
+    async def main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        await _run_service(
+            campaign,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            ready=lambda _service: None,
+            stop_event=stop,
+            announce=announce,
+        )
+
+    asyncio.run(main())
+
+
+class ServiceThread:
+    """Host a :class:`TrialService` on a background thread.
+
+    For tests, benchmarks, and embedding: the caller's thread stays
+    free while a private event loop runs the daemon. The campaign is
+    closed by :meth:`stop` (on the service thread, where it ran).
+    """
+
+    def __init__(
+        self,
+        campaign,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: "str | os.PathLike | None" = None,
+    ) -> None:
+        self.campaign = campaign
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.service: TrialService | None = None
+        self.addresses: list[ServiceAddress] = []
+
+    def start(self) -> "ServiceThread":
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def main() -> None:
+                self._stop_event = asyncio.Event()
+
+                def ready(service: TrialService) -> None:
+                    self.service = service
+                    self.addresses = list(service.addresses)
+                    self._ready.set()
+
+                await _run_service(
+                    self.campaign,
+                    host=self._host,
+                    port=self._port,
+                    unix_path=self._unix_path,
+                    ready=ready,
+                    stop_event=self._stop_event,
+                )
+
+            try:
+                loop.run_until_complete(main())
+            except BaseException as exc:  # surfaced to the caller
+                self._failure = exc
+                self._ready.set()
+            finally:
+                self.campaign.close()
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="trial-service-host", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise CampaignError(f"service failed to start: {self._failure}")
+        if self.service is None:
+            raise CampaignError("service did not come up within 30s")
+        return self
+
+    @property
+    def url(self) -> str:
+        """A client-ready url for the first bound listener."""
+        return str(self.addresses[0])
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

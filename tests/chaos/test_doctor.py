@@ -86,7 +86,9 @@ def test_unterminated_final_record_is_newline_terminated(tmp_path):
 
     report = diagnose(tmp_path, repair=True)
     assert report.ok
-    assert report.repairs == ["terminated the final record with a newline"]
+    assert report.repairs == [
+        "trials.jsonl: terminated the final record with a newline"
+    ]
     assert report.records == 2  # no data lost: the record was complete
     assert path.read_bytes() == data
 
@@ -185,5 +187,5 @@ def test_doctor_cli_exit_codes_and_repair(tmp_path, capsys):
 
     assert main(["doctor", str(tmp_path), "--repair"]) == 0
     captured = capsys.readouterr()
-    assert "repaired: truncated torn tail" in captured.out
+    assert "repaired: trials.jsonl: truncated torn tail" in captured.out
     assert main(["doctor", str(tmp_path)]) == 0
