@@ -16,6 +16,14 @@ Two faces:
   surface is pure liability, so the floor is a contract, not a
   curiosity.
 
+The randomized kernels (push/pull/ears/sears under replayed
+adversaries) pay for draw-exactness with one scalar RNG call per
+protocol draw, so they cannot match the deterministic kernels' 10x.
+They carry their own committed floor
+(``benchmarks/baselines/BATCH_RANDOMIZED_BASELINE.json``, 5x) over a
+separate cell set; ``--check`` gates both sets, while the bare
+invocation keeps its historical meaning (deterministic cells only).
+
 The gate is a ratio of two rates measured in the same process on the
 same machine, so unlike the absolute rates in BENCH_*.json reports it
 is portable across hardware.
@@ -41,7 +49,21 @@ CELLS = (
     {"protocol": "flood", "adversary": "oblivious", "n": 64},
 )
 
+#: Representative randomized cells: uniform-push under a static and an
+#: adaptive adversary, and the heaviest relational kernel under the
+#: UGF's hardest probe. The pull family sits just at the 5x line on
+#: commodity CPUs (see docs/PERFORMANCE.md), so it is covered by the
+#: differential battery but deliberately not gated here.
+RANDOMIZED_CELLS = (
+    {"protocol": "push", "adversary": "str-1", "n": 48},
+    {"protocol": "push", "adversary": "ugf", "n": 48},
+    {"protocol": "sears", "adversary": "str-2.1.1", "n": 32},
+)
+
 BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "BATCH_BASELINE.json"
+RANDOMIZED_BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "baselines" / "BATCH_RANDOMIZED_BASELINE.json"
+)
 
 
 def specs_for(cell: dict, trials: int) -> list[TrialSpec]:
@@ -58,7 +80,11 @@ def specs_for(cell: dict, trials: int) -> list[TrialSpec]:
 
 
 @pytest.mark.benchmark(group="backend")
-@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c['protocol']}-n{c['n']}")
+@pytest.mark.parametrize(
+    "cell",
+    CELLS + RANDOMIZED_CELLS,
+    ids=lambda c: f"{c['protocol']}-{c['adversary']}-n{c['n']}",
+)
 @pytest.mark.parametrize("backend", ["scalar", "batch"])
 def test_backend_throughput(benchmark, cell, backend):
     specs = specs_for(cell, 16 if backend == "scalar" else 128)
@@ -97,41 +123,10 @@ def load_floor(path: pathlib.Path) -> float:
     return float(record["min_speedup"])
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--scalar-trials", type=int, default=24, help="trials per scalar timing"
-    )
-    parser.add_argument(
-        "--batch-trials", type=int, default=256, help="trials per batch timing"
-    )
-    parser.add_argument("--repeats", type=int, default=3, help="timings (best wins)")
-    parser.add_argument(
-        "--baseline",
-        type=pathlib.Path,
-        default=BASELINE_PATH,
-        help="baseline JSON with the min_speedup floor "
-        f"(default: {BASELINE_PATH})",
-    )
-    parser.add_argument(
-        "--fail-under",
-        type=float,
-        default=None,
-        metavar="RATIO",
-        help="override the baseline floor (<= 0 disables the gate)",
-    )
-    args = parser.parse_args(argv)
-
-    floor = args.fail_under
-    if floor is None:
-        try:
-            floor = load_floor(args.baseline)
-        except (OSError, ValueError, KeyError) as exc:
-            print(f"BASELINE UNREADABLE: {args.baseline}: {exc}", file=sys.stderr)
-            return 1
-
+def gate_cells(cells, floor: float, label: str, args) -> bool:
+    """Measure every cell in *cells* and gate the worst against *floor*."""
     worst = None
-    for cell in CELLS:
+    for cell in cells:
         scalar_rate, batch_rate, speedup = measure_speedup(
             cell,
             scalar_trials=args.scalar_trials,
@@ -146,14 +141,71 @@ def main(argv: "list[str] | None" = None) -> int:
         if worst is None or speedup < worst:
             worst = speedup
 
-    print(f"worst-cell speedup: {worst:.1f}x (floor: {floor:.0f}x)")
+    print(f"worst {label} speedup: {worst:.1f}x (floor: {floor:.0f}x)")
     if floor > 0 and worst is not None and worst < floor:
         print(
-            f"FAIL: batch speedup {worst:.1f}x below the {floor:.0f}x floor",
+            f"FAIL: {label} batch speedup {worst:.1f}x below the "
+            f"{floor:.0f}x floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return False
+    return True
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scalar-trials", type=int, default=24, help="trials per scalar timing"
+    )
+    parser.add_argument(
+        "--batch-trials", type=int, default=256, help="trials per batch timing"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timings (best wins)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the randomized cells against their own floor "
+        f"({RANDOMIZED_BASELINE_PATH.name}) in addition to the "
+        "deterministic cells",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=BASELINE_PATH,
+        help="baseline JSON with the min_speedup floor "
+        f"(default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--randomized-baseline",
+        type=pathlib.Path,
+        default=RANDOMIZED_BASELINE_PATH,
+        help="baseline JSON with the randomized-cell floor "
+        f"(default: {RANDOMIZED_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="override both baseline floors (<= 0 disables the gates)",
+    )
+    args = parser.parse_args(argv)
+
+    gates = [(CELLS, args.baseline, "deterministic-cell")]
+    if args.check:
+        gates.append((RANDOMIZED_CELLS, args.randomized_baseline, "randomized-cell"))
+
+    ok = True
+    for cells, baseline, label in gates:
+        floor = args.fail_under
+        if floor is None:
+            try:
+                floor = load_floor(baseline)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"BASELINE UNREADABLE: {baseline}: {exc}", file=sys.stderr)
+                return 1
+        ok = gate_cells(cells, floor, label, args) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

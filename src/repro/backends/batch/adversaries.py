@@ -1,0 +1,258 @@
+"""Adversary replay plans: every batchable attack as timing/crash grids.
+
+Every batchable adversary draws its entire attack from
+``stream("adversary")`` at setup; the only *mid-run* behaviours are
+scripted (oblivious crash schedules) or a deterministic function of
+the step's sends (Strategy 2.k.0's survivor reaction). A plan replays
+the setup draws per trial — in the exact scalar draw order — and
+compiles the result into grids the vectorized engine consumes:
+
+- ``delta``/``d``: per-(trial, process) local-step and delivery times
+  (``tau^k`` / ``tau^(k+l)`` on the controlled group, 1 elsewhere),
+  with per-trial running maxima for the outcome's timing fields;
+- ``setup_crashes``/``omitted``: step-0 crash sets and omission masks;
+- ``schedules``/``sched_next``: the oblivious adversary's future crash
+  script plus its next-wakeup step (it must force visited steps even
+  when nothing else is pending);
+- ``survivor``/``budget_used``: Strategy 2.k.0's isolated survivor and
+  the crash budget already spent at setup, driving the per-step
+  adaptive reaction in :meth:`AdversaryPlan.after_step`;
+- ``labels``: UGF's sampled strategy per trial (``Outcome.
+  strategy_label``); None for the standalone strategies, like the
+  scalar engine's ``adversary.chosen`` probe.
+
+UGF replay follows Algorithm 1 exactly: group sample, the ``q1``
+branch draw, the fixed ``k = l = 1`` exponents (default ``kl_mode``),
+the ``q2`` branch draw, and — only for a non-empty group under
+2.k.0 — the survivor pick. Empty groups (F < 2) make every strategy
+degenerate exactly as the scalar classes do: no retimes, no survivor,
+no draws beyond the branch coins.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.backends.batch.rng import adversary_stream
+from repro.backends.batch.waves import Wave
+from repro.errors import SimulationError
+
+__all__ = ["AdversaryPlan", "build_plan"]
+
+_AWAKE, _ASLEEP, _CRASHED = 0, 1, 2
+_NEVER = 2**62
+
+_STR2 = re.compile(r"^str-2\.(\d+)\.(\d+)$")
+
+
+class AdversaryPlan:
+    """One cell's fully replayed adversary (see module docstring)."""
+
+    __slots__ = (
+        "name",
+        "f",
+        "delta",
+        "d",
+        "max_delta",
+        "max_d",
+        "setup_crashes",
+        "omitted",
+        "schedules",
+        "sched_ptr",
+        "sched_next",
+        "survivor",
+        "budget_used",
+        "labels",
+        "_has_survivor",
+    )
+
+    def __init__(self, name: str, T: int, n: int, f: int):
+        self.name = name
+        self.f = f
+        self.delta = np.ones((T, n), dtype=np.int64)
+        self.d = np.ones((T, n), dtype=np.int64)
+        self.max_delta = np.ones(T, dtype=np.int64)
+        self.max_d = np.ones(T, dtype=np.int64)
+        self.setup_crashes: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * T
+        self.omitted = np.zeros((T, n), dtype=bool)
+        self.schedules: list[list[tuple[int, list[int]]]] = [[] for _ in range(T)]
+        self.sched_ptr = np.zeros(T, dtype=np.int64)
+        self.sched_next = np.full(T, _NEVER, dtype=np.int64)
+        self.survivor = np.full(T, -1, dtype=np.int64)
+        self.budget_used = np.zeros(T, dtype=np.int64)
+        self.labels: list[str | None] = [None] * T
+        self._has_survivor = False
+
+    def seal(self) -> None:
+        """Finish construction: derive schedule heads and survivor flag."""
+        for i, entries in enumerate(self.schedules):
+            if entries:
+                self.sched_next[i] = entries[0][0]
+        self._has_survivor = bool((self.survivor >= 0).any())
+
+    # ------------------------------------------------------- mid-run hooks
+
+    def before_step(
+        self,
+        now: np.ndarray,
+        live: np.ndarray,
+        status: np.ndarray,
+        crash: Callable[[int, int], None],
+    ) -> None:
+        """Oblivious crashes scheduled for this step (no-op otherwise)."""
+        due = live & (self.sched_next == now)
+        if not due.any():
+            return
+        for i in np.flatnonzero(due):
+            _step, victims = self.schedules[i][self.sched_ptr[i]]
+            for rho in victims:
+                if status[i, rho] != _CRASHED:
+                    crash(int(i), int(rho))
+            self.sched_ptr[i] += 1
+            self.sched_next[i] = (
+                self.schedules[i][self.sched_ptr[i]][0]
+                if self.sched_ptr[i] < len(self.schedules[i])
+                else _NEVER
+            )
+
+    def after_step(
+        self,
+        wave: Wave | None,
+        status: np.ndarray,
+        crash: Callable[[int, int], None],
+    ) -> None:
+        """Strategy 2.k.0's adaptive reaction, replayed on the wave COO.
+
+        The scalar loop walks this step's sends in order, breaks when
+        the budget is exhausted, and crashes each still-correct
+        receiver of a survivor send. Wave entry order is the scalar
+        send order, and a spent budget can never re-arm, so the
+        continue-on-exhausted scan below is exactly equivalent.
+        """
+        if wave is None or not self._has_survivor:
+            return
+        hits = self.survivor[wave.ti] == wave.si
+        if not hits.any():
+            return
+        f = self.f
+        used = self.budget_used
+        for j in np.flatnonzero(hits):
+            t = int(wave.ti[j])
+            if used[t] >= f:
+                continue
+            r = int(wave.ri[j])
+            if status[t, r] != _CRASHED:
+                crash(t, r)
+                used[t] += 1
+
+
+def _apply_group_timing(
+    plan: AdversaryPlan, i: int, group: np.ndarray, tau: int, k: int, l: int | None
+) -> None:
+    """Slow the group (``delta = tau^k``; plus ``d = tau^(k+l)`` when l)."""
+    if group.size == 0:
+        return
+    delta = tau**k
+    plan.delta[i, group] = delta
+    plan.max_delta[i] = max(1, delta)
+    if l is not None:
+        d = tau ** (k + l)
+        plan.d[i, group] = d
+        plan.max_d[i] = max(1, d)
+
+
+def build_plan(
+    adversary: str, seeds: Sequence[int], n: int, f: int
+) -> AdversaryPlan:
+    """Replay each trial's setup draws; compile the cell's plan."""
+    from repro.core.strategies import sample_group
+
+    T = len(seeds)
+    plan = AdversaryPlan(adversary, T, n, f)
+
+    if adversary == "none":
+        plan.seal()
+        return plan
+
+    if adversary in ("str-1", "omission"):
+        for i, seed in enumerate(seeds):
+            rng = adversary_stream(seed)
+            group = sample_group(rng, n, f)
+            if adversary == "str-1":
+                plan.setup_crashes[i] = group
+                plan.budget_used[i] = group.size
+            else:
+                plan.omitted[i, group] = True
+        plan.seal()
+        return plan
+
+    if adversary == "oblivious":
+        from repro.core.fixed import ObliviousAdversary
+
+        horizon = ObliviousAdversary().horizon
+        for i, seed in enumerate(seeds):
+            rng = adversary_stream(seed)
+            victims = rng.choice(n, size=f, replace=False)
+            steps = rng.integers(0, horizon, size=f)
+            schedule: dict[int, list[int]] = {}
+            for rho, step in zip(victims, steps):
+                schedule.setdefault(int(step), []).append(int(rho))
+            step0 = schedule.pop(0, [])
+            plan.setup_crashes[i] = np.asarray(step0, dtype=np.int64)
+            plan.budget_used[i] = len(step0)
+            plan.schedules[i] = sorted(schedule.items())
+        plan.seal()
+        return plan
+
+    if adversary == "ugf":
+        from repro.core.ugf import UniversalGossipFighter
+
+        defaults = UniversalGossipFighter()  # q1 = 1/3, q2 = 1/2, k = l = 1
+        q1, q2 = defaults.q1, defaults.q2
+        tau = max(2, f)  # the paper's tau = F with the analysis floor of 2
+        for i, seed in enumerate(seeds):
+            rng = adversary_stream(seed)
+            group = sample_group(rng, n, f)
+            if rng.random() < q1:
+                plan.labels[i] = "str-1"
+                plan.setup_crashes[i] = group
+                plan.budget_used[i] = group.size
+            elif rng.random() < q2:
+                plan.labels[i] = "str-2.1.0"
+                if group.size:
+                    _apply_group_timing(plan, i, group, tau, 1, None)
+                    pick = int(rng.integers(group.size))
+                    plan.survivor[i] = group[pick]
+                    plan.setup_crashes[i] = group[group != group[pick]]
+                    plan.budget_used[i] = group.size - 1
+            else:
+                plan.labels[i] = "str-2.1.1"
+                _apply_group_timing(plan, i, group, tau, 1, 1)
+        plan.seal()
+        return plan
+
+    m = _STR2.match(adversary)
+    if m is not None:
+        k, l = int(m.group(1)), int(m.group(2))
+        tau = max(2, f)
+        for i, seed in enumerate(seeds):
+            rng = adversary_stream(seed)
+            group = sample_group(rng, n, f)
+            if l == 0:
+                # IsolateSurvivorStrategy: an empty group returns before
+                # retiming and before the survivor pick (no draw).
+                if group.size:
+                    _apply_group_timing(plan, i, group, tau, k, None)
+                    pick = int(rng.integers(group.size))
+                    plan.survivor[i] = group[pick]
+                    plan.setup_crashes[i] = group[group != group[pick]]
+                    plan.budget_used[i] = group.size - 1
+            else:
+                _apply_group_timing(plan, i, group, tau, k, l)
+        plan.seal()
+        return plan
+
+    raise SimulationError(f"batch backend cannot set up adversary {adversary!r}")

@@ -1,0 +1,221 @@
+"""Batch-backend eligibility: which cells vectorize, and why not.
+
+A cell is batchable when the vectorized engine can replay it
+draw-for-draw against the scalar oracle:
+
+- protocol ``flood``, ``round-robin``, ``push``, ``pull``,
+  ``push-pull``, ``ears`` or ``sears`` — the deterministic pair runs
+  on the legacy lockstep kernel; the randomized five run on the
+  generic engine with the RNG replay plane
+  (:mod:`repro.backends.batch.rng`);
+- adversary ``none``, ``str-1``, ``oblivious``, ``omission``, ``ugf``
+  or any ``str-2.<k>.<l>`` family member — their ``stream("adversary")``
+  draws are replayed at setup, their retimes (``tau^k`` local steps,
+  ``tau^(k+l)`` delays) become per-(trial, process) timing grids, and
+  Strategy 2.k.0's per-step adaptive crash loop is mirrored in
+  :mod:`repro.backends.batch.adversaries`;
+- default protocol/adversary kwargs, homogeneous environment,
+  sanitizer off (monitors attach to the scalar engine only).
+
+**Narrowest-reason discipline.** ``why_ineligible`` names the most
+specific failing condition: an unknown protocol/adversary is reported
+as such, but a *batchable* protocol with pinned kwargs reports the
+offending kwarg keys — the verdict a user can actually act on.
+
+**Memoization.** The campaign router asks for every cache-miss spec of
+a sweep; eligibility only depends on the spec's cell (protocol,
+adversary, kwargs, environment, sanitize — plus ``$REPRO_SANITIZE``
+when the spec leaves ``sanitize=None``), so verdicts are memoized per
+cell and hits are counted as ``backends.eligibility_memo_hits``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.experiments.config import TrialSpec
+
+__all__ = [
+    "BATCH_PROTOCOLS",
+    "BATCH_ADVERSARIES",
+    "why_ineligible",
+    "clear_eligibility_memo",
+    "eligibility_grid",
+    "format_grid",
+]
+
+#: Protocols with a vectorized kernel (legacy lockstep or replay-plane).
+BATCH_PROTOCOLS = (
+    "flood",
+    "round-robin",
+    "push",
+    "pull",
+    "push-pull",
+    "ears",
+    "sears",
+)
+
+#: Adversaries whose attack the batch engine replays exactly. The
+#: ``str-2.<k>.<l>`` family (any k, l) is also accepted, via the regex.
+BATCH_ADVERSARIES = ("none", "str-1", "oblivious", "omission", "ugf")
+
+_STR2 = re.compile(r"^str-2\.(\d+)\.(\d+)$")
+
+#: Memoized verdicts keyed by cell; bounded so adversarial spec streams
+#: cannot grow it without limit (a sweep has a handful of cells).
+_MEMO: dict[tuple, str | None] = {}
+_MEMO_MAX = 4096
+
+
+def _adversary_is_batchable(name: str) -> bool:
+    return name in BATCH_ADVERSARIES or _STR2.match(name) is not None
+
+
+def _derive(spec: TrialSpec) -> str | None:
+    """Compute the verdict from scratch (see module docstring for rules)."""
+    if spec.protocol not in BATCH_PROTOCOLS:
+        return (
+            f"protocol {spec.protocol!r} has no vectorized kernel "
+            f"(batchable: {', '.join(BATCH_PROTOCOLS)})"
+        )
+    if not _adversary_is_batchable(spec.adversary):
+        return (
+            f"adversary {spec.adversary!r} is not replayable by the batch "
+            f"engine (batchable: {', '.join(BATCH_ADVERSARIES)}, str-2.<k>.<l>)"
+        )
+    # Identity checks above, narrower conditions below: from here the
+    # cell *would* vectorize, so name the exact pin that stops it.
+    if spec.protocol_kwargs:
+        keys = ", ".join(k for k, _ in spec.protocol_kwargs)
+        return (
+            f"protocol kwargs ({keys}) pin parameters the "
+            f"{spec.protocol!r} kernel does not replay"
+        )
+    if spec.adversary_kwargs:
+        keys = ", ".join(k for k, _ in spec.adversary_kwargs)
+        return (
+            f"adversary kwargs ({keys}) pin parameters the "
+            f"{spec.adversary!r} replay does not model"
+        )
+    if spec.environment not in (None, "homogeneous"):
+        return (
+            f"environment {spec.environment!r} draws per-process timings "
+            "the batch timing grids do not replay"
+        )
+    from repro.check.config import resolve_config
+
+    mode = resolve_config(spec.sanitize).mode
+    if mode != "off":
+        return (
+            f"sanitizer {mode!r} attaches execution monitors only the "
+            "scalar engine carries"
+        )
+    return None
+
+
+def _cell_key(spec: TrialSpec) -> tuple:
+    # $REPRO_SANITIZE only reaches the verdict when the spec leaves
+    # sanitize=None, so it only keys the memo in that case — an env
+    # change mid-process (tests, CI) must invalidate those entries.
+    env = os.environ.get("REPRO_SANITIZE", "") if spec.sanitize is None else ""
+    return (
+        spec.protocol,
+        spec.adversary,
+        spec.protocol_kwargs,
+        spec.adversary_kwargs,
+        spec.environment,
+        spec.sanitize,
+        env,
+    )
+
+
+def why_ineligible(spec: TrialSpec, *, metrics=None) -> str | None:
+    """The reason *spec* cannot run on the batch backend (None = it can).
+
+    Must stay cheap and allocation-light: the campaign router calls it
+    for every cache-miss spec of a sweep. Verdicts are memoized per
+    cell; *metrics* (a write-only registry) counts hits as
+    ``backends.eligibility_memo_hits``.
+    """
+    try:
+        key = _cell_key(spec)
+        hit = key in _MEMO
+    except TypeError:  # unhashable kwarg values: derive without memoizing
+        return _derive(spec)
+    if hit:
+        if metrics is not None:
+            metrics.count("backends.eligibility_memo_hits")
+        return _MEMO[key]
+    reason = _derive(spec)
+    if len(_MEMO) >= _MEMO_MAX:
+        _MEMO.clear()
+    _MEMO[key] = reason
+    return reason
+
+
+def clear_eligibility_memo() -> None:
+    """Drop every memoized verdict (test isolation hook)."""
+    _MEMO.clear()
+
+
+# ---------------------------------------------------------------- the grid
+
+
+def eligibility_grid(*, n: int = 5, f: int = 2) -> list[tuple[str, str, str | None]]:
+    """Eligibility verdicts over the full protocol×adversary grid.
+
+    Returns ``(protocol, adversary, reason)`` rows — ``reason`` None
+    for batch-routed cells — probing each cell with a default spec
+    (the verdict only depends on the cell, not on N/F/seed).
+    """
+    from repro.core.registry import available_adversaries
+    from repro.protocols.registry import available_protocols
+
+    adversaries = [a for a in available_adversaries() if "<" not in a] + [
+        "str-2.1.0",
+        "str-2.1.1",
+    ]
+    rows = []
+    for protocol in available_protocols():
+        for adversary in adversaries:
+            spec = TrialSpec(protocol=protocol, adversary=adversary, n=n, f=f, seed=0)
+            rows.append((protocol, adversary, why_ineligible(spec)))
+    return rows
+
+
+def format_grid(rows: list[tuple[str, str, str | None]]) -> str:
+    """Render grid rows as the matrix ``repro-ugf backends --grid`` prints.
+
+    One line per protocol, one column per adversary, cells ``batch`` or
+    ``scalar[x]`` with a deduplicated reason legend below — the exact
+    text the committed snapshot in ``tests/backends/snapshots/`` pins.
+    """
+    protocols = list(dict.fromkeys(p for p, _, _ in rows))
+    adversaries = list(dict.fromkeys(a for _, a, _ in rows))
+    verdicts = {(p, a): reason for p, a, reason in rows}
+    reasons: dict[str, str] = {}  # reason -> footnote letter
+    for _, _, reason in rows:
+        if reason is not None and reason not in reasons:
+            reasons[reason] = chr(ord("a") + len(reasons))
+
+    name_w = max(len("protocol"), max(len(p) for p in protocols)) + 2
+    col_ws = [max(len(a), len("scalar[x]")) + 2 for a in adversaries]
+    lines = ["protocol x adversary routing (batch backend eligibility):", ""]
+    header = "protocol".ljust(name_w) + "".join(
+        a.ljust(w) for a, w in zip(adversaries, col_ws)
+    )
+    lines.append(header.rstrip())
+    for p in protocols:
+        cells = []
+        for a, w in zip(adversaries, col_ws):
+            reason = verdicts[(p, a)]
+            mark = "batch" if reason is None else f"scalar[{reasons[reason]}]"
+            cells.append(mark.ljust(w))
+        lines.append((p.ljust(name_w) + "".join(cells)).rstrip())
+    if reasons:
+        lines.append("")
+        lines.append("scalar fallback reasons:")
+        for reason, letter in reasons.items():
+            lines.append(f"  [{letter}] {reason}")
+    return "\n".join(lines) + "\n"

@@ -1,31 +1,23 @@
-"""Vectorized numpy batch backend.
+"""The deterministic (legacy) batch kernel: flood/round-robin cells.
 
-Advances hundreds of trials at once for the protocol×adversary cells
-whose dynamics are array-expressible. State lives on a (trial,
-process) grid: knowledge as packed uint8 bit-matrix stacks (trial ×
-process × rumor-bit, the :func:`~repro.protocols.bitset.packed_size`
-layout of :class:`~repro.protocols.bitset.PackedBits`), statuses and
-crashes as masks, and in-flight messages as *waves* — per-trial
-arrival-step arrays plus sender-knowledge snapshots, exploiting the
-fact that in an eligible cell every timing is the baseline
-``delta = d = 1``, so a message decided at a visited step ``t`` is
-emitted at ``t+1`` and arrives at ``t+2``, and only a handful of
-waves are ever outstanding.
+This was the whole batch backend before the randomized kernels grew
+their own engine (:mod:`repro.backends.batch.engine`). It stays as a
+dedicated fast path for the cells it covers — ``flood``/``round-robin``
+× setup-only adversaries in baseline ``delta = d = 1`` timing — because
+those cells need *no* per-step RNG replay: every trial's dynamics are
+fully determined at setup, so the loop never drops into per-process
+Python and sustains the 25–300× speedups the ≥10× floor in
+``benchmarks/baselines/BATCH_BASELINE.json`` gates.
 
-**Eligibility.** A cell is batchable when its dynamics are
-deterministic given the seed and stay in baseline lockstep timing:
-
-- protocol ``flood`` or ``round-robin`` (no per-step protocol RNG);
-- adversary ``none``, ``str-1``, ``oblivious`` or ``omission`` —
-  their entire attack is fixed at setup (group sample / crash
-  schedule) from the ``stream("adversary")`` generator, which this
-  backend replays draw-for-draw; none of them retimes;
-- homogeneous environment, sanitizer off (monitors attach to the
-  scalar engine), default protocol/adversary kwargs.
-
-Everything else — randomized protocols, adaptive strategies (UGF,
-str-2.k.0), delay retimings (str-2.k.l), jitter environments,
-sanitized runs — falls back to the scalar oracle via the router.
+State lives on a (trial, process) grid: knowledge as packed uint8
+bit-matrix stacks (trial × process × rumor-bit, the
+:func:`~repro.protocols.bitset.packed_size` layout of
+:class:`~repro.protocols.bitset.PackedBits`), statuses and crashes as
+masks, and in-flight messages as *waves* — per-trial arrival-step
+arrays plus sender-knowledge snapshots, exploiting the fact that in a
+legacy cell every timing is the baseline ``delta = d = 1``, so a
+message decided at a visited step ``t`` is emitted at ``t+1`` and
+arrives at ``t+2``, and only a handful of waves are ever outstanding.
 
 **Equivalence.** Outcomes are byte-identical at the wire level to the
 scalar oracle, including the subtle fields: ``steps_simulated``
@@ -39,64 +31,26 @@ differential battery in ``tests/backends/`` pins all of it.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
-from repro.backends.base import Backend, Eligibility
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import TrialSpec
 from repro.protocols.bitset import packed_size
 from repro.sim.outcome import Outcome
 from repro.sim.rng import RandomSource
 
-__all__ = ["BatchBackend", "BATCH_PROTOCOLS", "BATCH_ADVERSARIES"]
+__all__ = ["LEGACY_PROTOCOLS", "LEGACY_ADVERSARIES", "run_legacy_cell"]
 
-#: Protocols with seed-independent, lockstep dynamics.
-BATCH_PROTOCOLS = ("flood", "round-robin")
+#: Protocols the deterministic kernel covers (no per-step protocol RNG).
+LEGACY_PROTOCOLS = ("flood", "round-robin")
 
-#: Adversaries whose whole attack is fixed at setup and never retimes.
-BATCH_ADVERSARIES = ("none", "str-1", "oblivious", "omission")
+#: Adversaries it covers: whole attack fixed at setup, never retimes.
+LEGACY_ADVERSARIES = ("none", "str-1", "oblivious", "omission")
 
 _AWAKE, _ASLEEP, _CRASHED = 0, 1, 2
 _NEVER = 2**62
-
-
-def why_ineligible(spec: TrialSpec) -> str | None:
-    """The reason *spec* cannot run on the batch backend (None = it can).
-
-    Must stay cheap and allocation-light: the campaign router calls it
-    for every cache-miss spec of a sweep.
-    """
-    if spec.protocol not in BATCH_PROTOCOLS:
-        return (
-            f"protocol {spec.protocol!r} is not vectorized "
-            f"(batchable: {', '.join(BATCH_PROTOCOLS)})"
-        )
-    if spec.protocol_kwargs:
-        return "non-default protocol kwargs pin parameters the batch kernel does not model"
-    if spec.adversary not in BATCH_ADVERSARIES:
-        return (
-            f"adversary {spec.adversary!r} adapts or retimes mid-run "
-            f"(batchable: {', '.join(BATCH_ADVERSARIES)})"
-        )
-    if spec.adversary_kwargs:
-        return "non-default adversary kwargs pin parameters the batch kernel does not model"
-    if spec.environment not in (None, "homogeneous"):
-        return (
-            f"environment {spec.environment!r} breaks the lockstep "
-            "delta=d=1 timing the batch kernel assumes"
-        )
-    from repro.check.config import resolve_config
-
-    mode = resolve_config(spec.sanitize).mode
-    if mode != "off":
-        return (
-            f"sanitizer {mode!r} attaches execution monitors only the "
-            "scalar engine carries"
-        )
-    return None
 
 
 class _UnicastWave:
@@ -179,7 +133,7 @@ def _adversary_setup(adversary: str, seeds: Sequence[int], n: int, f: int):
     raise SimulationError(f"batch backend cannot set up adversary {adversary!r}")
 
 
-def _run_cell(spec0: TrialSpec, seeds: list[int]) -> list[Outcome]:
+def run_legacy_cell(spec0: TrialSpec, seeds: Sequence[int]) -> list[Outcome]:
     """Simulate every seed of one (protocol, adversary, N, F) cell at once."""
     protocol, adversary = spec0.protocol, spec0.adversary
     n, f, max_steps = spec0.n, spec0.f, spec0.max_steps
@@ -426,44 +380,3 @@ def _run_cell(spec0: TrialSpec, seeds: list[int]) -> list[Outcome]:
             )
         )
     return outcomes
-
-
-class BatchBackend(Backend):
-    """The vectorized engine behind ``--backend batch`` / auto routing."""
-
-    name = "batch"
-
-    def eligible(self, spec: TrialSpec) -> Eligibility:
-        reason = why_ineligible(spec)
-        return Eligibility(reason is None, reason)
-
-    def run_batch(
-        self, specs: Sequence[TrialSpec], *, metrics=None
-    ) -> list[Outcome]:
-        specs = list(specs)
-        for spec in specs:
-            reason = why_ineligible(spec)
-            if reason is not None:
-                raise SimulationError(
-                    f"spec is not batch-eligible: {reason} ({spec})"
-                )
-        t0 = time.perf_counter() if metrics is not None else 0.0
-        # Group by cell: trials of a cell differ only by seed and share
-        # every state array; distinct cells vectorize independently.
-        groups: dict[tuple, list[tuple[int, TrialSpec]]] = {}
-        for idx, spec in enumerate(specs):
-            key = (spec.protocol, spec.adversary, spec.n, spec.f, spec.max_steps)
-            groups.setdefault(key, []).append((idx, spec))
-        results: list[Outcome | None] = [None] * len(specs)
-        for members in groups.values():
-            outcomes = _run_cell(
-                members[0][1], [spec.seed for _, spec in members]
-            )
-            for (idx, _), outcome in zip(members, outcomes):
-                results[idx] = outcome
-        if metrics is not None:
-            metrics.observe_span("backend.batch.run", time.perf_counter() - t0)
-            metrics.count("backend.batch.trials", len(specs))
-            metrics.count("backend.batch.cells", len(groups))
-        assert all(o is not None for o in results)
-        return results  # type: ignore[return-value]

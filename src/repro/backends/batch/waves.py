@@ -1,0 +1,192 @@
+"""Waves: the generic engine's in-flight message store.
+
+One *wave* holds every message decided in one local-steps pass of one
+visited step, in COO form — parallel arrays of (trial, sender,
+receiver, kind, snapshot-uid) plus the per-message arrival step
+``now + delta[t, sender] + d[t, sender]`` (both timings read at
+decision time, exactly like the scalar ``_send_sink`` → ``Network.send``
+chain; for every batchable adversary they are constant after setup).
+
+Entry order within a wave is the scalar send order — trials ascending,
+then pid ascending within the step's due set, then each process's
+own send order — and waves are kept in creation (decision-step) order.
+Together that reproduces the scalar network's bucket order for any
+shared arrival step, which matters wherever delivery order is
+observable: pull-requester answer queues and Strategy 2.k.0's
+budget-bounded crash scan both walk it.
+
+The builder has two accumulation styles, and a pass must pick one:
+
+- the *block* style (``add_snap_rows`` + ``add_block``) takes whole
+  arrays — one fancy-indexed copy of every sender's knowledge row, one
+  extend of the COO columns. This is the fast path for kernels whose
+  send set is computable as arrays (push, ears, sears, flood,
+  round-robin): per-message Python overhead would otherwise dwarf the
+  actual RNG draws.
+- the *scalar* style (``snapshot`` + ``add``) appends one message at a
+  time with per-(trial, sender) snapshot deduplication — the pull
+  family needs it because its send sequence (requester answers, then
+  a pull, then possibly a push) is data-dependent per process.
+
+Payload snapshots are shared per sender within a pass: a sender's
+knowledge cannot change during the pass (merges happen at drain,
+before the kernels act), so SEARS's fanout of ``~sqrt(N) log N``
+messages per sender stores one row, mirroring the scalar
+snapshot-on-send cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KIND_GOSSIP", "KIND_RELATION", "KIND_PULL", "Wave", "WaveBuilder"]
+
+#: Payload kinds: a ``G`` snapshot (W bytes), a ``(G, I)`` snapshot
+#: (W + N*W bytes), a pull-request marker (1 byte).
+KIND_GOSSIP, KIND_RELATION, KIND_PULL = 0, 1, 2
+
+_CRASHED = 2  # mirrors the engine's status code
+
+
+class Wave:
+    """One decision step's sends, with per-message delivery tracking."""
+
+    __slots__ = ("ti", "si", "ri", "kind", "uid", "arrive", "alive", "snap_g", "snap_i")
+
+    def __init__(self, ti, si, ri, kind, uid, arrive, snap_g, snap_i):
+        self.ti = ti  # (U,) trial index
+        self.si = si  # (U,) sender pid
+        self.ri = ri  # (U,) receiver pid
+        self.kind = kind  # (U,) payload kind
+        self.uid = uid  # (U,) snapshot row (0 for pulls)
+        self.arrive = arrive  # (U,) absolute arrival step
+        self.alive = np.ones(ti.shape[0], dtype=bool)  # not yet delivered
+        self.snap_g = snap_g  # (S, W) sender G snapshots
+        self.snap_i = snap_i  # (S, N, W) sender I snapshots, or None
+
+    def accumulate_pending(self, status, inflight, cand) -> None:
+        """Fold undelivered messages into the per-trial quiescence state.
+
+        *cand* picks up every pending arrival (messages to crashed
+        receivers still force a visited step, like the scalar network's
+        arrival buckets); *inflight* counts only messages addressed to
+        correct processes (only those can keep a run alive).
+        """
+        und = self.alive
+        ti = self.ti[und]
+        if ti.size == 0:
+            return
+        arrive = self.arrive[und]
+        np.minimum.at(cand, ti, arrive)
+        to_correct = status[ti, self.ri[und]] != _CRASHED
+        if to_correct.any():
+            np.add.at(inflight, ti[to_correct], 1)
+
+
+class WaveBuilder:
+    """Collects one pass's sends; freezes them into a :class:`Wave`."""
+
+    __slots__ = ("n", "W", "relational", "ti", "si", "ri", "kind", "uid",
+                 "_chunks", "_snap_of", "_snap_rows_g", "_snap_rows_i",
+                 "_snap_blocks_g", "_snap_blocks_i", "_snap_count")
+
+    def __init__(self, n: int, W: int, relational: bool):
+        self.n = n
+        self.W = W
+        self.relational = relational
+        # scalar-style accumulation (pull family)
+        self.ti: list[int] = []
+        self.si: list[int] = []
+        self.ri: list[int] = []
+        self.kind: list[int] = []
+        self.uid: list[int] = []
+        self._snap_of: dict[tuple[int, int], int] = {}
+        self._snap_rows_g: list[np.ndarray] = []
+        self._snap_rows_i: list[np.ndarray] = []
+        # block-style accumulation (array kernels)
+        self._chunks: list[tuple] = []
+        self._snap_blocks_g: list[np.ndarray] = []
+        self._snap_blocks_i: list[np.ndarray] = []
+        self._snap_count = 0
+
+    # ---------------------------------------------------- scalar style
+
+    def snapshot(self, t: int, p: int, K: np.ndarray, I: np.ndarray | None) -> int:
+        """Snapshot row for sender (t, p), copied once per pass."""
+        key = (t, p)
+        uid = self._snap_of.get(key)
+        if uid is None:
+            uid = self._snap_count
+            self._snap_of[key] = uid
+            self._snap_count += 1
+            self._snap_rows_g.append(K[t, p].copy())
+            if self.relational:
+                self._snap_rows_i.append(I[t, p].copy())
+        return uid
+
+    def add(self, t: int, p: int, r: int, kind: int, uid: int) -> None:
+        self.ti.append(t)
+        self.si.append(p)
+        self.ri.append(r)
+        self.kind.append(kind)
+        self.uid.append(uid)
+
+    # ----------------------------------------------------- block style
+
+    def add_snap_rows(self, rows_g: np.ndarray, rows_i: np.ndarray | None) -> int:
+        """Register a (S, W) block of sender snapshots; return base uid."""
+        base = self._snap_count
+        self._snap_count += rows_g.shape[0]
+        self._snap_blocks_g.append(rows_g)
+        if self.relational:
+            self._snap_blocks_i.append(rows_i)
+        return base
+
+    def add_block(self, ti, si, ri, kind: int, uid) -> None:
+        """Append a block of messages (parallel arrays, one kind)."""
+        self._chunks.append(
+            (ti, si, ri, np.full(ti.shape[0], kind, dtype=np.int8), uid)
+        )
+
+    # ----------------------------------------------------------- build
+
+    def build(self, now: np.ndarray, delta: np.ndarray, d: np.ndarray) -> Wave | None:
+        """Freeze into a Wave (None when nothing travels this pass)."""
+        # A pass must not mix styles: chunk entries would lose their
+        # ordering relative to the scalar lists.
+        assert not (self.ti and self._chunks)
+        if self.ti:
+            ti = np.asarray(self.ti, dtype=np.int64)
+            si = np.asarray(self.si, dtype=np.int64)
+            ri = np.asarray(self.ri, dtype=np.int64)
+            kind = np.asarray(self.kind, dtype=np.int8)
+            uid = np.asarray(self.uid, dtype=np.int64)
+        elif self._chunks:
+            cols = list(zip(*self._chunks))
+            ti = np.concatenate(cols[0])
+            si = np.concatenate(cols[1])
+            ri = np.concatenate(cols[2])
+            kind = np.concatenate(cols[3])
+            uid = np.concatenate(cols[4])
+        else:
+            return None
+        arrive = now[ti] + delta[ti, si] + d[ti, si]
+        g_parts = (
+            [np.stack(self._snap_rows_g)] if self._snap_rows_g else []
+        ) + self._snap_blocks_g
+        snap_g = (
+            np.concatenate(g_parts)
+            if g_parts
+            else np.zeros((0, self.W), dtype=np.uint8)
+        )
+        snap_i = None
+        if self.relational:
+            i_parts = (
+                [np.stack(self._snap_rows_i)] if self._snap_rows_i else []
+            ) + self._snap_blocks_i
+            snap_i = (
+                np.concatenate(i_parts)
+                if i_parts
+                else np.zeros((0, self.n, self.W), dtype=np.uint8)
+            )
+        return Wave(ti, si, ri, kind, uid, arrive, snap_g, snap_i)

@@ -365,16 +365,20 @@ class Campaign:
         if mode == "scalar":
             scalar_items = pending
         else:
+            from repro.backends.batch import why_ineligible
             from repro.backends.registry import get_backend
 
             fast = get_backend("batch")
             for item in pending:
                 i, spec, _key = item
-                verdict = fast.eligible(spec)
-                if verdict:
+                # Memoized per cell: a sweep's cache misses share a
+                # handful of cells, so repeat verdicts are counted hits
+                # (backends.eligibility_memo_hits), not re-derivations.
+                reason = why_ineligible(spec, metrics=self.metrics)
+                if reason is None:
                     batch_items.append(item)
                 elif mode == "batch":
-                    error = f"batch backend ineligible — {verdict.reason}"
+                    error = f"batch backend ineligible — {reason}"
                     results[i] = TrialResult(spec=spec, outcome=None, error=error)
                     emit("failed", spec, error)
                 else:

@@ -260,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         "which backend the cell routes to and why",
     )
     p_back.add_argument(
+        "--grid",
+        action="store_true",
+        help="print the full protocol x adversary eligibility matrix "
+        "(batch-routed vs scalar-fallback cells, with reasons)",
+    )
+    p_back.add_argument(
         "--protocol",
         default=None,
         choices=available_protocols(),
@@ -283,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
     _add_cache_flags(p_fig)
     _add_campaign_flags(p_fig)
+    _add_backend_flag(p_fig)
     _add_sanitize_flag(p_fig)
     _add_metrics_flag(p_fig)
 
@@ -576,6 +583,11 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     from repro.backends import available_backends
 
     backends = available_backends()
+    if getattr(args, "grid", False):
+        from repro.backends.batch import eligibility_grid, format_grid
+
+        print(format_grid(eligibility_grid()), end="")
+        return 0
     print("registered backends (auto-routing preference order):")
     for b in backends:
         doc = (type(b).__doc__ or "").strip().splitlines()[0]

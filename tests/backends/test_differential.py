@@ -70,15 +70,18 @@ def test_some_cells_are_eligible():
         for p, a in GRID
         if BATCH.eligible(TrialSpec(protocol=p, adversary=a, n=5, f=2, seed=0))
     ]
-    assert len(eligible) >= 8
+    # 7 vectorized protocols x (8 concrete adversaries + 2 str-2 probes
+    # - 3 non-replayable) — the replay-plane engine took the grid from
+    # 8 cells to the 49 of PR 8.
+    assert len(eligible) >= 40
 
 
 @pytest.mark.parametrize("max_steps", [1, 2, 3, 5, 64, 70])
 def test_truncation_boundaries_are_wire_identical(max_steps):
     """max_steps truncation is the subtlest path: t_end freezes at the
     last *visited* step and completed stays False."""
-    for protocol in ("flood", "round-robin"):
-        for adversary in ("none", "oblivious"):
+    for protocol in ("flood", "round-robin", "push", "push-pull", "sears"):
+        for adversary in ("none", "oblivious", "ugf"):
             spec = TrialSpec(
                 protocol=protocol,
                 adversary=adversary,
@@ -140,6 +143,6 @@ def test_batch_validates_like_the_engine():
 def test_run_batch_rejects_ineligible_specs():
     from repro.errors import SimulationError
 
-    spec = TrialSpec(protocol="push", adversary="ugf", n=5, f=1, seed=0)
+    spec = TrialSpec(protocol="hedged-push-pull", adversary="ugf", n=5, f=1, seed=0)
     with pytest.raises(SimulationError, match="not batch-eligible"):
         BATCH.run_batch([spec])

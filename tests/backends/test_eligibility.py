@@ -35,16 +35,20 @@ def test_eligibility_truthiness():
     "spec,needle",
     [
         (
-            TrialSpec(protocol="push", adversary="none", n=8, f=2, seed=0),
-            "protocol 'push'",
+            TrialSpec(protocol="hedged-push-pull", adversary="none", n=8, f=2, seed=0),
+            "protocol 'hedged-push-pull'",
         ),
         (
-            TrialSpec(protocol="flood", adversary="ugf", n=8, f=2, seed=0),
-            "adversary 'ugf'",
+            TrialSpec(protocol="coordinator", adversary="ugf", n=8, f=2, seed=0),
+            "protocol 'coordinator'",
         ),
         (
-            TrialSpec(protocol="flood", adversary="str-2.1.1", n=8, f=2, seed=0),
-            "adversary 'str-2.1.1'",
+            TrialSpec(protocol="flood", adversary="informed", n=8, f=2, seed=0),
+            "adversary 'informed'",
+        ),
+        (
+            TrialSpec(protocol="flood", adversary="str-3.1", n=8, f=2, seed=0),
+            "adversary 'str-3.1'",
         ),
         (
             TrialSpec(

@@ -15,7 +15,7 @@ BATCHABLE = [
     for s in range(4)
 ]
 SCALAR_ONLY = [
-    TrialSpec(protocol="push", adversary="none", n=8, f=0, seed=s)
+    TrialSpec(protocol="hedged-push-pull", adversary="none", n=8, f=0, seed=s)
     for s in range(3)
 ]
 
@@ -43,6 +43,23 @@ def test_auto_routes_by_eligibility():
     assert counter(metrics, "campaign.backend_scalar") == 3
     # The ineligible specs fell back silently — no failures, counted.
     assert counter(metrics, "campaign.backend_fallbacks") == 3
+
+
+def test_eligibility_verdicts_are_memoized_per_cell():
+    """A sweep's cache misses share a handful of cells; only the first
+    spec of a cell derives a verdict, the rest are counted memo hits."""
+    from repro.backends.batch import clear_eligibility_memo
+
+    clear_eligibility_memo()
+    metrics = MetricsRegistry()
+    specs = [
+        TrialSpec(protocol="push", adversary="ugf", n=6, f=2, seed=s)
+        for s in range(10)
+    ]
+    with Campaign(workers=1, metrics=metrics, use_cache=False) as campaign:
+        results = campaign.run_trials(specs)
+    assert all(r.ok for r in results)
+    assert counter(metrics, "backends.eligibility_memo_hits") >= len(specs) - 1
 
 
 def test_routing_is_deterministic():

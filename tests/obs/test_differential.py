@@ -95,7 +95,17 @@ def test_campaign_modes_all_byte_identical(tmp_path):
 
 
 def test_parallel_campaign_merges_worker_registries(tmp_path):
-    specs = _sweep_specs()
+    # A scalar-only cell (no vectorized hedged-push-pull kernel): the
+    # point is that chunks run in *worker processes*, so the sweep must
+    # not route to the in-process batch backend.
+    specs = list(
+        SweepSpec(
+            protocol="hedged-push-pull",
+            adversary="ugf",
+            n_values=(12, 20),
+            seeds=(0, 1, 2),
+        ).trials()
+    )
     with Campaign(cache_dir=tmp_path, workers=2, metrics=True) as campaign:
         results = campaign.run_trials(specs)
         registry = campaign.metrics

@@ -12,13 +12,19 @@ from repro.obs import telemetry_path
 
 @pytest.fixture
 def metrics_run(tmp_path):
-    """A tiny real campaign executed with --metrics; returns its dir."""
+    """A tiny real campaign executed with --metrics; returns its dir.
+
+    Uses a scalar-only protocol (no vectorized hedged-push-pull
+    kernel): the assertions below read scalar-engine spans
+    (engine.step, engine.trials), which a batch-routed cell would not
+    emit.
+    """
     run_dir = tmp_path / "run"
     rc = main(
         [
             "sweep",
             "--protocol",
-            "push-pull",
+            "hedged-push-pull",
             "--n",
             "12",
             "--seeds",
@@ -75,11 +81,13 @@ class TestStatsCommand:
 
 class TestRunMetricsFlag:
     def test_run_metrics_prints_registry_tables(self, capsys):
+        # Scalar-only protocol: the engine.run span only exists on the
+        # scalar path, and push-pull vs ugf now routes batch.
         rc = main(
             [
                 "run",
                 "--protocol",
-                "push-pull",
+                "hedged-push-pull",
                 "--adversary",
                 "ugf",
                 "-n",

@@ -127,8 +127,15 @@ class TestReadTelemetry:
 
 class TestCampaignTelemetry:
     def test_metrics_campaign_streams_trial_phase_registry(self, tmp_path):
+        # Scalar-only cell (hedged-push-pull has no vectorized kernel):
+        # the registry assertion below reads the scalar engine's
+        # engine.trials counter, which a batch-routed sweep won't bump.
+        specs = [
+            TrialSpec(protocol="hedged-push-pull", adversary="ugf", n=16, f=4, seed=s)
+            for s in (0, 1)
+        ]
         with Campaign(cache_dir=tmp_path, workers=0, metrics=True) as campaign:
-            results = campaign.run_trials(_specs())
+            results = campaign.run_trials(specs)
         assert all(r.ok for r in results)
         records, skipped = read_telemetry(tmp_path)
         assert skipped == 0
@@ -136,7 +143,7 @@ class TestCampaignTelemetry:
         assert len(trials) == 2
         assert {t.data["status"] for t in trials} == {"executed"}
         assert all(t.data["seconds"] > 0 for t in trials)
-        assert all(t.data["protocol"] == "push-pull" for t in trials)
+        assert all(t.data["protocol"] == "hedged-push-pull" for t in trials)
         phases = records_of_kind(records, "phase")
         assert len(phases) == 1
         assert phases[0].data["trials"] == 2
