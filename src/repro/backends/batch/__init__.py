@@ -41,6 +41,7 @@ from repro.backends.batch.eligibility import (
     clear_eligibility_memo,
     eligibility_grid,
     format_grid,
+    topology_grid,
     why_ineligible,
 )
 from repro.backends.batch.engine import run_cell
@@ -61,6 +62,7 @@ __all__ = [
     "clear_eligibility_memo",
     "eligibility_grid",
     "format_grid",
+    "topology_grid",
 ]
 
 

@@ -15,7 +15,10 @@ draw-for-draw against the scalar oracle:
   Strategy 2.k.0's per-step adaptive crash loop is mirrored in
   :mod:`repro.backends.batch.adversaries`;
 - default protocol/adversary kwargs, homogeneous environment,
-  sanitizer off (monitors attach to the scalar engine only).
+  sanitizer off (monitors attach to the scalar engine only), and the
+  clique contact graph (the batch kernels' all-to-all assumption is
+  baked into their partner-draw vectorization; any non-complete
+  :mod:`repro.sim.topology` spec routes scalar).
 
 **Narrowest-reason discipline.** ``why_ineligible`` names the most
 specific failing condition: an unknown protocol/adversary is reported
@@ -24,9 +27,10 @@ offending kwarg keys — the verdict a user can actually act on.
 
 **Memoization.** The campaign router asks for every cache-miss spec of
 a sweep; eligibility only depends on the spec's cell (protocol,
-adversary, kwargs, environment, sanitize — plus ``$REPRO_SANITIZE``
-when the spec leaves ``sanitize=None``), so verdicts are memoized per
-cell and hits are counted as ``backends.eligibility_memo_hits``.
+adversary, kwargs, environment, sanitize, topology — plus
+``$REPRO_SANITIZE`` when the spec leaves ``sanitize=None``), so
+verdicts are memoized per cell and hits are counted as
+``backends.eligibility_memo_hits``.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "why_ineligible",
     "clear_eligibility_memo",
     "eligibility_grid",
+    "topology_grid",
     "format_grid",
 ]
 
@@ -70,6 +75,23 @@ _MEMO_MAX = 4096
 
 def _adversary_is_batchable(name: str) -> bool:
     return name in BATCH_ADVERSARIES or _STR2.match(name) is not None
+
+
+def _canonical_topology_or_spec(topology: "str | None") -> "str | None":
+    """Canonical non-clique topology, or None for the clique.
+
+    A *malformed* spec is returned verbatim (still non-None): the cell
+    routes scalar, where the engine raises the real
+    :class:`~repro.errors.ConfigurationError` — eligibility only
+    routes, it does not validate.
+    """
+    from repro.errors import ConfigurationError
+    from repro.sim.topology import canonical_topology
+
+    try:
+        return canonical_topology(topology)
+    except ConfigurationError:
+        return topology
 
 
 def _derive(spec: TrialSpec) -> str | None:
@@ -103,6 +125,12 @@ def _derive(spec: TrialSpec) -> str | None:
             f"environment {spec.environment!r} draws per-process timings "
             "the batch timing grids do not replay"
         )
+    topology = _canonical_topology_or_spec(spec.topology)
+    if topology is not None:
+        return (
+            f"topology {topology!r} restricts the contact graph; the "
+            "batch kernels assume the all-to-all clique"
+        )
     from repro.check.config import resolve_config
 
     mode = resolve_config(spec.sanitize).mode
@@ -126,6 +154,7 @@ def _cell_key(spec: TrialSpec) -> tuple:
         spec.adversary_kwargs,
         spec.environment,
         spec.sanitize,
+        spec.topology,
         env,
     )
 
@@ -184,12 +213,43 @@ def eligibility_grid(*, n: int = 5, f: int = 2) -> list[tuple[str, str, str | No
     return rows
 
 
-def format_grid(rows: list[tuple[str, str, str | None]]) -> str:
+#: Topology specs probed by :func:`topology_grid` — one representative
+#: per family of the :mod:`repro.sim.topology` grammar.
+TOPOLOGY_PROBES = (
+    "complete",
+    "ring:1",
+    "random-regular:3",
+    "expander",
+    "dynamic:ring:1:0.1",
+)
+
+
+def topology_grid(*, n: int = 5, f: int = 2) -> list[tuple[str, str | None]]:
+    """Routing verdicts per topology family, probed on a batchable cell.
+
+    Returns ``(topology, reason)`` rows — the cell itself (push x none)
+    vectorizes, so any non-None reason is the topology's own.
+    """
+    rows = []
+    for topology in TOPOLOGY_PROBES:
+        spec = TrialSpec(
+            protocol="push", adversary="none", n=n, f=f, seed=0, topology=topology
+        )
+        rows.append((topology, why_ineligible(spec)))
+    return rows
+
+
+def format_grid(
+    rows: list[tuple[str, str, str | None]],
+    topology_rows: "list[tuple[str, str | None]] | None" = None,
+) -> str:
     """Render grid rows as the matrix ``repro-ugf backends --grid`` prints.
 
     One line per protocol, one column per adversary, cells ``batch`` or
     ``scalar[x]`` with a deduplicated reason legend below — the exact
     text the committed snapshot in ``tests/backends/snapshots/`` pins.
+    *topology_rows* (from :func:`topology_grid`) appends a topology
+    routing section sharing the same reason legend.
     """
     protocols = list(dict.fromkeys(p for p, _, _ in rows))
     adversaries = list(dict.fromkeys(a for _, a, _ in rows))
@@ -198,6 +258,10 @@ def format_grid(rows: list[tuple[str, str, str | None]]) -> str:
     for _, _, reason in rows:
         if reason is not None and reason not in reasons:
             reasons[reason] = chr(ord("a") + len(reasons))
+    if topology_rows:
+        for _, reason in topology_rows:
+            if reason is not None and reason not in reasons:
+                reasons[reason] = chr(ord("a") + len(reasons))
 
     name_w = max(len("protocol"), max(len(p) for p in protocols)) + 2
     col_ws = [max(len(a), len("scalar[x]")) + 2 for a in adversaries]
@@ -213,6 +277,14 @@ def format_grid(rows: list[tuple[str, str, str | None]]) -> str:
             mark = "batch" if reason is None else f"scalar[{reasons[reason]}]"
             cells.append(mark.ljust(w))
         lines.append((p.ljust(name_w) + "".join(cells)).rstrip())
+    if topology_rows:
+        topo_w = max(len("topology"), max(len(t) for t, _ in topology_rows)) + 2
+        lines.append("")
+        lines.append("topology routing (probed on a batchable cell):")
+        lines.append("")
+        for topology, reason in topology_rows:
+            mark = "batch" if reason is None else f"scalar[{reasons[reason]}]"
+            lines.append((topology.ljust(topo_w) + mark).rstrip())
     if reasons:
         lines.append("")
         lines.append("scalar fallback reasons:")

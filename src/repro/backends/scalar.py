@@ -47,6 +47,7 @@ class ScalarBackend(Backend):
             environment=spec.environment,
             sanitize=spec.sanitize,
             metrics=metrics,
+            topology=spec.topology,
         )
         return sim.run()
 

@@ -41,8 +41,15 @@ def spec_fingerprint(spec: TrialSpec) -> dict[str, Any]:
 
     Also stored verbatim next to each cache entry so the JSONL store
     is auditable without re-deriving hashes.
+
+    The ``topology`` key is present only for non-clique specs:
+    ``None`` and every spelling of the complete graph canonicalise to
+    *absence*, so clique fingerprints are byte-for-byte what they were
+    before topology existed and pre-topology caches stay warm.
     """
-    return {
+    from repro.sim.topology import canonical_topology
+
+    payload = {
         "version": KEY_VERSION,
         "protocol": spec.protocol,
         "protocol_kwargs": _canonical_kwargs(spec.protocol_kwargs),
@@ -54,6 +61,10 @@ def spec_fingerprint(spec: TrialSpec) -> dict[str, Any]:
         "max_steps": spec.max_steps,
         "environment": spec.environment,
     }
+    topology = canonical_topology(getattr(spec, "topology", None))
+    if topology is not None:
+        payload["topology"] = topology
+    return payload
 
 
 def trial_key(spec: TrialSpec) -> str:

@@ -70,6 +70,7 @@ def spec_from_fingerprint(fingerprint: dict[str, Any]) -> TrialSpec:
                 (k, v) for k, v in fingerprint["adversary_kwargs"]
             ),
             environment=fingerprint.get("environment"),
+            topology=fingerprint.get("topology"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CampaignError(f"malformed spec fingerprint: {exc}") from exc

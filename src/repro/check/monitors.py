@@ -21,7 +21,10 @@ would only ever confirm the engine agrees with itself. The built-ins:
                      adversary *declares* — targets inside its controlled
                      group, values at most the declared maxima, and the
                      group no larger than ``F`` (Algorithm 1's ``|C| =
-                     floor(F/2)``)
+                     floor(F/2)``); under a non-clique contact graph
+                     (see :mod:`repro.sim.topology`) additionally every
+                     *contact* is allowed — each sent message crosses an
+                     edge the topology declares at the decision step
 ``knowledge``        knowledge sets only ever grow, every process knows its
                      own gossip, and the final rumor-gathering verdict
                      matches an independent recomputation (Definition II.1)
@@ -291,6 +294,17 @@ class LegalityMonitor(Monitor):
     (retiming values must be >= 1). Declarations are re-read at every
     retiming because some adversaries (UGF, the informed probe) commit
     to a strategy only after setup.
+
+    Under a non-clique topology the monitor additionally checks
+    *contact* legality: every sent message must cross an edge the
+    topology declares at the step the send was decided. The graph is
+    rebuilt **independently** from the spec and seed — the shadow-state
+    principle — so an engine that built (or consulted) the wrong graph
+    is caught, not echoed. The decision step is derived from the
+    message's emission stamp minus the sender's shadow ``delta_rho``:
+    retimings only ever happen in adversary hooks, never between a
+    local-step decision and its sends, so the shadow delta in force at
+    ``on_send`` time is the one the emission was stamped with.
     """
 
     name = "legality"
@@ -299,6 +313,31 @@ class LegalityMonitor(Monitor):
         self._adversary = sim.adversary
         self._f = sim.f
         self._group_checked = False
+        self._topology = None
+        self._delta = None
+        spec = getattr(sim, "topology_spec", None)
+        if spec is not None:
+            from repro.sim.rng import RandomSource
+            from repro.sim.topology import make_topology
+
+            topo = make_topology(spec)
+            topo.bind(sim.n, RandomSource(sim.seed).stream("topology"))
+            self._topology = topo
+            delta, _ = sim.timing.snapshot()
+            self._delta = [int(x) for x in delta]
+
+    def on_send(self, step: GlobalStep, msg: "Message") -> None:
+        if self._topology is None:
+            return
+        decided = msg.sent_at - self._delta[msg.sender]
+        if not self._topology.allows(msg.sender, msg.receiver, decided):
+            self.fail(
+                step,
+                f"contact {msg.sender}->{msg.receiver} decided at step "
+                f"{decided} crosses no edge declared by topology "
+                f"{self._topology.spec!r}",
+                msg.sender,
+            )
 
     def _declaration(self, step: GlobalStep):
         declare = getattr(self._adversary, "declared_controls", None)
@@ -336,6 +375,8 @@ class LegalityMonitor(Monitor):
 
     def on_retime_delta(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
         self._check(step, rho, value, "delta_rho", "max_local_step_time")
+        if self._delta is not None:
+            self._delta[rho] = value
 
     def on_retime_d(self, step: GlobalStep, rho: ProcessId, value: int) -> None:
         self._check(step, rho, value, "d_rho", "max_delivery_time")

@@ -19,6 +19,11 @@ bounds of :func:`repro.analysis.bounds.theorem1_lower_bounds`:
   strategies are components of the proof, not the theorem's subject)
   or ``F < 2`` leaves the controlled group empty; the cell is still
   reported with its bound ratios for context.
+- ``OUT-OF-MODEL`` — the cell ran on a non-clique contact graph (see
+  :mod:`repro.sim.topology`). Theorem 1 is a statement about the
+  all-to-all model; off the clique its bounds simply do not speak, so
+  a cell under them is a model mismatch, **not** a counterexample.
+  Takes precedence over every applicability classification.
 
 Cells with no completed run are classified ``no-data``.
 """
@@ -39,7 +44,11 @@ _THEOREM_ADVERSARIES = frozenset({"ugf"})
 
 @dataclass(frozen=True, slots=True)
 class CellVerdict:
-    """Classification of one aggregated ``(protocol, adversary, N, F)`` cell."""
+    """Classification of one aggregated cell.
+
+    Cells are keyed by ``(protocol, adversary, N, F, topology)``;
+    ``topology`` is None for the clique, where Theorem 1 applies.
+    """
 
     protocol: str
     adversary: str
@@ -52,6 +61,7 @@ class CellVerdict:
     time_bound: float
     message_bound: float
     verdict: str
+    topology: str | None = None
 
     @property
     def time_ratio(self) -> float:
@@ -95,13 +105,21 @@ def audit_theorem1(
     runs are excluded from the means — a truncated ``T_end`` biases the
     time branch downward, which could only produce false alarms.
     """
-    cells: dict[tuple[str, str, int, int], list[Outcome]] = {}
+    cells: dict[tuple[str, str, int, int, "str | None"], list[Outcome]] = {}
     for outcome in outcomes:
-        key = (outcome.protocol_name, outcome.adversary_name, outcome.n, outcome.f)
+        key = (
+            outcome.protocol_name,
+            outcome.adversary_name,
+            outcome.n,
+            outcome.f,
+            outcome.topology,
+        )
         cells.setdefault(key, []).append(outcome)
 
     verdicts = []
-    for (protocol, adversary, n, f), runs in sorted(cells.items()):
+    for (protocol, adversary, n, f, topology), runs in sorted(
+        cells.items(), key=lambda kv: (kv[0][:4], kv[0][4] or "")
+    ):
         done = [o for o in runs if o.completed]
         if not done:
             verdicts.append(
@@ -117,6 +135,7 @@ def audit_theorem1(
                     time_bound=0.0,
                     message_bound=0.0,
                     verdict="no-data",
+                    topology=topology,
                 )
             )
             continue
@@ -124,6 +143,15 @@ def audit_theorem1(
         mean_messages = sum(o.message_complexity() for o in done) / len(done)
         bounds = theorem1_lower_bounds(n, f, alpha=alpha, tau=tau, q1=q1, q2=q2)
         applicable = adversary in _THEOREM_ADVERSARIES and f >= 2
+        if topology is not None:
+            # The theorem's model is the clique; bounds computed for it
+            # say nothing about a restricted contact graph. Classified
+            # before (and instead of) the applicability split so a
+            # ring-topology cell under the bounds reads OUT-OF-MODEL,
+            # never a spurious VIOLATES-THEOREM-1.
+            verdict = "OUT-OF-MODEL"
+        else:
+            verdict = _classify(applicable, mean_time, mean_messages, bounds)
         verdicts.append(
             CellVerdict(
                 protocol=protocol,
@@ -136,7 +164,8 @@ def audit_theorem1(
                 mean_messages=mean_messages,
                 time_bound=bounds.time_bound,
                 message_bound=bounds.message_bound,
-                verdict=_classify(applicable, mean_time, mean_messages, bounds),
+                verdict=verdict,
+                topology=topology,
             )
         )
     return verdicts
@@ -152,6 +181,7 @@ def theorem_table(verdicts: Sequence[CellVerdict]) -> str:
             v.adversary,
             str(v.n),
             str(v.f),
+            v.topology if v.topology is not None else "-",
             str(v.completed),
             f"{v.mean_time:.4g}",
             f"{v.time_bound:.4g}",
@@ -162,7 +192,7 @@ def theorem_table(verdicts: Sequence[CellVerdict]) -> str:
         for v in verdicts
     ]
     return format_table(
-        ["protocol", "adversary", "N", "F", "runs", "mean T", "T bound",
-         "mean M", "M bound", "verdict"],
+        ["protocol", "adversary", "N", "F", "topology", "runs", "mean T",
+         "T bound", "mean M", "M bound", "verdict"],
         rows,
     )

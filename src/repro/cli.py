@@ -136,6 +136,31 @@ def _sanitize_type(spec: str) -> str:
     return spec
 
 
+def _topology_type(spec: str) -> str:
+    """Validate a --topology spec at parse time (fail before any run)."""
+    from repro.errors import ConfigurationError
+    from repro.sim.topology import canonical_topology
+
+    try:
+        canonical_topology(spec)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return spec
+
+
+def _add_topology_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        default=None,
+        type=_topology_type,
+        metavar="SPEC",
+        help="contact graph (docs/TOPOLOGY.md): 'complete' (default), "
+        "'ring[:k]', 'random-regular:d', 'expander', or "
+        "'dynamic:<base>:<rate>'; anything but the clique is outside "
+        "Theorem 1's model and checks report OUT-OF-MODEL",
+    )
+
+
 def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize",
@@ -250,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute through a shared campaign-service daemon "
         "(docs/SERVICE.md); falls back to local execution if unreachable",
     )
+    _add_topology_flag(p_run)
     _add_sanitize_flag(p_run)
     _add_metrics_flag(p_run)
     _add_backend_flag(p_run)
@@ -277,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_back.add_argument("--seed", type=int, default=0)
     p_back.add_argument("--max-steps", type=int, default=5_000_000)
     p_back.add_argument("--environment", default=None)
+    _add_topology_flag(p_back)
     _add_sanitize_flag(p_back)
 
     p_fig = sub.add_parser("figure", help="regenerate a Figure 3 panel")
@@ -287,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--csv", type=pathlib.Path, default=None, help="write CSVs here")
     p_fig.add_argument("--json", type=pathlib.Path, default=None, help="write result JSON here")
     p_fig.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    _add_topology_flag(p_fig)
     _add_cache_flags(p_fig)
     _add_campaign_flags(p_fig)
     _add_backend_flag(p_fig)
@@ -319,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="retry budget per trial under --supervise (default: 3)",
     )
+    _add_topology_flag(p_sweep)
     _add_cache_flags(p_sweep)
     _add_campaign_flags(p_sweep)
     _add_sanitize_flag(p_sweep)
@@ -543,6 +572,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         environment=args.environment,
         sanitize=_sanitize_spec(args),
+        topology=getattr(args, "topology", None),
     )
     if getattr(args, "cache_url", None) is not None:
         from repro.service import ServiceCampaign
@@ -566,6 +596,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if outcome.sanitizer is not None:
         total = outcome.sanitizer["total_violations"]
         print(f"  sanitizer: {total} violation(s) [{outcome.sanitizer['mode']}]")
+    if outcome.topology is not None:
+        from repro.check.theorem import audit_theorem1
+
+        verdict = audit_theorem1([outcome])[0]
+        print(
+            f"  topology: {outcome.topology} — theorem-1 check: {verdict.verdict}"
+        )
     if outcome.completed:
         print(f"  message complexity M(O) = {outcome.message_complexity()}")
         print(f"  time complexity    T(O) = {outcome.time_complexity():.3f}")
@@ -584,9 +621,9 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 
     backends = available_backends()
     if getattr(args, "grid", False):
-        from repro.backends.batch import eligibility_grid, format_grid
+        from repro.backends.batch import eligibility_grid, format_grid, topology_grid
 
-        print(format_grid(eligibility_grid()), end="")
+        print(format_grid(eligibility_grid(), topology_grid()), end="")
         return 0
     print("registered backends (auto-routing preference order):")
     for b in backends:
@@ -605,11 +642,13 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         environment=args.environment,
         sanitize=_sanitize_spec(args),
+        topology=getattr(args, "topology", None),
     )
     print()
     print(
         f"cell: protocol={spec.protocol} adversary={spec.adversary} "
         f"N={spec.n} F={spec.f}"
+        + (f" topology={spec.topology}" if spec.topology is not None else "")
     )
     chosen = None
     for b in backends:
@@ -628,7 +667,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     seeds = tuple(range(args.seeds)) if args.seeds is not None else None
     with _make_campaign(args) as campaign:
         result = run_figure3_panel(
-            args.panel, full=args.full or None, seeds=seeds, campaign=campaign
+            args.panel,
+            full=args.full or None,
+            seeds=seeds,
+            campaign=campaign,
+            topology=getattr(args, "topology", None),
         )
         stats = campaign.stats.summary()
     _note_telemetry(campaign)
@@ -669,6 +712,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f_of_n=args.f_fraction,
         seeds=tuple(range(args.seeds)),
         environment=args.environment,
+        topology=getattr(args, "topology", None),
     )
     supervisor = None
     with _make_campaign(args) as campaign:

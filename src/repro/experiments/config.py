@@ -45,6 +45,11 @@ class TrialSpec:
     #: identity: deliberately **excluded** from the campaign cache key,
     #: so sanitized and unsanitized runs share cached outcomes.
     sanitize: str | None = None
+    #: Contact-graph spec (None/"complete" = the legacy clique; see
+    #: :mod:`repro.sim.topology` for the grammar). Part of trial
+    #: identity, but clique specs canonicalise to None in the cache
+    #: fingerprint so pre-topology caches stay warm.
+    topology: str | None = None
 
     def with_seed(self, seed: int) -> "TrialSpec":
         return TrialSpec(
@@ -58,6 +63,7 @@ class TrialSpec:
             adversary_kwargs=self.adversary_kwargs,
             environment=self.environment,
             sanitize=self.sanitize,
+            topology=self.topology,
         )
 
 
@@ -79,6 +85,7 @@ class SweepSpec:
     adversary_kwargs: tuple[tuple[str, Any], ...] = ()
     environment: str | None = None
     sanitize: str | None = None
+    topology: str | None = None
 
     def trials(self) -> Iterator[TrialSpec]:
         """Enumerate every (N, seed) cell of the grid."""
@@ -96,6 +103,7 @@ class SweepSpec:
                     adversary_kwargs=self.adversary_kwargs,
                     environment=self.environment,
                     sanitize=self.sanitize,
+                    topology=self.topology,
                 )
 
     @property

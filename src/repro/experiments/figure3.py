@@ -94,8 +94,14 @@ def figure3_sweeps(
     n_values: tuple[int, ...] | None = None,
     seeds: tuple[int, ...] | None = None,
     f_of_n: float = F_FRACTION,
+    topology: str | None = None,
 ) -> dict[str, SweepSpec]:
-    """Sweep specs for the three curves of one panel."""
+    """Sweep specs for the three curves of one panel.
+
+    A non-None *topology* runs the panel off the clique — useful for
+    what-if comparisons, but the shape verdict is then OUT-OF-MODEL
+    (Figure 3's claims are about the all-to-all model).
+    """
     try:
         spec = PANELS[panel]
     except KeyError:
@@ -116,6 +122,7 @@ def figure3_sweeps(
             n_values=tuple(n_values),
             f_of_n=f_of_n,
             seeds=tuple(seeds),
+            topology=topology,
         )
 
     return {
@@ -146,6 +153,7 @@ def run_figure3_panel(
     f_of_n: float = F_FRACTION,
     workers: int | None = None,
     campaign=None,
+    topology: str | None = None,
 ) -> PanelResult:
     """Regenerate one Figure 3 panel (three curves).
 
@@ -157,7 +165,8 @@ def run_figure3_panel(
     from repro.campaign import Campaign
 
     sweeps = figure3_sweeps(
-        panel, full=full, n_values=n_values, seeds=seeds, f_of_n=f_of_n
+        panel, full=full, n_values=n_values, seeds=seeds, f_of_n=f_of_n,
+        topology=topology,
     )
     if campaign is None:
         with Campaign(workers=workers) as ephemeral:

@@ -84,6 +84,7 @@ def sweep_to_dict(result: SweepResult) -> dict[str, Any]:
             "protocol_kwargs": [list(kv) for kv in spec.protocol_kwargs],
             "adversary_kwargs": [list(kv) for kv in spec.adversary_kwargs],
             "environment": spec.environment,
+            "topology": spec.topology,
         },
         "points": [
             {
@@ -113,6 +114,7 @@ def sweep_from_dict(data: dict[str, Any]) -> SweepResult:
         protocol_kwargs=tuple(tuple(kv) for kv in s["protocol_kwargs"]),
         adversary_kwargs=tuple(tuple(kv) for kv in s["adversary_kwargs"]),
         environment=s.get("environment"),
+        topology=s.get("topology"),
     )
     points = tuple(
         SeriesPoint(

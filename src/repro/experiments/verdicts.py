@@ -20,6 +20,11 @@ Checks per panel kind:
   - the max-UGF curve dominates the baseline at the largest N;
   - attacked messages fit the quadratic family well (log-R² > 0.8);
   - for 3e additionally the *baseline* is quadratic (§V-B.3).
+
+A panel regenerated off the clique (any curve's sweep declares a
+non-None topology — see :mod:`repro.sim.topology`) is outside Figure
+3's model: no shape check runs and the verdict is ``OUT-OF-MODEL``
+(``passed`` is True — model mismatch is not shape mismatch).
 """
 
 from __future__ import annotations
@@ -42,12 +47,18 @@ class PanelVerdict:
     passed: bool
     checks: tuple[tuple[str, bool], ...]
     notes: tuple[str, ...] = field(default=())
+    #: True when the panel ran on a non-clique topology: the figure's
+    #: shape claims do not apply, so no check ran.
+    out_of_model: bool = False
 
     def failures(self) -> list[str]:
         return [name for name, ok in self.checks if not ok]
 
     def summary(self) -> str:
-        status = "REPRODUCED" if self.passed else "SHAPE MISMATCH"
+        if self.out_of_model:
+            status = "OUT-OF-MODEL"
+        else:
+            status = "REPRODUCED" if self.passed else "SHAPE MISMATCH"
         lines = [f"panel {self.panel} ({self.quantity}): {status}"]
         for name, ok in self.checks:
             lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
@@ -152,6 +163,27 @@ def check_panel(result: PanelResult) -> PanelVerdict:
     if baseline is None or len(baseline.points) < 3:
         raise ConfigurationError(
             "shape verdicts need a no-adversary curve with at least 3 grid points"
+        )
+    from repro.sim.topology import canonical_topology
+
+    topologies = {
+        topo
+        for curve in result.curves.values()
+        if (topo := canonical_topology(curve.spec.topology)) is not None
+    }
+    if topologies:
+        return PanelVerdict(
+            panel=result.spec.panel,
+            quantity=result.spec.quantity,
+            passed=True,
+            checks=(),
+            notes=(
+                "panel ran on topology "
+                + ", ".join(sorted(topologies))
+                + " — Figure 3's shape claims are about the clique; "
+                "nothing was checked",
+            ),
+            out_of_model=True,
         )
     if result.spec.quantity == "time":
         return _check_time(result)

@@ -98,14 +98,23 @@ class HedgedPushPull(GossipProtocol):
         if requesters:
             snap = kn.snapshot()
             for requester in requesters:
-                ctx.send(requester, snap)
+                if self.can_contact(rho, requester, ctx.now):
+                    ctx.send(requester, snap)
 
         unknown = kn.unknown_mask()
-        if bool((self._pulled[rho] | ~unknown).all()):
-            return True
+        if self.topology is None:
+            if bool((self._pulled[rho] | ~unknown).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+            push_candidates = np.flatnonzero(~self._pushed[rho])
+        else:
+            reach = self.neighbor_mask(rho, ctx.now)
+            if bool((self._pulled[rho] | ~unknown | ~reach).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho] & reach)
+            push_candidates = np.flatnonzero(~self._pushed[rho] & reach)
 
         # Hedged pull: width grows with the silent backlog.
-        candidates = np.flatnonzero(unknown & ~self._pulled[rho])
         if candidates.size:
             width = min(self._pull_width(rho, unknown), candidates.size)
             picks = self.rngs[rho].choice(candidates.size, size=width, replace=False)
@@ -114,7 +123,6 @@ class HedgedPushPull(GossipProtocol):
                 ctx.send(target, _PULL)
                 self._pulled[rho, target] = True
 
-        push_candidates = np.flatnonzero(~self._pushed[rho])
         if push_candidates.size:
             target = int(
                 push_candidates[self.rngs[rho].integers(push_candidates.size)]
@@ -122,7 +130,9 @@ class HedgedPushPull(GossipProtocol):
             ctx.send(target, kn.snapshot())
             self._pushed[rho, target] = True
 
-        return bool((self._pulled[rho] | ~unknown).all())
+        if self.topology is None:
+            return bool((self._pulled[rho] | ~unknown).all())
+        return bool((self._pulled[rho] | ~unknown | ~reach).all())
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:
         return self._knowledge[rho].to_bool()

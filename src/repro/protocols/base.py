@@ -87,8 +87,13 @@ class GossipProtocol(abc.ABC):
     #: Crash budget the system is dimensioned for; set by :meth:`bind`.
     #: (Protocols such as EARS use F in their completion timeout.)
     f: int = 0
+    #: Bound non-complete contact graph, or None for the paper's clique
+    #: (the only model Theorem 1 speaks about). Protocols branch on
+    #: ``self.topology is None`` so the clique path keeps drawing the
+    #: exact legacy RNG sequence.
+    topology = None
 
-    def bind(self, n: int, f: int, rng: np.random.Generator) -> None:
+    def bind(self, n: int, f: int, rng: np.random.Generator, topology=None) -> None:
         """Allocate per-process state for a system of *n* processes.
 
         Called exactly once by the engine before the run starts. The
@@ -108,6 +113,11 @@ class GossipProtocol(abc.ABC):
         self.n = n
         self.f = f
         self.rng = rng
+        # Canonicalise the clique to None before _allocate runs, so
+        # subclasses can size state off the topology during allocation.
+        self.topology = (
+            None if topology is None or topology.is_complete else topology
+        )
         seeds = rng.integers(0, 2**63 - 1, size=n)
         self.rngs = [np.random.default_rng(int(s)) for s in seeds]
         self._allocate()
@@ -131,25 +141,62 @@ class GossipProtocol(abc.ABC):
 
     # -- shared helpers -------------------------------------------------------
 
-    def pick_other(self, rho: ProcessId) -> ProcessId:
-        """Uniformly random process id different from *rho*.
+    def neighbors(self, rho: ProcessId, now: GlobalStep = 0) -> np.ndarray:
+        """Contactable partner ids of *rho* at global step *now*.
 
-        Drawn from *rho*'s private stream (see :meth:`bind`).
+        Under the clique this is every other process; under a bound
+        topology only the declared edges of the step-*now* graph.
         """
-        other = int(self.rngs[rho].integers(self.n - 1))
-        return other + (other >= rho)
-
-    def pick_others(self, rho: ProcessId, k: int) -> np.ndarray:
-        """*k* uniformly random ids (without replacement) excluding *rho*.
-
-        If ``k >= n - 1`` every other process is returned. Drawn from
-        *rho*'s private stream.
-        """
-        if k >= self.n - 1:
+        if self.topology is None:
             ids = np.arange(self.n)
             return ids[ids != rho]
-        picks = self.rngs[rho].choice(self.n - 1, size=k, replace=False)
-        return picks + (picks >= rho)
+        return self.topology.neighbors(rho, now)
+
+    def neighbor_mask(self, rho: ProcessId, now: GlobalStep = 0) -> np.ndarray:
+        """Boolean reachability vector over all ids (``[rho]`` False)."""
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.neighbors(rho, now)] = True
+        return mask
+
+    def can_contact(self, rho: ProcessId, other: ProcessId, now: GlobalStep = 0) -> bool:
+        """Whether *rho* may legally send to *other* at step *now*."""
+        if self.topology is None:
+            return other != rho and 0 <= other < self.n
+        return self.topology.allows(rho, other, now)
+
+    def pick_other(self, rho: ProcessId, now: GlobalStep = 0) -> "ProcessId | None":
+        """Uniformly random contactable id, or None if *rho* is isolated.
+
+        Drawn from *rho*'s private stream (see :meth:`bind`). Under the
+        clique the draw is byte-identical to the pre-topology code and
+        never None (n >= 2).
+        """
+        if self.topology is None:
+            other = int(self.rngs[rho].integers(self.n - 1))
+            return other + (other >= rho)
+        nbrs = self.topology.neighbors(rho, now)
+        if nbrs.size == 0:
+            return None
+        return int(nbrs[int(self.rngs[rho].integers(nbrs.size))])
+
+    def pick_others(self, rho: ProcessId, k: int, now: GlobalStep = 0) -> np.ndarray:
+        """*k* random contactable ids (without replacement), capped at degree.
+
+        Under the clique: the legacy behaviour — every other process
+        when ``k >= n - 1``, byte-identical draws otherwise. Under a
+        topology the candidate pool is ``neighbors(rho, now)``; fewer
+        than *k* neighbors returns them all.
+        """
+        if self.topology is None:
+            if k >= self.n - 1:
+                ids = np.arange(self.n)
+                return ids[ids != rho]
+            picks = self.rngs[rho].choice(self.n - 1, size=k, replace=False)
+            return picks + (picks >= rho)
+        nbrs = self.topology.neighbors(rho, now)
+        if k >= nbrs.size:
+            return nbrs.copy()
+        return nbrs[self.rngs[rho].choice(nbrs.size, size=k, replace=False)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, n={self.n})"

@@ -96,8 +96,10 @@ class Ears(GossipProtocol):
         if self._has_sent[rho] and quiet >= self._patience + self._give_up:
             return True
 
-        ctx.send(self.pick_other(rho), rk.snapshot())
-        self._has_sent[rho] = True
+        target = self.pick_other(rho, ctx.now)
+        if target is not None:
+            ctx.send(target, rk.snapshot())
+            self._has_sent[rho] = True
         return False
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:

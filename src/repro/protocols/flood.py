@@ -35,9 +35,14 @@ class Flood(GossipProtocol):
             kn.merge(msg.payload)
         if not self._done[rho]:
             snap = kn.snapshot()
-            for other in range(self.n):
-                if other != rho:
-                    ctx.send(other, snap)
+            if self.topology is None:
+                for other in range(self.n):
+                    if other != rho:
+                        ctx.send(other, snap)
+            else:
+                # Off the clique "everyone" means every declared edge.
+                for other in self.neighbors(rho, ctx.now):
+                    ctx.send(int(other), snap)
             self._done[rho] = True
         return True
 

@@ -55,19 +55,33 @@ class PullOnly(GossipProtocol):
         if requesters:
             snap = kn.snapshot()
             for requester in requesters:
-                ctx.send(requester, snap)
+                # Answers must also ride declared edges: under a
+                # dynamic graph the requesting edge may be gone by the
+                # time the answer goes out.
+                if self.can_contact(rho, requester, ctx.now):
+                    ctx.send(requester, snap)
 
         unknown = kn.unknown_mask()
-        if bool((self._pulled[rho] | ~unknown).all()):
-            return True
-
-        candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+        if self.topology is None:
+            if bool((self._pulled[rho] | ~unknown).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+        else:
+            # Coverage off the clique: only reachable processes can be
+            # pulled, so sleep once every unknown *reachable* process
+            # was pulled.
+            reach = self.neighbor_mask(rho, ctx.now)
+            if bool((self._pulled[rho] | ~unknown | ~reach).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho] & reach)
         if candidates.size:
             target = int(candidates[self.rngs[rho].integers(candidates.size)])
             ctx.send(target, _PULL)
             self._pulled[rho, target] = True
 
-        return bool((self._pulled[rho] | ~unknown).all())
+        if self.topology is None:
+            return bool((self._pulled[rho] | ~unknown).all())
+        return bool((self._pulled[rho] | ~unknown | ~reach).all())
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:
         return self._knowledge[rho].to_bool()

@@ -67,7 +67,9 @@ class PushOnly(GossipProtocol):
 
         if self._quiet_steps[rho] >= self._patience:
             return True
-        ctx.send(self.pick_other(rho), kn.snapshot())
+        target = self.pick_other(rho, ctx.now)
+        if target is not None:
+            ctx.send(target, kn.snapshot())
         return False
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:

@@ -77,37 +77,49 @@ class PushPull(GossipProtocol):
             else:
                 kn.merge(msg.payload)
 
-        # Answer pull requests with the post-merge knowledge.
+        # Answer pull requests with the post-merge knowledge (on a
+        # topology the answer edge must still exist at answer time).
         if requesters:
             snap = kn.snapshot()
             for requester in requesters:
-                ctx.send(requester, snap)
+                if self.can_contact(rho, requester, ctx.now):
+                    ctx.send(requester, snap)
 
         # Sleep rule: every other process was pulled or is known. A
         # process that already satisfies it only answers pull requests
         # (a woken sleeper must not resume pushing, or answer-push
         # cascades would keep the whole system busy for Theta(N^2)
-        # steps even without an adversary).
+        # steps even without an adversary). Off the clique coverage is
+        # over *reachable* processes only.
         unknown = kn.unknown_mask()
-        if bool((self._pulled[rho] | ~unknown).all()):
-            return True
+        if self.topology is None:
+            if bool((self._pulled[rho] | ~unknown).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho])
+            push_candidates = np.flatnonzero(~self._pushed[rho])
+        else:
+            reach = self.neighbor_mask(rho, ctx.now)
+            if bool((self._pulled[rho] | ~unknown | ~reach).all()):
+                return True
+            candidates = np.flatnonzero(unknown & ~self._pulled[rho] & reach)
+            push_candidates = np.flatnonzero(~self._pushed[rho] & reach)
 
         # Pull: a random not-yet-known, not-yet-pulled process.
-        candidates = np.flatnonzero(unknown & ~self._pulled[rho])
         if candidates.size:
             target = int(candidates[self.rngs[rho].integers(candidates.size)])
             ctx.send(target, _PULL)
             self._pulled[rho, target] = True
 
         # Push: all known gossips to a random process not yet given our own.
-        push_candidates = np.flatnonzero(~self._pushed[rho])
         if push_candidates.size:
             target = int(push_candidates[self.rngs[rho].integers(push_candidates.size)])
             ctx.send(target, kn.snapshot())
             self._pushed[rho, target] = True
 
         # Re-check: this step's pull may have completed the coverage.
-        return bool((self._pulled[rho] | ~unknown).all())
+        if self.topology is None:
+            return bool((self._pulled[rho] | ~unknown).all())
+        return bool((self._pulled[rho] | ~unknown | ~reach).all())
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:
         return self._knowledge[rho].to_bool()

@@ -32,6 +32,14 @@ class RoundRobin(GossipProtocol):
         n = self.n
         self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
         self._sent_count = np.zeros(n, dtype=np.int64)
+        if self.topology is None:
+            self._schedule_len = np.full(n, n - 1, dtype=np.int64)
+        else:
+            # Off the clique the fixed order walks the (bind-time)
+            # neighborhood once; degree bounds the schedule.
+            self._schedule_len = np.array(
+                [self.neighbors(rho).size for rho in range(n)], dtype=np.int64
+            )
 
     def on_local_step(self, ctx: LocalStep) -> bool:
         rho = ctx.rho
@@ -40,13 +48,27 @@ class RoundRobin(GossipProtocol):
             kn.merge(msg.payload)
 
         k = int(self._sent_count[rho])
-        if k >= self.n - 1:
+        schedule_len = int(self._schedule_len[rho])
+        if k >= schedule_len:
             # Finished its schedule; any later wake-up just re-sleeps.
             return True
-        target = (rho + 1 + k) % self.n
+        if self.topology is None:
+            target = (rho + 1 + k) % self.n
+        else:
+            # Same rotation, restricted to the current neighborhood:
+            # start just past rho in sorted id order, wrap around. A
+            # step-isolated node (possible under dynamic rewiring)
+            # skips the scheduled contact but still burns the slot, so
+            # the schedule always terminates.
+            nbrs = self.neighbors(rho, ctx.now)
+            if nbrs.size == 0:
+                self._sent_count[rho] = k + 1
+                return k + 1 >= schedule_len
+            offset = int(np.searchsorted(nbrs, rho))
+            target = int(nbrs[(offset + k) % nbrs.size])
         ctx.send(target, kn.snapshot())
         self._sent_count[rho] = k + 1
-        return k + 1 >= self.n - 1
+        return k + 1 >= schedule_len
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:
         return self._knowledge[rho].to_bool()

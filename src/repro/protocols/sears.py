@@ -99,9 +99,11 @@ class Sears(GossipProtocol):
             return True
 
         snap = rk.snapshot()
-        for target in self.pick_others(rho, self._fanout):
+        targets = self.pick_others(rho, self._fanout, ctx.now)
+        for target in targets:
             ctx.send(int(target), snap)
-        self._has_sent[rho] = True
+        if len(targets):
+            self._has_sent[rho] = True
         return False
 
     def knowledge_of(self, rho: ProcessId) -> np.ndarray:

@@ -67,7 +67,10 @@ class RecursiveDoubling(GossipProtocol):
             r = step_idx // 2
             if r < self._rounds_total:
                 target = (rho + (1 << r)) % self.n
-                if target != rho:
+                # On a topology the jump edge may simply not exist —
+                # the schedule then silently skips it (the structured
+                # foils are *supposed* to be fragile off their model).
+                if target != rho and self.can_contact(rho, target, ctx.now):
                     ctx.send(target, kn.snapshot())
         # Done one step after the last round's send; later stray
         # deliveries wake us, get merged, and we sleep again.
@@ -113,15 +116,19 @@ class Coordinator(GossipProtocol):
             if kn.gossips.is_full() or self._quiet >= self.patience:
                 snap = kn.snapshot()
                 for other in range(1, self.n):
-                    ctx.send(other, snap)
+                    if self.can_contact(rho, other, ctx.now):
+                        ctx.send(other, snap)
                 self._broadcasted = True
                 return True
             return False
 
         # Leaves: report once, then sleep; the broadcast wakes them to
-        # merge and they sleep again.
+        # merge and they sleep again. A leaf with no edge to the
+        # coordinator can never report — the single point of failure,
+        # now also a single point of (dis)connection.
         if not self._reported[rho]:
-            ctx.send(0, kn.snapshot())
+            if self.can_contact(rho, 0, ctx.now):
+                ctx.send(0, kn.snapshot())
             self._reported[rho] = True
         return True
 

@@ -149,6 +149,8 @@ def spec_to_wire(spec: TrialSpec) -> dict[str, Any]:
         wire["environment"] = spec.environment
     if spec.sanitize is not None:
         wire["sanitize"] = spec.sanitize
+    if spec.topology is not None:
+        wire["topology"] = spec.topology
     return wire
 
 
@@ -174,6 +176,7 @@ def spec_from_wire(wire: dict[str, Any]) -> TrialSpec:
             ),
             environment=wire.get("environment"),
             sanitize=wire.get("sanitize"),
+            topology=wire.get("topology"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed trial spec wire: {exc}") from exc

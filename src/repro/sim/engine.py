@@ -109,6 +109,7 @@ class Simulator:
         sanitize=None,
         max_trace_events: int | None = None,
         metrics=None,
+        topology=None,
     ) -> None:
         if n <= 1:
             raise ConfigurationError(f"an all-to-all system needs N >= 2, got N={n}")
@@ -131,6 +132,20 @@ class Simulator:
         make_environment(environment).apply(
             self.timing, self.rng_source.stream("environment")
         )
+        # Contact graph (docs/TOPOLOGY.md). The clique canonicalises
+        # to None so the legacy path stays byte-identical: no topology
+        # object is threaded anywhere, and the independent "topology"
+        # RNG stream is never even created.
+        from repro.sim.topology import make_topology
+
+        topo = make_topology(topology)
+        if topo.is_complete:
+            self.topology = None
+            self.topology_spec = None
+        else:
+            topo.bind(n, self.rng_source.stream("topology"))
+            self.topology = topo
+            self.topology_spec = topo.spec
         # The execution-model sanitizer (repro.check) plugs into the
         # kernel here; `None` resolves against REPRO_SANITIZE, so an
         # environment variable can force every simulation strict.
@@ -149,14 +164,19 @@ class Simulator:
             n, record_events=record_events, max_events=max_trace_events
         )
         self.network = Network(
-            n, self.timing, self.trace, sanitizer=self.sanitizer, metrics=self.metrics
+            n,
+            self.timing,
+            self.trace,
+            sanitizer=self.sanitizer,
+            metrics=self.metrics,
+            topology=self.topology,
         )
         self.mailboxes = [Mailbox() for _ in range(n)]
         self.runtimes = [ProcessRuntime(pid) for pid in range(n)]
         self.budget = CrashBudget(f)
 
         self.protocol = protocol
-        protocol.bind(n, f, self.rng_source.stream("protocol"))
+        protocol.bind(n, f, self.rng_source.stream("protocol"), topology=self.topology)
         self.adversary = adversary
         seeder = getattr(adversary, "seed_with", None)
         if seeder is not None:
@@ -229,7 +249,9 @@ class Simulator:
 
     def _send_sink(self, sender: ProcessId, receiver: ProcessId, payload: object) -> None:
         emission = self.clock.now + self.timing.local_step_time(sender)
-        msg = self.network.send(sender, receiver, payload, now=emission)
+        msg = self.network.send(
+            sender, receiver, payload, now=emission, decided_at=self.clock.now
+        )
         self.step_sends.append(msg)
 
     def _deposit(self, msg: Message) -> None:
@@ -437,6 +459,7 @@ class Simulator:
             wake_counts=np.array([r.wake_count for r in self.runtimes]),
             steps_simulated=self._steps_simulated,
             strategy_label=strategy_label,
+            topology=self.topology_spec,
         )
         if self.sanitizer is not None:
             report = self.sanitizer.finalize(self, outcome)
@@ -465,6 +488,7 @@ def simulate(
     sanitize=None,
     max_trace_events: int | None = None,
     metrics=None,
+    topology=None,
 ) -> SimulationReport:
     """Convenience wrapper: build a :class:`Simulator`, run it, bundle results."""
     sim = Simulator(
@@ -479,6 +503,7 @@ def simulate(
         sanitize=sanitize,
         max_trace_events=max_trace_events,
         metrics=metrics,
+        topology=topology,
     )
     outcome = sim.run()
     return SimulationReport(

@@ -1,10 +1,21 @@
-"""Fully-connected network with per-sender delivery delays.
+"""The network: per-sender delivery delays over a contact graph.
 
 Messages sent at global step ``t`` by process ``rho`` arrive at
 ``t + d_rho`` with ``d_rho`` read *at send time*: an adversary
 retiming ``d_rho`` afterwards affects only future sends, which matches
 how UGF uses delays (it configures them before the dissemination
 starts, at step 0).
+
+By default the graph is the paper's clique (``topology=None`` — the
+zero-overhead legacy path). A bound non-complete
+:class:`~repro.sim.topology.Topology` restricts delivery to declared
+edges: a send whose edge does not exist at the *decision* step (the
+local step in which the protocol chose the partner, ``decided_at``) is
+dropped omission-style — the sender paid for it (it counts toward
+``M_rho`` and the trace's omitted counter) but it never travels. The
+sanitizer's legality monitor independently flags such contacts; the
+kernel drop keeps the simulation semantics well-defined even with the
+sanitizer off.
 
 The in-flight store is a bucket dict keyed by arrival step. Arrival
 steps are bounded (``d`` is finite, Definition II.5 keeps it so), the
@@ -51,6 +62,8 @@ class Network:
         "_inflight_by_receiver",
         "_crashed",
         "_omitted",
+        "_topology",
+        "_blocked_contacts",
         "_last_delivered_step",
         "_m_sends",
         "_m_omits",
@@ -67,11 +80,16 @@ class Network:
         *,
         sanitizer=None,
         metrics=None,
+        topology=None,
     ) -> None:
         self._n = n
         self._timing = timing
         self._trace = trace
         self._sanitizer = sanitizer
+        # Non-complete contact graph, or None for the legacy clique
+        # (None keeps the hot path branch-predictable and byte-exact).
+        self._topology = topology
+        self._blocked_contacts = 0
         # Write-only observability (see repro.obs); never read here, so
         # delivery order and outcomes cannot depend on it.
         self._metrics = metrics
@@ -95,14 +113,22 @@ class Network:
     # -- sending ---------------------------------------------------------------
 
     def send(
-        self, sender: ProcessId, receiver: ProcessId, payload: object, now: GlobalStep
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: object,
+        now: GlobalStep,
+        decided_at: "GlobalStep | None" = None,
     ) -> Message:
         """Enqueue one message; returns the in-flight record.
 
         Sends to already-crashed receivers still *count* as sent
         messages (the sender paid for them — that is precisely how
         Strategy 2.k.0 inflates complexity) but are dropped at their
-        arrival step.
+        arrival step. *decided_at* is the global step at which the
+        sender's local step began (contact legality under a dynamic
+        topology is judged against the graph of the decision step,
+        not the emission step *now*); it defaults to *now*.
         """
         if not 0 <= receiver < self._n:
             raise ProtocolViolation(
@@ -120,6 +146,18 @@ class Network:
             self._sanitizer.on_send(now, msg)
         if self._metrics is not None:
             self._m_sends += 1
+        if self._topology is not None and not self._topology.allows(
+            sender, receiver, now if decided_at is None else decided_at
+        ):
+            # Out-of-topology contact: there is no edge to carry the
+            # message. Paid for (counts toward M_rho), never travels —
+            # the same books as an omission, so the delivery monitor's
+            # outstanding counts stay balanced.
+            self._blocked_contacts += 1
+            self._trace.on_omit(now, sender, receiver)
+            if self._sanitizer is not None:
+                self._sanitizer.on_omit(now, msg)
+            return msg
         if sender in self._omitted:
             # An omission adversary silenced this sender: the message
             # is paid for (it counts toward M_rho) but never travels.
@@ -200,11 +238,17 @@ class Network:
             ("network.omits", self._m_omits),
             ("network.delivered", self._m_delivered),
             ("network.dropped_to_crashed", self._m_dropped),
+            ("network.blocked_contacts", self._blocked_contacts),
         ):
             if value:
                 m.count(name, value)
         self._m_sends = self._m_omits = 0
         self._m_delivered = self._m_dropped = 0
+
+    @property
+    def blocked_contacts(self) -> int:
+        """Sends dropped because their edge did not exist (diagnostics)."""
+        return self._blocked_contacts
 
     # -- omission ---------------------------------------------------------------
 

@@ -76,6 +76,11 @@ class Outcome:
     #: Label of the strategy a mixture adversary (UGF) drew for this
     #: run, e.g. ``"str-2.1.0"``; None for single-strategy adversaries.
     strategy_label: str | None = None
+    #: Canonical contact-graph spec the run executed under (see
+    #: :mod:`repro.sim.topology`); None for the legacy clique. Carried
+    #: on the outcome so offline checkers (Theorem-1 audit) can
+    #: classify non-clique cells ``OUT-OF-MODEL`` without the spec.
+    topology: str | None = None
     #: Serialized :class:`~repro.check.violations.SanitizerReport` when
     #: the run executed under the execution-model sanitizer; None when
     #: the sanitizer was off. Instrumentation, not part of the result:
@@ -179,6 +184,7 @@ class Outcome:
             "steps_simulated": self.steps_simulated,
             "strategy_label": self.strategy_label,
             "sanitizer": self.sanitizer,
+            "topology": self.topology,
         }
 
     @classmethod
@@ -205,6 +211,7 @@ class Outcome:
             steps_simulated=int(data.get("steps_simulated", 0)),
             strategy_label=data.get("strategy_label"),
             sanitizer=data.get("sanitizer"),
+            topology=data.get("topology"),
         )
 
     def to_wire(self) -> list[Any]:
@@ -217,12 +224,17 @@ class Outcome:
         ``[pid, step, pid, step, ...]`` list. Every element is
         JSON-native, so ``json.dumps(outcome.to_wire())`` is valid and
         round-trips bit-identically (JSON turns the list into itself).
+
+        The wire is *additive*: a trailing ``topology`` element is
+        appended only for non-clique runs, so clique wires stay
+        byte-identical to every record written before topology existed
+        (the differential proof standard across backends/chaos/obs).
         """
         crash_steps: list[int] = []
         for pid in sorted(self.crash_steps):
             crash_steps.append(int(pid))
             crash_steps.append(int(self.crash_steps[pid]))
-        return [
+        wire = [
             WIRE_VERSION,
             self.n,
             self.f,
@@ -245,6 +257,9 @@ class Outcome:
             self.strategy_label,
             self.sanitizer,
         ]
+        if self.topology is not None:
+            wire.append(self.topology)
+        return wire
 
     @classmethod
     def from_wire(cls, wire: "list[Any] | tuple[Any, ...]") -> "Outcome":
@@ -282,7 +297,8 @@ class Outcome:
             steps_simulated,
             strategy_label,
             sanitizer,
-        ) = wire
+        ) = wire[:21]
+        topology = wire[21] if len(wire) > 21 else None
         return cls(
             n=int(n),
             f=int(f),
@@ -307,4 +323,5 @@ class Outcome:
             steps_simulated=int(steps_simulated),
             strategy_label=strategy_label,
             sanitizer=sanitizer,
+            topology=topology,
         )

@@ -1,0 +1,430 @@
+"""Network topologies: the contact graph as a first-class spec axis.
+
+The paper's model (and historically this kernel) assumes the complete
+graph — any process may contact any other. ROADMAP item 3 asks what
+happens to UGF's Theorem-1 dichotomy *off* the clique, following
+*Information Spreading in Dynamic Networks under Oblivious Adversaries*
+(arXiv:1607.05645) and the conductance-free rumor spreading of
+Censor-Hillel et al. (arXiv:1104.2944). This module supplies the graph
+families; the engine, network, protocols, sanitizer and checkers thread
+them end to end.
+
+**Spec grammar** (``TrialSpec.topology`` / ``--topology``):
+
+=============================  =============================================
+``complete`` (or ``None``)     the legacy clique — byte-identical to a run
+                               with no topology at all, and deliberately
+                               *omitted* from content-address fingerprints
+                               so existing caches stay warm
+``ring`` / ``ring:<k>``        circulant ring, each process linked to its
+                               ``k`` nearest neighbours per side (default
+                               ``k=1``); a ``k`` large enough to cover
+                               everyone degrades gracefully to the clique
+                               *family-wise* but keeps its own spec string
+``random-regular:<d>``         a uniformly sampled simple ``d``-regular
+                               graph (pairing model with rejection), drawn
+                               from the trial's independent ``"topology"``
+                               RNG stream — deterministic per seed
+``expander``                   a deterministic chordal circulant (Margulis
+                               style power-of-two chords): node ``i`` links
+                               to ``i +- 2^j mod N`` for every ``2^j <=
+                               N/2`` — degree ``Theta(log N)``, connected,
+                               constant-ish expansion, no randomness
+``dynamic:<base>:<rate>``      adversarial per-step rewiring of a static
+                               base graph: at every global step each base
+                               edge is independently rewired with
+                               probability ``rate`` under an *oblivious*
+                               schedule — a pure function of (topology
+                               seed, step), fixed before the execution and
+                               independent of it, exactly the adversary
+                               class of arXiv:1607.05645
+=============================  =============================================
+
+**Determinism and fast-forward safety.** Static graphs are built once
+at bind time. Dynamic graphs derive the step-``t`` graph from
+``SeedSequence((topology_seed, t))`` — *not* from cumulative mutation —
+so the graph at any step is computable without visiting the steps
+before it. The engine fast-forwards over uninteresting steps; a
+cumulative schedule would silently depend on which steps were
+simulated.
+
+**Contact legality.** A contact ``rho -> sigma`` decided at local step
+``t`` is legal iff ``{rho, sigma}`` is an edge of the step-``t`` graph.
+The network drops illegal sends omission-style (paid for, never
+travels), and the sanitizer's legality monitor independently rebuilds
+the graph from the spec + seed to flag them (docs/TOPOLOGY.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import GlobalStep, ProcessId
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Topology",
+    "CompleteTopology",
+    "RingTopology",
+    "RandomRegularTopology",
+    "ExpanderTopology",
+    "DynamicTopology",
+    "make_topology",
+    "canonical_topology",
+]
+
+
+class Topology:
+    """Base class: a (possibly step-varying) undirected contact graph.
+
+    Instances are built unconfigured by :func:`make_topology` and sized
+    by :meth:`bind` exactly once, mirroring how protocols and
+    environments receive their RNG stream from the engine. All graphs
+    are undirected and self-loop free: ``allows`` is symmetric and
+    ``allows(rho, rho)`` is always False.
+    """
+
+    #: Canonical spec string (stable across equivalent spellings; what
+    #: fingerprints, outcomes and monitors carry).
+    spec: str = "abstract"
+
+    #: True only for the clique — the legacy model. Complete topologies
+    #: canonicalise to ``None`` everywhere identity matters, so clique
+    #: runs stay byte-identical and identically keyed.
+    is_complete: bool = False
+
+    #: Number of processes; set by :meth:`bind`.
+    n: int = 0
+
+    def bind(self, n: int, rng: np.random.Generator) -> None:
+        """Size the graph for *n* processes; *rng* is the independent
+        ``"topology"`` stream of the trial (unused by deterministic
+        families, consumed by random-regular and the dynamic wrapper).
+        """
+        if n <= 1:
+            raise ConfigurationError(f"a topology needs N >= 2, got N={n}")
+        self.n = n
+        self._build(rng)
+
+    def _build(self, rng: np.random.Generator) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def neighbors(self, rho: ProcessId, step: GlobalStep = 0) -> np.ndarray:
+        """Sorted ids adjacent to *rho* in the step-*step* graph."""
+        raise NotImplementedError  # pragma: no cover
+
+    def allows(self, sender: ProcessId, receiver: ProcessId, step: GlobalStep = 0) -> bool:
+        """Whether ``{sender, receiver}`` is an edge at *step*."""
+        raise NotImplementedError  # pragma: no cover
+
+    def degree(self, rho: ProcessId, step: GlobalStep = 0) -> int:
+        return int(self.neighbors(rho, step).size)
+
+    def edges(self, step: GlobalStep = 0) -> list[tuple[int, int]]:
+        """The edge set as sorted ``(u, v)`` pairs with ``u < v``."""
+        out: list[tuple[int, int]] = []
+        for u in range(self.n):
+            for v in self.neighbors(u, step):
+                if int(v) > u:
+                    out.append((u, int(v)))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(spec={self.spec!r}, n={self.n})"
+
+
+class CompleteTopology(Topology):
+    """The legacy clique: everyone may contact everyone."""
+
+    spec = "complete"
+    is_complete = True
+
+    def _build(self, rng: np.random.Generator) -> None:
+        return  # nothing to construct
+
+    def neighbors(self, rho: ProcessId, step: GlobalStep = 0) -> np.ndarray:
+        ids = np.arange(self.n)
+        return ids[ids != rho]
+
+    def allows(self, sender: ProcessId, receiver: ProcessId, step: GlobalStep = 0) -> bool:
+        return sender != receiver and 0 <= receiver < self.n
+
+
+class _StaticTopology(Topology):
+    """Shared machinery: a fixed graph held as adjacency matrix + lists."""
+
+    def _offsets_to_graph(self, offsets: "set[int]") -> None:
+        """Build a circulant graph: ``i ~ (i + o) mod n`` per offset."""
+        n = self.n
+        adj = np.zeros((n, n), dtype=bool)
+        ids = np.arange(n)
+        for off in offsets:
+            adj[ids, (ids + off) % n] = True
+            adj[(ids + off) % n, ids] = True
+        np.fill_diagonal(adj, False)
+        self._set_adjacency(adj)
+
+    def _set_adjacency(self, adj: np.ndarray) -> None:
+        self._adj = adj
+        self._nbrs = [np.flatnonzero(adj[u]) for u in range(self.n)]
+
+    def neighbors(self, rho: ProcessId, step: GlobalStep = 0) -> np.ndarray:
+        return self._nbrs[rho]
+
+    def allows(self, sender: ProcessId, receiver: ProcessId, step: GlobalStep = 0) -> bool:
+        return bool(self._adj[sender, receiver])
+
+
+class RingTopology(_StaticTopology):
+    """Circulant ring: each process linked to its *k* nearest per side."""
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ConfigurationError(f"ring width must be >= 1, got k={k}")
+        self.k = k
+        self.spec = f"ring:{k}"
+
+    def _build(self, rng: np.random.Generator) -> None:
+        # Offsets beyond (n-1)//2 wrap onto already-present edges; the
+        # set construction makes an oversized k (e.g. ring:32 at N=8)
+        # degrade gracefully to the clique's edge set.
+        self._offsets_to_graph({j for j in range(1, self.k + 1) if j % self.n != 0})
+
+
+class RandomRegularTopology(_StaticTopology):
+    """A uniformly sampled simple *d*-regular graph (pairing model)."""
+
+    #: Rejection attempts before giving up; the simple-graph acceptance
+    #: probability is ~exp(-(d^2-1)/4), so hundreds of tries cover
+    #: every reasonable degree.
+    MAX_ATTEMPTS = 500
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise ConfigurationError(f"regular degree must be >= 1, got d={d}")
+        self.d = d
+        self.spec = f"random-regular:{d}"
+
+    def _build(self, rng: np.random.Generator) -> None:
+        n, d = self.n, self.d
+        if d >= n:
+            raise ConfigurationError(
+                f"random-regular degree d={d} needs N > d, got N={n}"
+            )
+        if (n * d) % 2:
+            raise ConfigurationError(
+                f"random-regular needs N*d even, got N={n}, d={d}"
+            )
+        for _ in range(self.MAX_ATTEMPTS):
+            stubs = np.repeat(np.arange(n), d)
+            rng.shuffle(stubs)
+            pairs = stubs.reshape(-1, 2)
+            if (pairs[:, 0] == pairs[:, 1]).any():
+                continue  # self-loop: reject, redraw
+            lo = np.minimum(pairs[:, 0], pairs[:, 1])
+            hi = np.maximum(pairs[:, 0], pairs[:, 1])
+            keys = lo * n + hi
+            if np.unique(keys).size != keys.size:
+                continue  # duplicate edge: reject, redraw
+            adj = np.zeros((n, n), dtype=bool)
+            adj[pairs[:, 0], pairs[:, 1]] = True
+            adj[pairs[:, 1], pairs[:, 0]] = True
+            self._set_adjacency(adj)
+            return
+        raise ConfigurationError(
+            f"could not sample a simple {d}-regular graph on N={n} nodes "
+            f"in {self.MAX_ATTEMPTS} pairing attempts"
+        )
+
+
+class ExpanderTopology(_StaticTopology):
+    """Deterministic chordal circulant with power-of-two chords.
+
+    Node ``i`` links to ``i +- 2^j mod N`` for every ``2^j <= N/2`` —
+    the Margulis-style chord pattern of recursive-doubling networks.
+    Connected for every N >= 2, degree ``Theta(log N)``, and entirely
+    deterministic (the ``"topology"`` RNG stream is untouched, so two
+    seeds share the exact same graph).
+    """
+
+    spec = "expander"
+
+    def _build(self, rng: np.random.Generator) -> None:
+        offsets = {1}
+        j = 2
+        while j <= self.n // 2:
+            offsets.add(j)
+            j *= 2
+        self._offsets_to_graph(offsets)
+
+
+class DynamicTopology(Topology):
+    """Oblivious per-step rewiring of a static base graph.
+
+    The step-``t`` graph starts from the *base* edge set; each base
+    edge is independently selected with probability ``rate`` and, if
+    selected, re-plugged: one endpoint (a fair coin) keeps the edge and
+    the other end is redrawn uniformly. A redraw that collides (self
+    edge, or an edge already present) leaves the original edge in
+    place, keeping the schedule total without retry loops.
+
+    All draws come from ``SeedSequence((topology_seed, t))``, where the
+    topology seed itself is drawn once at bind time from the trial's
+    ``"topology"`` stream. The schedule is therefore *oblivious* — a
+    pure function of (seed, step), fixed before the run and unable to
+    react to it — and fast-forward safe: the graph at any step is
+    computable without materialising the steps in between.
+    """
+
+    #: Per-instance cache of step graphs. Bounded: graphs are pure
+    #: functions of the step, so eviction only costs recomputation.
+    CACHE_MAX = 64
+
+    def __init__(self, base: Topology, rate: float) -> None:
+        if base.is_complete:
+            raise ConfigurationError(
+                "dynamic rewiring needs a non-complete base topology "
+                "(the clique has no edge to rewire)"
+            )
+        if isinstance(base, DynamicTopology):
+            raise ConfigurationError("dynamic topologies do not nest")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"rewire rate must be in [0, 1], got {rate}"
+            )
+        self.base = base
+        self.rate = float(rate)
+        self.spec = f"dynamic:{base.spec}:{format(self.rate, 'g')}"
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self.base.bind(self.n, rng)
+        # One seed for the whole oblivious schedule, drawn after the
+        # base consumed its own share of the stream.
+        self._schedule_seed = int(rng.integers(0, 2**63 - 1))
+        base_adj = np.zeros((self.n, self.n), dtype=bool)
+        for u, v in self.base.edges():
+            base_adj[u, v] = base_adj[v, u] = True
+        self._base_adj = base_adj
+        self._base_edges = np.array(self.base.edges(), dtype=np.int64).reshape(-1, 2)
+        self._base_nbrs = [np.flatnonzero(base_adj[u]) for u in range(self.n)]
+        self._cache: dict[int, tuple[np.ndarray, list[np.ndarray]]] = {}
+
+    def _graph(self, step: GlobalStep) -> tuple[np.ndarray, list[np.ndarray]]:
+        key = int(step)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        graph = self._rewire(key)
+        if len(self._cache) >= self.CACHE_MAX:
+            self._cache.clear()
+        self._cache[key] = graph
+        return graph
+
+    def _rewire(self, step: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        edges = self._base_edges
+        if self.rate == 0.0 or edges.shape[0] == 0:
+            return self._base_adj, self._base_nbrs
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self._schedule_seed, step))
+        )
+        hit = rng.random(edges.shape[0]) < self.rate
+        adj = self._base_adj.copy()
+        n = self.n
+        for i in np.flatnonzero(hit):
+            u, v = int(edges[i, 0]), int(edges[i, 1])
+            keep = u if rng.random() < 0.5 else v
+            adj[u, v] = adj[v, u] = False
+            w = int(rng.integers(n))
+            if w != keep and not adj[keep, w]:
+                adj[keep, w] = adj[w, keep] = True
+            else:
+                adj[u, v] = adj[v, u] = True  # collision: edge survives
+        return adj, [np.flatnonzero(adj[u]) for u in range(n)]
+
+    def neighbors(self, rho: ProcessId, step: GlobalStep = 0) -> np.ndarray:
+        return self._graph(step)[1][rho]
+
+    def allows(self, sender: ProcessId, receiver: ProcessId, step: GlobalStep = 0) -> bool:
+        return bool(self._graph(step)[0][sender, receiver])
+
+
+# ------------------------------------------------------------------ factories
+
+
+def _parse_static(spec: str) -> Topology:
+    if spec == "complete":
+        return CompleteTopology()
+    if spec == "ring":
+        return RingTopology(1)
+    if spec.startswith("ring:"):
+        try:
+            return RingTopology(int(spec.split(":", 1)[1]))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad ring spec {spec!r}; expected 'ring[:<k>]'"
+            ) from exc
+    if spec.startswith("random-regular:"):
+        try:
+            return RandomRegularTopology(int(spec.split(":", 1)[1]))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad random-regular spec {spec!r}; expected 'random-regular:<d>'"
+            ) from exc
+    if spec == "random-regular":
+        raise ConfigurationError(
+            "random-regular needs an explicit degree: 'random-regular:<d>'"
+        )
+    if spec == "expander":
+        return ExpanderTopology()
+    raise ConfigurationError(
+        f"unknown topology spec {spec!r}; expected 'complete', 'ring[:<k>]', "
+        "'random-regular:<d>', 'expander' or 'dynamic:<base>:<rate>'"
+    )
+
+
+def make_topology(spec: "str | Topology | None") -> Topology:
+    """Resolve a topology from a spec string (see the module grammar).
+
+    Accepts a live :class:`Topology` (returned as-is), ``None`` /
+    ``"complete"`` for the legacy clique, or one of the grammar's
+    strings. Raises :class:`~repro.errors.ConfigurationError` on
+    malformed specs — validation happens here, before any run starts.
+    """
+    if spec is None:
+        return CompleteTopology()
+    if isinstance(spec, Topology):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"topology spec must be a string or Topology, got {type(spec).__name__}"
+        )
+    if spec.startswith("dynamic:"):
+        rest = spec[len("dynamic:"):]
+        base_spec, sep, rate_text = rest.rpartition(":")
+        if not sep or not base_spec:
+            raise ConfigurationError(
+                f"bad dynamic spec {spec!r}; expected 'dynamic:<base>:<rate>'"
+            )
+        try:
+            rate = float(rate_text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad dynamic rewire rate in {spec!r}: {rate_text!r}"
+            ) from exc
+        return DynamicTopology(_parse_static(base_spec), rate)
+    return _parse_static(spec)
+
+
+def canonical_topology(spec: "str | Topology | None") -> "str | None":
+    """Canonical spec string, or None for the clique.
+
+    This is the identity function that keeps caches warm: ``None`` and
+    every spelling of the complete graph collapse to ``None``, so
+    clique trial fingerprints are byte-for-byte what they were before
+    topology existed. Non-clique specs normalise to one spelling
+    (``"ring"`` -> ``"ring:1"``) so equivalent specs share cache keys.
+    """
+    if spec is None:
+        return None
+    topo = make_topology(spec)
+    return None if topo.is_complete else topo.spec

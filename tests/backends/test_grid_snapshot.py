@@ -19,6 +19,7 @@ from repro.backends.batch import (
     clear_eligibility_memo,
     eligibility_grid,
     format_grid,
+    topology_grid,
 )
 
 SNAPSHOT = Path(__file__).parent / "snapshots" / "backends_grid.txt"
@@ -33,7 +34,7 @@ def _default_environment(monkeypatch):
 
 
 def test_grid_matches_committed_snapshot():
-    assert format_grid(eligibility_grid()) == SNAPSHOT.read_text()
+    assert format_grid(eligibility_grid(), topology_grid()) == SNAPSHOT.read_text()
 
 
 def test_cli_grid_prints_the_snapshot(capsys):
@@ -53,3 +54,13 @@ def test_grid_covers_the_full_registries():
     assert protocols == set(available_protocols())
     concrete = {a for a in available_adversaries() if "<" not in a}
     assert adversaries == concrete | {"str-2.1.0", "str-2.1.1"}
+
+
+def test_topology_grid_declines_every_non_clique_family():
+    rows = dict(topology_grid())
+    assert rows.pop("complete") is None
+    assert rows  # at least one non-clique probe per family
+    for topology, reason in rows.items():
+        assert reason is not None, topology
+        assert topology in reason
+        assert "clique" in reason

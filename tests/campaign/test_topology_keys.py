@@ -1,0 +1,118 @@
+"""Cache-compat differential: the clique is invisible to trial identity.
+
+PR-9 made topology a spec axis. The backward-compatibility contract is
+exact: a clique spec — ``topology=None`` or any spelling of the
+complete graph — must hash to the *byte-for-byte* pre-topology content
+address (key the warm caches were written under), and its outcome wire
+must be byte-identical to one produced by a build that never heard of
+topology. Non-clique specs get their own keys and carry their spec on
+the wire. This file pins all of it, including the manual legacy-hash
+recomputation that would catch a fingerprint-shape regression even if
+``spec_fingerprint`` and ``trial_key`` drifted together.
+"""
+
+import hashlib
+import json
+
+from repro.campaign.keys import spec_fingerprint, trial_key
+from repro.experiments.config import TrialSpec
+from repro.experiments.runner import run_trial
+from repro.service.protocol import spec_from_wire, spec_to_wire
+
+
+def spec(**overrides) -> TrialSpec:
+    base = dict(protocol="flood", adversary="ugf", n=10, f=3, seed=0)
+    base.update(overrides)
+    return TrialSpec(**base)
+
+
+# -- content addresses ---------------------------------------------------------
+
+
+def test_clique_spellings_share_the_legacy_key():
+    assert (
+        trial_key(spec())
+        == trial_key(spec(topology=None))
+        == trial_key(spec(topology="complete"))
+    )
+
+
+def test_clique_key_is_byte_identical_to_the_pre_topology_hash():
+    # Recompute the legacy address by hand: the exact payload shape
+    # trial_key hashed before the topology field existed.
+    legacy_payload = {
+        "version": 1,
+        "protocol": "flood",
+        "protocol_kwargs": [],
+        "adversary": "ugf",
+        "adversary_kwargs": [],
+        "n": 10,
+        "f": 3,
+        "seed": 0,
+        "max_steps": spec().max_steps,
+        "environment": None,
+    }
+    text = json.dumps(legacy_payload, sort_keys=True, separators=(",", ":"))
+    legacy_key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    assert trial_key(spec(topology="complete")) == legacy_key
+
+
+def test_clique_fingerprint_has_no_topology_field():
+    assert "topology" not in spec_fingerprint(spec())
+    assert "topology" not in spec_fingerprint(spec(topology="complete"))
+
+
+def test_non_clique_fingerprint_carries_the_canonical_spec():
+    assert spec_fingerprint(spec(topology="ring:2"))["topology"] == "ring:2"
+    # Equivalent spellings normalise to one key.
+    assert trial_key(spec(topology="ring")) == trial_key(spec(topology="ring:1"))
+
+
+def test_topology_splits_the_cache_key():
+    base = trial_key(spec())
+    assert trial_key(spec(topology="ring:1")) != base
+    assert trial_key(spec(topology="ring:2")) != trial_key(spec(topology="ring:1"))
+
+
+# -- outcome wires -------------------------------------------------------------
+
+
+def test_complete_topology_run_wires_byte_identical_to_none():
+    plain = run_trial(spec()).to_wire()
+    spelled = run_trial(spec(topology="complete")).to_wire()
+    assert json.dumps(plain) == json.dumps(spelled)
+    assert len(plain) == 21  # the legacy wire layout, no 22nd element
+
+
+def test_ring_run_wire_carries_the_topology_element():
+    wire = run_trial(spec(topology="ring:2", n=8, f=2)).to_wire()
+    assert len(wire) == 22 and wire[21] == "ring:2"
+
+
+# -- spec serialisation round-trips --------------------------------------------
+
+
+def test_service_wire_roundtrip_preserves_topology():
+    s = spec(topology="ring:2")
+    assert spec_from_wire(spec_to_wire(s)) == s
+    # Clique specs omit the field entirely (old servers keep working).
+    assert "topology" not in spec_to_wire(spec())
+    assert spec_from_wire(spec_to_wire(spec())).topology is None
+
+
+def test_sweep_serialisation_roundtrips_topology():
+    from repro.experiments.config import SweepSpec
+    from repro.experiments.runner import run_sweep
+    from repro.experiments.serialization import dumps, loads
+
+    sweep = SweepSpec(
+        protocol="flood",
+        adversary="none",
+        n_values=(8,),
+        seeds=(0, 1),
+        topology="ring:2",
+    )
+    assert all(t.topology == "ring:2" for t in sweep.trials())
+    result = run_sweep(sweep)
+    again = loads(dumps(result))
+    assert again.spec.topology == "ring:2"

@@ -1,0 +1,198 @@
+"""Topology-aware contact legality and the OUT-OF-MODEL verdict.
+
+The legality monitor rebuilds the trial's contact graph independently
+(spec + seed, never trusting the kernel's copy) and flags every send
+whose decision-step contact crosses no declared edge. This file proves
+both directions:
+
+- **positive**: every registry protocol runs clean under ``strict``
+  sanitizing on rings, random-regular graphs and dynamic rewirings;
+- **negative**: a deliberately cheating protocol that ignores its
+  topology is caught — ``strict`` raises at the offending step,
+  ``warn`` completes and files the violation in the outcome report;
+- **verdicts**: off-clique outcomes classify as ``OUT-OF-MODEL``
+  (Theorem 1 speaks only about the clique), never as a spurious
+  ``VIOLATES-THEOREM-1`` — including on the cache-audit replay path,
+  which is where PR-9's bugfix regression lives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.campaign import Campaign
+from repro.check.audit import audit_cache
+from repro.check.theorem import audit_theorem1, theorem_table
+from repro.core.registry import make_adversary
+from repro.errors import SanitizerViolation
+from repro.experiments.config import TrialSpec
+from repro.protocols.base import GossipProtocol, LocalStep
+from repro.protocols.knowledge import GossipKnowledge
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.sim.engine import simulate
+
+TOPOLOGIES = ["ring:2", "random-regular:4", "dynamic:ring:2:0.2"]
+
+
+class TopologyCheater(GossipProtocol):
+    """Negative fixture: pushes to ``rho + 2`` regardless of topology.
+
+    Under ``ring:1`` the offset-2 contact crosses no declared edge, so
+    every send (after the first wave) is a legality violation. The
+    protocol still terminates: it sleeps after a fixed send budget.
+    """
+
+    name = "topology-cheater"
+    guarantees_gathering = False
+
+    def _allocate(self) -> None:
+        n = self.n
+        self._knowledge = [GossipKnowledge(n, rho) for rho in range(n)]
+        self._sent = np.zeros(n, dtype=np.int64)
+
+    def on_local_step(self, ctx: LocalStep) -> bool:
+        rho = ctx.rho
+        kn = self._knowledge[rho]
+        for msg in ctx.inbox:
+            kn.merge(msg.payload)
+        if self._sent[rho] >= 3:
+            return True
+        self._sent[rho] += 1
+        ctx.send((rho + 2) % self.n, kn.snapshot())  # ignores self.topology
+        return False
+
+    def knowledge_of(self, rho):
+        return self._knowledge[rho].to_bool()
+
+
+def test_strict_mode_raises_on_an_undeclared_contact():
+    with pytest.raises(SanitizerViolation, match="crosses no edge"):
+        simulate(
+            TopologyCheater(),
+            make_adversary("none"),
+            n=10,
+            f=2,
+            seed=0,
+            topology="ring:1",
+            sanitize="strict",
+            max_steps=10_000,
+        )
+
+
+def test_warn_mode_completes_and_files_the_violations():
+    with pytest.warns(RuntimeWarning, match="violation"):
+        rep = simulate(
+            TopologyCheater(),
+            make_adversary("none"),
+            n=10,
+            f=2,
+            seed=0,
+            topology="ring:1",
+            sanitize="warn",
+            max_steps=10_000,
+        )
+    report = rep.outcome.sanitizer
+    assert report is not None and report["total_violations"] > 0
+    recorded = [v for v in report["violations"] if "crosses no edge" in v["message"]]
+    assert recorded, report["violations"]
+    assert all(v["monitor"] == "legality" for v in recorded)
+
+
+def test_cheater_is_legal_on_the_clique():
+    # The same sends are fine when every contact is declared: the
+    # negative fixture isolates the *topology* check, not send hygiene.
+    rep = simulate(
+        TopologyCheater(),
+        make_adversary("none"),
+        n=10,
+        f=2,
+        seed=0,
+        sanitize="strict",
+        max_steps=10_000,
+    )
+    assert rep.outcome.sanitizer["total_violations"] == 0
+
+
+@pytest.mark.parametrize("spec", TOPOLOGIES)
+@pytest.mark.parametrize("proto", sorted(available_protocols()))
+def test_every_protocol_runs_strict_clean_off_the_clique(proto, spec):
+    rep = simulate(
+        make_protocol(proto),
+        make_adversary("ugf"),
+        n=10,
+        f=3,
+        seed=5,
+        topology=spec,
+        sanitize="strict",
+        max_steps=200_000,
+    )
+    assert rep.outcome.sanitizer["total_violations"] == 0
+
+
+# -- OUT-OF-MODEL verdicts -----------------------------------------------------
+
+
+def _outcomes(topology, runs=2):
+    return [
+        simulate(
+            make_protocol("push-pull"),
+            make_adversary("ugf"),
+            n=10,
+            f=3,
+            seed=s,
+            topology=topology,
+        ).outcome
+        for s in range(runs)
+    ]
+
+
+def test_ring_outcomes_classify_out_of_model_not_violates():
+    verdicts = audit_theorem1(_outcomes("ring:1"))
+    assert len(verdicts) == 1
+    v = verdicts[0]
+    assert v.verdict == "OUT-OF-MODEL"
+    assert v.topology == "ring:1"
+    assert v.ok  # out-of-model is not a theorem violation
+
+
+def test_clique_outcomes_keep_their_clique_verdicts():
+    verdicts = audit_theorem1(_outcomes(None))
+    assert len(verdicts) == 1
+    assert verdicts[0].topology is None
+    assert verdicts[0].verdict != "OUT-OF-MODEL"
+
+
+def test_mixed_cells_split_by_topology_and_render_in_the_table():
+    verdicts = audit_theorem1(_outcomes(None) + _outcomes("ring:1"))
+    assert [v.topology for v in verdicts] == [None, "ring:1"]
+    table = theorem_table(verdicts)
+    assert "topology" in table
+    assert "ring:1" in table
+    assert "OUT-OF-MODEL" in table
+
+
+def test_cache_audit_replays_ring_trials_as_out_of_model(tmp_path):
+    """PR-9 regression: a ring sweep written through the campaign cache
+    must audit clean and classify OUT-OF-MODEL on replay — before the
+    fix, replayed off-clique outcomes hit the clique bounds and could
+    read VIOLATES-THEOREM-1."""
+    specs = [
+        TrialSpec(
+            protocol="push-pull",
+            adversary="ugf",
+            n=10,
+            f=3,
+            seed=s,
+            topology="ring:1",
+        )
+        for s in range(2)
+    ]
+    with Campaign(cache_dir=tmp_path, workers=1) as campaign:
+        results = campaign.run_trials(specs)
+    assert all(r.ok and r.outcome.topology == "ring:1" for r in results)
+
+    audit = audit_cache(tmp_path, replay=True)
+    assert all(r.status == "ok" for r in audit.records), [
+        (r.status, r.detail) for r in audit.records
+    ]
+    assert audit.theorem
+    assert all(v.verdict == "OUT-OF-MODEL" for v in audit.theorem)
