@@ -358,8 +358,14 @@ class Campaign:
         # Deterministic per-spec partition: the batch engine takes the
         # eligible cache misses as cell groups, the scalar pool takes
         # the rest. Chaos arms per-trial fault sites that only exist on
-        # the scalar path, so an injector pins the mode.
-        mode = self.backend if self._injector is None else "scalar"
+        # the scalar path, so an injector pins the mode — unless the
+        # plan arms only service.* sites, which fire at the network
+        # boundary and never inside trial execution.
+        mode = (
+            self.backend
+            if self._injector is None or self._injector.service_only
+            else "scalar"
+        )
         batch_items: list[tuple[int, TrialSpec, str | None]] = []
         scalar_items: list[tuple[int, TrialSpec, str | None]] = []
         if mode == "scalar":

@@ -29,6 +29,7 @@ from repro.chaos.doctor import DoctorFinding, DoctorReport, diagnose
 from repro.chaos.inject import FaultInjector, tear_tail
 from repro.chaos.plan import (
     FAULT_SITES,
+    SERVICE_FAULT_SITES,
     ChaosFault,
     FaultPlan,
     FaultRule,
@@ -36,6 +37,7 @@ from repro.chaos.plan import (
     InjectedPoisonError,
     InjectedTransientError,
     shipped_plans,
+    shipped_service_plans,
 )
 from repro.chaos.supervisor import (
     DEFAULT_TRANSIENT_ERRORS,
@@ -51,6 +53,7 @@ from repro.chaos.supervisor import (
 
 __all__ = [
     "FAULT_SITES",
+    "SERVICE_FAULT_SITES",
     "ChaosFault",
     "FaultPlan",
     "FaultRule",
@@ -59,6 +62,7 @@ __all__ = [
     "InjectedPoisonError",
     "InjectedTransientError",
     "shipped_plans",
+    "shipped_service_plans",
     "tear_tail",
     "DEFAULT_TRANSIENT_ERRORS",
     "QUARANTINE_FILENAME",

@@ -16,6 +16,13 @@ Hook sites and their real-world analogue:
 ``check_fsync(retry)``    a disk that returns ``EIO`` from ``fsync``
 ``maybe_tear(path)``      ``kill -9`` mid-append: the final store record is
                           left torn on disk
+``service_fault(...)``    client side of the service boundary: refused
+                          connections, mid-stream resets, torn frames,
+                          stalled replies (attempt = the retry loop's)
+``service_event(...)``    server side of the same sites: each armed site
+                          draws against a monotone per-stream event index,
+                          so ``attempts=N`` rules fail the first N chances
+                          and then recover
 ========================  =====================================================
 
 Injected trial failures surface exactly like organic ones — a full
@@ -38,7 +45,9 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     signal = None  # type: ignore[assignment]
 
 from repro.chaos.plan import (
+    SERVICE_FAULT_SITES,
     FaultPlan,
+    FaultRule,
     InjectedFsyncError,
     InjectedPoisonError,
     InjectedTransientError,
@@ -110,6 +119,8 @@ class FaultInjector:
         "_trial_rules",
         "_fsync_rules",
         "_tear_rules",
+        "_service_rules",
+        "_service_events",
         "_append_index",
         "_tear_index",
         "_torn",
@@ -125,6 +136,12 @@ class FaultInjector:
         )
         self._fsync_rules = plan.rules_for("store.fsync")
         self._tear_rules = plan.rules_for("store.tear")
+        self._service_rules = {
+            site: rules
+            for site in sorted(SERVICE_FAULT_SITES)
+            if (rules := plan.rules_for(site))
+        }
+        self._service_events: dict[tuple[str, str], int] = {}
         self._append_index = 0
         self._tear_index = 0
         self._torn = 0
@@ -200,3 +217,55 @@ class FaultInjector:
                 self._torn = tear_tail(path)
                 return self._torn
         return 0
+
+    # -- campaign service --------------------------------------------------------
+
+    @property
+    def has_service_rules(self) -> bool:
+        return bool(self._service_rules)
+
+    @property
+    def service_only(self) -> bool:
+        """True when the plan arms nothing but ``service.*`` sites —
+        trial execution and the store are then completely unaffected
+        (the campaign keeps its configured backend, for one)."""
+        return bool(self._service_rules) and not (
+            self._trial_rules or self._fsync_rules or self._tear_rules
+        )
+
+    def service_fault(
+        self, site: str, token: str, *, attempt: int
+    ) -> FaultRule | None:
+        """Client-side service injection: does *site* fire for this try?
+
+        *attempt* is the client retry loop's own counter, threaded into
+        the draw exactly like the supervisor threads its retry attempt:
+        a rule with ``attempts=1`` hits the first submission and stays
+        quiet on the resubmit — a transient network fault by
+        construction. Returns the matching rule (its ``delay`` carries
+        the stall length) or ``None``.
+        """
+        for rule in self._service_rules.get(site, ()):
+            if self.plan.fires(rule, token, attempt=attempt):
+                return rule
+        return None
+
+    def service_event(self, site: str, stream: str) -> FaultRule | None:
+        """Server-side service injection: does *site* fire for the next
+        event on *stream*?
+
+        The daemon has no retry dimension of its own, so a monotone
+        per-``(site, stream)`` event index takes the attempt slot: a
+        rule with ``attempts=N`` fails the first N chances it gets and
+        then recovers deterministically — which is what lets a faulted
+        daemon serve the client's resubmission.
+        """
+        rules = self._service_rules.get(site)
+        if not rules:
+            return None
+        index = self._service_events.get((site, stream), 0)
+        self._service_events[(site, stream)] = index + 1
+        for rule in rules:
+            if self.plan.fires(rule, stream, attempt=index):
+                return rule
+        return None

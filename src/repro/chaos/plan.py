@@ -27,11 +27,30 @@ the injector (:mod:`repro.chaos.inject`) arms:
 - ``store.tear`` — truncate the store mid-record after an append, the
   on-disk state a ``kill -9`` during a write leaves behind.
 
+The service sites (PR 10) point the same contract at the campaign
+daemon's network boundary (docs/SERVICE.md "Failure model"); each can
+be armed on the :class:`~repro.service.client.ServiceClient` transport
+or on the daemon's connection handler:
+
+- ``service.conn_refuse`` — the connection attempt is refused;
+- ``service.conn_drop`` — the connection is reset mid-stream, after at
+  least one reply frame;
+- ``service.frame_tear`` — the peer receives a partial NDJSON frame
+  (no terminating newline) and then the transport dies;
+- ``service.slow_peer`` — the reply stalls past the request deadline;
+- ``service.daemon_kill`` — the serve loop is killed abruptly
+  mid-batch: no drain, no goodbye frames, listeners and connections
+  vanish.
+
 Retries are modelled through the plan, not around it: the supervisor
 re-dispatches failed trials under ``plan.with_attempt(n)``, so a rule
 with ``attempts=1`` fires on the first attempt and stays quiet on the
 retry — a transient fault by construction — while ``attempts=None``
 fires forever — a deterministic fault that must end in quarantine.
+The service client threads its own retry-loop attempt into the draw
+the same way, and the daemon substitutes a monotone per-site event
+index, so ``attempts=N`` server rules fire on the first N chances and
+then recover deterministically.
 """
 
 from __future__ import annotations
@@ -45,6 +64,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "FAULT_SITES",
+    "SERVICE_FAULT_SITES",
     "FaultRule",
     "FaultPlan",
     "ChaosFault",
@@ -52,18 +72,33 @@ __all__ = [
     "InjectedPoisonError",
     "InjectedFsyncError",
     "shipped_plans",
+    "shipped_service_plans",
 ]
 
-#: Every hook point a rule may arm; anything else is a typo we refuse.
-FAULT_SITES = frozenset(
+#: Fault sites at the campaign-service network boundary (docs/SERVICE.md).
+SERVICE_FAULT_SITES = frozenset(
     {
-        "trial.exception",
-        "trial.poison",
-        "worker.kill",
-        "worker.starve",
-        "store.fsync",
-        "store.tear",
+        "service.conn_refuse",
+        "service.conn_drop",
+        "service.frame_tear",
+        "service.slow_peer",
+        "service.daemon_kill",
     }
+)
+
+#: Every hook point a rule may arm; anything else is a typo we refuse.
+FAULT_SITES = (
+    frozenset(
+        {
+            "trial.exception",
+            "trial.poison",
+            "worker.kill",
+            "worker.starve",
+            "store.fsync",
+            "store.tear",
+        }
+    )
+    | SERVICE_FAULT_SITES
 )
 
 #: Sites that must never fire in the process that owns the campaign
@@ -118,7 +153,9 @@ class FaultRule:
         (``None`` = all trials). Ignored by store sites, whose events
         carry an append index instead of a spec.
     delay:
-        ``worker.starve`` only: how long (seconds) the stall lasts.
+        ``worker.starve`` / ``service.slow_peer``: how long (seconds)
+        the stall lasts. ``service.*`` busy rejections reuse it as the
+        retry hint.
     """
 
     site: str
@@ -301,5 +338,45 @@ def shipped_plans() -> dict[str, FaultPlan]:
             seed=29,
             name="poison",
             rules=(FaultRule(site="trial.poison", rate=1.0, attempts=None, seeds=(0,)),),
+        ),
+    }
+
+
+def shipped_service_plans() -> dict[str, FaultPlan]:
+    """The named plans the service chaos battery runs.
+
+    One plan per service fault site, each transient by construction
+    (``attempts=1``: the fault hits the first chance it gets, then
+    clears) except ``daemon-kill``, which is unrecoverable on the
+    remote path and must end in a clean local fallback. Under every one
+    of these, a ``--cache-url`` sweep must complete with outcome wires
+    byte-identical to a fault-free local run
+    (``tests/service/test_chaos_battery.py``).
+    """
+    return {
+        "conn-refuse": FaultPlan(
+            seed=31,
+            name="conn-refuse",
+            rules=(FaultRule(site="service.conn_refuse", rate=1.0, attempts=1),),
+        ),
+        "conn-drop": FaultPlan(
+            seed=37,
+            name="conn-drop",
+            rules=(FaultRule(site="service.conn_drop", rate=1.0, attempts=1),),
+        ),
+        "frame-tear": FaultPlan(
+            seed=41,
+            name="frame-tear",
+            rules=(FaultRule(site="service.frame_tear", rate=1.0, attempts=1),),
+        ),
+        "slow-peer": FaultPlan(
+            seed=43,
+            name="slow-peer",
+            rules=(FaultRule(site="service.slow_peer", rate=1.0, attempts=1, delay=2.0),),
+        ),
+        "daemon-kill": FaultPlan(
+            seed=47,
+            name="daemon-kill",
+            rules=(FaultRule(site="service.daemon_kill", rate=1.0, attempts=1),),
         ),
     }

@@ -74,8 +74,15 @@ DEFAULT_TRANSIENT_ERRORS = (
     "BrokenProcessPool",
     "BrokenPipeError",
     "ConnectionResetError",
+    "ConnectionRefusedError",
     "EOFError",
     "MemoryError",
+    # The campaign-service transport: a dead or busy daemon is weather,
+    # not trial identity (the client already fell back locally).
+    "ServiceError",
+    "ServiceTimeout",
+    "ServiceBusy",
+    "ServiceProtocolError",
 )
 
 #: Longest error excerpt carried into telemetry records; the ledger

@@ -111,9 +111,10 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="tcp://HOST:PORT|unix:///PATH",
         help="execute through a shared campaign-service daemon "
-        "(docs/SERVICE.md, start one with 'repro-ugf serve'); falls back "
-        "to local execution if the daemon is unreachable",
+        "(docs/SERVICE.md, start one with 'repro-ugf serve'); transport "
+        "failures retry with backoff, then fall back to local execution",
     )
+    _add_service_timeout_flag(parser)
     parser.add_argument(
         "--store-backend",
         default="auto",
@@ -122,6 +123,29 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         "on-disk layout, 'jsonl' is the single-file store, 'sharded' "
         "splits by content-address prefix with an offset index",
     )
+
+
+def _add_service_timeout_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--service-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-reply read deadline when talking to a --cache-url "
+        "daemon, so a wedged daemon can never hang the run (default: "
+        "120; 0 or negative waits forever)",
+    )
+
+
+def _service_timeout(args: argparse.Namespace):
+    """The finite read deadline the CLI path applies (satellite of
+    docs/SERVICE.md 'Failure model'): None only on explicit request."""
+    from repro.service.client import DEFAULT_SERVICE_TIMEOUT
+
+    value = getattr(args, "service_timeout", None)
+    if value is None:
+        return DEFAULT_SERVICE_TIMEOUT
+    return value if value > 0 else None
 
 
 def _sanitize_type(spec: str) -> str:
@@ -232,7 +256,7 @@ def _make_campaign(args: argparse.Namespace):
     if url is not None:
         from repro.service import ServiceCampaign
 
-        return ServiceCampaign(url, **kwargs)
+        return ServiceCampaign(url, timeout=_service_timeout(args), **kwargs)
     return Campaign(**kwargs)
 
 
@@ -275,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute through a shared campaign-service daemon "
         "(docs/SERVICE.md); falls back to local execution if unreachable",
     )
+    _add_service_timeout_flag(p_run)
     _add_topology_flag(p_run)
     _add_sanitize_flag(p_run)
     _add_metrics_flag(p_run)
@@ -538,6 +563,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=None, help="worker-pool size for misses"
     )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="TRIALS",
+        help="admission control: most trials allowed in the pending "
+        "queue before submits are refused with a 'busy' frame "
+        "(default: 4096)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="close connections idle this long with no submit stream "
+        "running (default: 900; 0 or negative disables)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM, how long the graceful drain waits for "
+        "in-flight waves before exiting anyway (default: 30)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        type=pathlib.Path,
+        default=None,
+        metavar="PLAN.json",
+        help="arm the daemon side of the service chaos sites from a "
+        "JSON fault plan (docs/ROBUSTNESS.md) — testing only",
+    )
     _add_sanitize_flag(p_serve)
     _add_metrics_flag(p_serve)
     _add_backend_flag(p_serve)
@@ -579,6 +637,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         with ServiceCampaign(
             args.cache_url,
+            timeout=_service_timeout(args),
             workers=0,
             metrics=getattr(args, "metrics", None),
             backend=getattr(args, "backend", "auto"),
@@ -1023,13 +1082,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign, default_cache_dir
-    from repro.service.server import DAEMON_MEMO_LIMIT, serve_forever
+    from repro.service.server import (
+        DAEMON_MEMO_LIMIT,
+        DEFAULT_MAX_PENDING,
+        serve_forever,
+    )
 
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     port = args.port
     unix_path = args.unix
     if port is None and unix_path is None:
         port = 7341
+    fault_plan = None
+    if getattr(args, "fault_plan", None) is not None:
+        from repro.chaos import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+    idle_timeout = args.idle_timeout if args.idle_timeout > 0 else None
+    max_pending = (
+        args.max_pending if args.max_pending is not None else DEFAULT_MAX_PENDING
+    )
     # trial_timeout stays None: the per-trial SIGALRM watchdog only
     # works on the main thread, and the daemon executes campaigns on
     # its scheduler thread.
@@ -1041,6 +1113,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=getattr(args, "backend", "auto"),
         store_backend="sharded",
         memo_limit=DAEMON_MEMO_LIMIT,
+        fault_plan=fault_plan,
     )
     print(f"campaign service: store at {cache_dir}", file=sys.stderr)
     try:
@@ -1054,6 +1127,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"(clients: --cache-url {address})",
                 file=sys.stderr,
             ),
+            drain_timeout=args.drain_timeout,
+            max_pending=max_pending,
+            idle_timeout=idle_timeout,
         )
     finally:
         campaign.close()

@@ -32,6 +32,11 @@ Server → client frames:
 - ``{"op": "error", "error": …}`` — a frame the server could not
   honour (malformed JSON, unknown op, bad spec). The connection stays
   open unless the transport itself broke.
+- ``{"op": "busy", "id": …, "retry_after": <seconds>, "reason": …}`` —
+  admission refused (pending queue full, or the daemon is draining).
+  The connection stays open; a well-behaved client waits at least
+  ``retry_after`` before resubmitting (the retry loop in
+  :class:`repro.service.client.ServiceClient` does exactly that).
 
 The outcome ``wire`` payload is exactly
 :meth:`repro.sim.outcome.Outcome.to_wire` — JSON-native by contract —

@@ -25,11 +25,19 @@ the store dedups across time, the in-flight table dedups across *now*
 — each unique content address is computed at most once, ever, no
 matter how many clients race.
 
-Failure posture: a malformed frame gets an ``error`` frame, not a
-dropped connection; a failing trial gets a ``failed`` outcome frame
-carrying the worker traceback; a batch-level execution crash fails
-only the futures of that batch. The daemon itself only exits on
-signal or fatal socket error.
+Failure posture (docs/SERVICE.md "Failure model"): a malformed frame
+gets an ``error`` frame, not a dropped connection; a failing trial
+gets a ``failed`` outcome frame carrying the worker traceback; a
+batch-level execution crash fails only the futures of that batch. A
+submit that would push the pending queue past ``max_pending`` (or
+arrives while draining) is refused with a typed ``busy`` frame
+carrying a ``retry_after`` hint; a connection idle past
+``idle_timeout`` is closed (``idle_closed``); a submitter that
+vanishes mid-wait has its dead streams counted (``aborted_streams``)
+while the computations keep running for whoever else deduplicated
+onto them. ``SIGTERM`` drains gracefully — stop accepting, finish
+in-flight waves (each wave persists its outcomes as it completes),
+then exit and flush the store — while ``SIGINT`` stops immediately.
 """
 
 from __future__ import annotations
@@ -67,6 +75,15 @@ _MAX_SCHEDULE_BATCH = 512
 #: trial it ever served — the sharded store already holds them on disk.
 DAEMON_MEMO_LIMIT = 4096
 
+#: Admission-control ceiling: most trials that may sit in the pending
+#: queue before new submits are refused with a ``busy`` frame.
+DEFAULT_MAX_PENDING = 4096
+
+#: The ``retry_after`` hint a ``busy`` frame carries, in seconds —
+#: long enough for a scheduler wave to make room, short enough that a
+#: retrying client barely notices.
+DEFAULT_RETRY_AFTER = 0.5
+
 
 class TrialService:
     """The daemon: in-flight dedup over one campaign session.
@@ -74,13 +91,41 @@ class TrialService:
     *campaign* is owned by the caller (``serve_forever`` and
     :class:`ServiceThread` construct and close theirs); the service
     only promises to use it from a single executor thread.
+
+    *max_pending* bounds the pending-submit queue (admission control);
+    *idle_timeout* closes connections with no traffic and no running
+    submit streams; *fault_plan* arms the server side of the
+    ``service.*`` chaos sites (defaults to the campaign's own plan).
     """
 
     def __init__(
-        self, campaign, *, max_batch: int = _MAX_SCHEDULE_BATCH
+        self,
+        campaign,
+        *,
+        max_batch: int = _MAX_SCHEDULE_BATCH,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        idle_timeout: float | None = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        fault_plan=None,
     ) -> None:
         self.campaign = campaign
         self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.idle_timeout = idle_timeout
+        self.retry_after = retry_after
+        if fault_plan is not None:
+            from repro.chaos.inject import FaultInjector
+
+            injector = FaultInjector(fault_plan)
+        else:
+            injector = getattr(campaign, "_injector", None)
+        #: Server-side chaos hooks; None unless the plan arms a
+        #: service.* site, so the hot path stays a None check.
+        self._injector = (
+            injector
+            if injector is not None and injector.has_service_rules
+            else None
+        )
         self._inflight: dict[str, asyncio.Future] = {}
         self._queue: asyncio.Queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
@@ -89,7 +134,12 @@ class TrialService:
         self._scheduler_task: asyncio.Task | None = None
         self._servers: list[asyncio.AbstractServer] = []
         self._conn_tasks: set[asyncio.Task] = set()
+        self._submit_tasks: set[asyncio.Task] = set()
         self._unix_path: pathlib.Path | None = None
+        self._draining = False
+        #: Set by an injected ``service.daemon_kill``: the host tears
+        #: the service down abruptly (no drain, no goodbye frames).
+        self.dead = asyncio.Event()
         self.addresses: list[ServiceAddress] = []
         #: Lifetime counters, served by the ``stats`` op. Kept apart
         #: from the metrics registry so they exist even metrics-off.
@@ -102,7 +152,31 @@ class TrialService:
             "dedup_inflight": 0,
             "failed": 0,
             "errors": 0,
+            "busy_rejections": 0,
+            "aborted_streams": 0,
+            "idle_closed": 0,
+            "injected_faults": 0,
+            "drains": 0,
         }
+
+    # -- observability -------------------------------------------------------------
+
+    def _emit_event(self, event: str, **fields: Any) -> None:
+        """One ``service`` telemetry record per rejection, abort,
+        injected fault and drain phase — auditable after the fact."""
+        telemetry = getattr(self.campaign, "telemetry", None)
+        if telemetry is not None:
+            telemetry.emit("service", event=event, **fields)
+
+    def _note_injected(self, site: str) -> None:
+        self.counters["injected_faults"] += 1
+        self._count_metric("service.injected_faults")
+        self._emit_event("injected_fault", site=site)
+
+    def _note_abort(self) -> None:
+        self.counters["aborted_streams"] += 1
+        self._count_metric("service.aborted_streams")
+        self._emit_event("aborted_stream")
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -172,17 +246,61 @@ class TrialService:
         while not self._queue.empty():
             key, _spec, fut = self._queue.get_nowait()
             self._inflight.pop(key, None)
-            if not fut.done():
-                fut.set_exception(CampaignError("service shutting down"))
+            self._fail_future(fut)
         for key, fut in list(self._inflight.items()):
-            if not fut.done():
-                fut.set_exception(CampaignError("service shutting down"))
+            self._fail_future(fut)
         self._inflight.clear()
         self._executor.shutdown(wait=True)
         if self._unix_path is not None:
             with contextlib.suppress(OSError):
                 self._unix_path.unlink()
             self._unix_path = None
+
+    @staticmethod
+    def _fail_future(fut: asyncio.Future) -> None:
+        if not fut.done():
+            fut.set_exception(CampaignError("service shutting down"))
+            # The waiting stream may already be cancelled; mark the
+            # exception retrieved so teardown never logs phantoms.
+            fut.exception()
+
+    async def drain(self, *, timeout: float = 30.0) -> None:
+        """Graceful shutdown, phase one: stop accepting, finish work.
+
+        Closes the listeners (new connects are refused by the OS),
+        flips admission control so surviving connections get ``busy``
+        frames, then waits — up to *timeout* seconds — for the pending
+        queue, the in-flight table and every live submit stream to
+        finish. Each scheduler wave persists its outcomes as it
+        completes, so when this returns the store holds everything
+        that was accepted. The caller follows with :meth:`close`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.counters["drains"] += 1
+        self._count_metric("service.drain_started")
+        self._emit_event("drain", phase="start", inflight=self.inflight)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        busy = True
+        while True:
+            busy = (
+                not self._queue.empty()
+                or bool(self._inflight)
+                or any(not t.done() for t in self._submit_tasks)
+            )
+            if not busy or loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        if busy:
+            self._count_metric("service.drain_timeouts")
+        self._count_metric("service.drain_finished")
+        self._emit_event("drain", phase="finished", clean=not busy)
 
     # -- scheduling ----------------------------------------------------------------
 
@@ -254,6 +372,14 @@ class TrialService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        injector = self._injector
+        if injector is not None and (
+            injector.service_event("service.conn_refuse", "accept") is not None
+        ):
+            # The accept never happened, as far as the peer can tell.
+            self._note_injected("service.conn_refuse")
+            writer.transport.abort()
+            return
         self.counters["connections"] += 1
         self._count_metric("service.connections")
         task = asyncio.current_task()
@@ -264,7 +390,23 @@ class TrialService:
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout is not None:
+                        try:
+                            line = await asyncio.wait_for(
+                                reader.readline(), self.idle_timeout
+                            )
+                        except asyncio.TimeoutError:
+                            # Only genuinely idle connections are shed:
+                            # one with a submit stream still running is
+                            # waiting on its own computation, so re-arm.
+                            if any(not s.done() for s in submits):
+                                continue
+                            self.counters["idle_closed"] += 1
+                            self._count_metric("service.idle_closed")
+                            self._emit_event("idle_closed")
+                            break
+                    else:
+                        line = await reader.readline()
                 except (ValueError, ConnectionError):
                     # Frame over the stream limit, or transport death.
                     break
@@ -330,11 +472,13 @@ class TrialService:
                         },
                     )
                 elif op == "submit":
-                    task = asyncio.create_task(
-                        self._handle_submit(frame, writer, lock)
+                    submit = asyncio.create_task(
+                        self._guarded_submit(frame, writer, lock)
                     )
-                    submits.add(task)
-                    task.add_done_callback(submits.discard)
+                    submits.add(submit)
+                    submit.add_done_callback(submits.discard)
+                    self._submit_tasks.add(submit)
+                    submit.add_done_callback(self._submit_tasks.discard)
                 else:
                     self.counters["errors"] += 1
                     await self._send(
@@ -353,14 +497,30 @@ class TrialService:
         finally:
             # The client is gone: its submit streams have nowhere to
             # go. The *computations* keep running — other clients may
-            # be deduplicated onto the same futures.
-            for submit in submits:
-                submit.cancel()
+            # be deduplicated onto the same futures — but each stream
+            # cancelled mid-wait is counted, never silently dropped.
+            for submit in list(submits):
+                if not submit.done():
+                    self._note_abort()
+                    submit.cancel()
             if task is not None:
                 self._conn_tasks.discard(task)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _guarded_submit(
+        self, frame: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            await self._handle_submit(frame, writer, lock)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            # The submitter vanished mid-stream. The computations keep
+            # running for whoever else deduplicated onto them; only
+            # this reply stream died, and it is counted, not silent.
+            self._note_abort()
 
     async def _handle_submit(
         self, frame: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
@@ -377,6 +537,43 @@ class TrialService:
                     "op": "error",
                     "id": req_id,
                     "error": "submit frame carries no 'trials' list",
+                },
+            )
+            return
+        injector = self._injector
+        drop_rule = tear_rule = None
+        if injector is not None:
+            if injector.service_event("service.daemon_kill", "submit") is not None:
+                # Abrupt death mid-batch: no reply, no drain. The host
+                # observes `dead` and tears everything down; clients
+                # see vanished sockets, exactly like a SIGKILL.
+                self._note_injected("service.daemon_kill")
+                self.dead.set()
+                return
+            slow_rule = injector.service_event("service.slow_peer", "submit")
+            if slow_rule is not None:
+                self._note_injected("service.slow_peer")
+                await asyncio.sleep(slow_rule.delay)
+            drop_rule = injector.service_event("service.conn_drop", "reply")
+            tear_rule = injector.service_event("service.frame_tear", "reply")
+        if self._draining or self._queue.qsize() + len(trials) > self.max_pending:
+            reason = (
+                "draining"
+                if self._draining
+                else f"pending queue full ({self._queue.qsize()}/{self.max_pending})"
+            )
+            self.counters["busy_rejections"] += 1
+            self._count_metric("service.busy_rejections")
+            self._emit_event("busy_rejection", reason=reason)
+            await self._send(
+                writer,
+                lock,
+                {
+                    "v": PROTO_VERSION,
+                    "op": "busy",
+                    "id": req_id,
+                    "retry_after": self.retry_after,
+                    "reason": reason,
                 },
             )
             return
@@ -413,6 +610,7 @@ class TrialService:
             result = await asyncio.shield(fut)
             return i, key, result, attached
 
+        sent = 0
         for coro in asyncio.as_completed(
             [resolved(*claim) for claim in claims]
         ):
@@ -460,7 +658,29 @@ class TrialService:
                 out["error"] = result.error
                 counts["failed"] += 1
                 self.counters["failed"] += 1
+            if tear_rule is not None:
+                # The peer receives half an NDJSON line, then the
+                # transport dies: a torn frame, never a parseable one.
+                self._note_injected("service.frame_tear")
+                payload = encode_frame(out)
+                async with lock:
+                    writer.write(payload[: max(1, len(payload) // 2)])
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await writer.drain()
+                    writer.transport.abort()
+                return
+            if drop_rule is not None and sent >= 1:
+                # Mid-stream reset: at least one outcome frame made it.
+                self._note_injected("service.conn_drop")
+                writer.transport.abort()
+                return
             await self._send(writer, lock, out)
+            sent += 1
+        if drop_rule is not None:
+            # A one-trial batch: reset between the outcome and `done`.
+            self._note_injected("service.conn_drop")
+            writer.transport.abort()
+            return
         await self._send(
             writer,
             lock,
@@ -480,15 +700,36 @@ async def _run_service(
     ready,
     stop_event: asyncio.Event,
     announce=None,
+    drain_event: asyncio.Event | None = None,
+    drain_timeout: float = 30.0,
+    **service_kwargs: Any,
 ) -> None:
-    service = TrialService(campaign)
+    service = TrialService(campaign, **service_kwargs)
     await service.start(host=host, port=port, unix_path=unix_path)
     if announce is not None:
         for address in service.addresses:
             announce(address)
     ready(service)
     try:
-        await stop_event.wait()
+        # Three ways down: stop (immediate), drain (graceful), dead
+        # (an injected daemon_kill — abrupt, no drain).
+        events = [stop_event, service.dead]
+        if drain_event is not None:
+            events.append(drain_event)
+        waiters = [asyncio.create_task(event.wait()) for event in events]
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+        if (
+            drain_event is not None
+            and drain_event.is_set()
+            and not stop_event.is_set()
+            and not service.dead.is_set()
+        ):
+            await service.drain(timeout=drain_timeout)
     finally:
         await service.close()
 
@@ -500,20 +741,27 @@ def serve_forever(
     port: int | None = None,
     unix_path: "str | os.PathLike | None" = None,
     announce=None,
+    drain_timeout: float = 30.0,
+    **service_kwargs: Any,
 ) -> None:
     """Run the daemon on the current thread until SIGINT/SIGTERM.
 
     The CLI entry point (``repro-ugf serve``). *announce* is called
-    with each bound :class:`ServiceAddress` once listening.
+    with each bound :class:`ServiceAddress` once listening. ``SIGTERM``
+    drains first — stop accepting, finish in-flight waves, then exit
+    (the store flushes when the caller closes the campaign) — while
+    ``SIGINT`` stops immediately, failing queued work cleanly.
     """
     import signal
 
     async def main() -> None:
         stop = asyncio.Event()
+        drain = asyncio.Event()
         loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            with contextlib.suppress(NotImplementedError, ValueError):
-                loop.add_signal_handler(sig, stop.set)
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signal.SIGTERM, drain.set)
         await _run_service(
             campaign,
             host=host,
@@ -522,6 +770,9 @@ def serve_forever(
             ready=lambda _service: None,
             stop_event=stop,
             announce=announce,
+            drain_event=drain,
+            drain_timeout=drain_timeout,
+            **service_kwargs,
         )
 
     asyncio.run(main())
@@ -542,14 +793,19 @@ class ServiceThread:
         host: str | None = None,
         port: int | None = None,
         unix_path: "str | os.PathLike | None" = None,
+        drain_timeout: float = 30.0,
+        **service_kwargs: Any,
     ) -> None:
         self.campaign = campaign
         self._host = host
         self._port = port
         self._unix_path = unix_path
+        self._drain_timeout = drain_timeout
+        self._service_kwargs = service_kwargs
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
+        self._drain_event: asyncio.Event | None = None
         self._ready = threading.Event()
         self._failure: BaseException | None = None
         self.service: TrialService | None = None
@@ -563,6 +819,7 @@ class ServiceThread:
 
             async def main() -> None:
                 self._stop_event = asyncio.Event()
+                self._drain_event = asyncio.Event()
 
                 def ready(service: TrialService) -> None:
                     self.service = service
@@ -576,6 +833,9 @@ class ServiceThread:
                     unix_path=self._unix_path,
                     ready=ready,
                     stop_event=self._stop_event,
+                    drain_event=self._drain_event,
+                    drain_timeout=self._drain_timeout,
+                    **self._service_kwargs,
                 )
 
             try:
@@ -603,9 +863,15 @@ class ServiceThread:
         """A client-ready url for the first bound listener."""
         return str(self.addresses[0])
 
-    def stop(self) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+    def stop(self, *, drain: bool = False) -> None:
+        """Stop the daemon; ``drain=True`` finishes in-flight work
+        first (the SIGTERM path, minus the signal)."""
+        event = self._drain_event if drain else self._stop_event
+        if self._loop is not None and event is not None:
+            # After an injected daemon_kill the loop may already be
+            # gone; the thread join below is then immediate.
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(event.set)
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None

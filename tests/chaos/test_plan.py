@@ -125,10 +125,19 @@ def test_load_rejects_garbage_and_wrong_versions(tmp_path):
 
 
 def test_shipped_plans_cover_every_fault_site():
+    from repro.chaos import SERVICE_FAULT_SITES, shipped_service_plans
+
     plans = shipped_plans()
+    service_plans = shipped_service_plans()
     armed = {rule.site for plan in plans.values() for rule in plan.rules}
-    assert armed == FAULT_SITES
-    for name, plan in plans.items():
+    service_armed = {
+        rule.site for plan in service_plans.values() for rule in plan.rules
+    }
+    # The process/store battery and the service battery split the site
+    # space exactly: together they arm everything, with no overlap.
+    assert service_armed == SERVICE_FAULT_SITES
+    assert armed == FAULT_SITES - SERVICE_FAULT_SITES
+    for name, plan in {**plans, **service_plans}.items():
         assert plan.name == name
         # Shipped plans must survive the CLI's file round trip.
         assert FaultPlan.from_dict(plan.to_dict()) == plan

@@ -222,15 +222,21 @@ def test_service_campaign_falls_back_to_local_execution(tmp_path):
     with pytest.warns(RuntimeWarning, match="falling back"):
         results = campaign.run_trials(specs)
     assert all(r.ok for r in results)
-    assert not campaign._remote_ok
+    assert campaign._remote_down
     assert metrics.counters["service.fallbacks"] == 1
-    # Later batches run locally without further warnings.
+    # The reconnect loop tried the full policy before giving up.
+    assert metrics.counters["service.retries"] == campaign.retry_policy.max_retries
+    # Later batches probe for recovery (the daemon is still gone) and
+    # run locally without further warnings.
     import warnings
 
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         again = campaign.run_trials(specs)
     assert all(r.cached for r in again)  # served by the local memo/store
+    assert metrics.counters["service.probes"] == 1
+    assert metrics.counters["service.probe_failures"] == 1
+    assert "service.reconnects" not in metrics.counters
     campaign.close()
 
 
